@@ -1,0 +1,113 @@
+// Design explorer — interactive what-if tool over the FPGA models.
+//
+//   $ design_explorer [--rules N] [--stride K] [--memory dist|bram]
+//                     [--floorplan 0|1] [--device 1140t|485t]
+//                     [--ruleset path] [--multipipeline] [--updates RATE]
+//
+// Prints the full implementation report (clock, throughput, resources,
+// power) for a chosen StrideBV/TCAM design point, the equivalent ASIC
+// TCAM, and — when a ruleset file is given — its feature analysis and
+// the real entry counts after range expansion, so a designer can see
+// whether the device fits their classifier before synthesizing anything.
+// --multipipeline packs as many pipelines as the device holds;
+// --updates RATE reports sustained throughput under RATE rule
+// updates/second.
+#include <cstdio>
+#include <string>
+
+#include "rfipc.h"
+
+using namespace rfipc;
+
+namespace {
+
+void print_report(const fpga::ImplementationReport& r, const fpga::FpgaDevice& dev) {
+  std::printf("  %-26s %10.1f MHz\n", "clock", r.timing.clock_mhz);
+  std::printf("  %-26s %10.1f Gbps (%.0f B min packets, %.0fx issue)\n",
+              "throughput", r.timing.throughput_gbps, 40.0, r.timing.issue_rate);
+  std::printf("  %-26s %10.1f Kbit (%.1f B/rule)\n", "memory", r.memory_kbits(),
+              r.memory_bytes_per_rule());
+  std::printf("  %-26s %10llu (%.1f%% of %s)\n", "slices",
+              static_cast<unsigned long long>(r.resources.slices),
+              r.resources.slice_percent(dev), dev.name.c_str());
+  if (r.resources.bram36 > 0) {
+    std::printf("  %-26s %10llu (%.1f%%)\n", "RAMB36 blocks",
+                static_cast<unsigned long long>(r.resources.bram36),
+                r.resources.bram_percent(dev));
+  }
+  std::printf("  %-26s %10.2f W (%.2f static + %.2f dynamic)\n", "power",
+              r.power.total_w, r.power.static_w, r.power.dynamic_w);
+  std::printf("  %-26s %10.1f mW/Gbps\n", "power efficiency", r.power.mw_per_gbps);
+  std::printf("  %-26s %10s\n", "fits device", r.fits ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv,
+                       {"rules", "stride", "memory", "floorplan", "device", "ruleset",
+                        "multipipeline", "updates"});
+  std::uint64_t n = flags.get_u64("rules", 512);
+  const auto stride = static_cast<unsigned>(flags.get_u64("stride", 4));
+  const auto memory = flags.get("memory", "dist");
+  const bool floorplan = flags.get_bool("floorplan", true);
+  const auto device = flags.get("device", "1140t") == "485t"
+                          ? fpga::virtex7_xc7vx485t()
+                          : fpga::virtex7_xc7vx1140t();
+
+  // Optional real ruleset: analyze it and use its post-expansion entry
+  // count as N (what the hardware actually stores).
+  if (flags.has("ruleset")) {
+    const auto rules = ruleset::load_ruleset(flags.get("ruleset", ""));
+    const auto features = ruleset::analyze(rules);
+    std::printf("ruleset '%s':\n%s\n\n", flags.get("ruleset", "").c_str(),
+                features.summary().c_str());
+    n = features.tcam_entries;
+    std::printf("using post-expansion entry count N = %llu\n\n",
+                static_cast<unsigned long long>(n));
+  }
+
+  fpga::DesignPoint sbv;
+  sbv.kind = memory == "bram" ? fpga::EngineKind::kStrideBVBlockRam
+                              : fpga::EngineKind::kStrideBVDistRam;
+  sbv.entries = n;
+  sbv.stride = stride;
+  sbv.floorplanned = floorplan;
+
+  fpga::DesignPoint cam{fpga::EngineKind::kTcamFpga, n, 4, false, floorplan};
+
+  std::printf("=== %s ===\n", sbv.label().c_str());
+  print_report(fpga::analyze(sbv, device), device);
+  std::printf("\n=== %s ===\n", cam.label().c_str());
+  print_report(fpga::analyze(cam, device), device);
+
+  const auto asic = fpga::estimate_asic_tcam(n);
+  std::printf("\n=== ASIC TCAM (Section IV-C model) ===\n");
+  std::printf("  %-26s %10.1f MHz\n", "clock", asic.clock_mhz);
+  std::printf("  %-26s %10.1f Gbps\n", "throughput", asic.throughput_gbps);
+  std::printf("  %-26s %10.2f W (%.2f%% occupancy)\n", "power", asic.power_w,
+              asic.occupancy * 100);
+  std::printf("  %-26s %10.1f mW/Gbps\n", "power efficiency", asic.mw_per_gbps);
+
+  if (flags.get_bool("multipipeline")) {
+    fpga::MultiPipelineConfig mcfg;
+    mcfg.entries = n;
+    mcfg.stride = stride;
+    mcfg.floorplanned = floorplan;
+    const auto plan = fpga::plan_multipipeline(mcfg, device);
+    std::printf("\n=== multi-pipeline packing ===\n  %s\n", plan.summary().c_str());
+  }
+  if (flags.has("updates")) {
+    const double rate = flags.get_double("updates", 1e6);
+    std::printf("\n=== dynamic updates at %.0f updates/s ===\n", rate);
+    for (const auto& dp : {sbv, cam}) {
+      const auto u = fpga::estimate_updates(dp, rate);
+      std::printf("  %-26s %llu cycles/update, %.2f M updates/s max, "
+                  "%.1f Gbps sustained\n",
+                  dp.label().c_str(),
+                  static_cast<unsigned long long>(u.cycles_per_update),
+                  u.updates_per_sec / 1e6, u.sustained_gbps);
+    }
+  }
+  return 0;
+}

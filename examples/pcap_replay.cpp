@@ -1,0 +1,91 @@
+// pcap_replay — the full wire-to-verdict path: synthesize (or load) a
+// pcap capture, parse raw Ethernet/IPv4 frames, classify each packet,
+// and report verdicts plus parse diagnostics.
+//
+//   $ pcap_replay [--pcap capture.pcap] [--rules N] [--packets P]
+//                 [--engine spec] [--seed S] [--save out.pcap]
+//
+// Without --pcap a synthetic capture is generated from the ruleset's
+// trace (including VLAN-tagged frames and fragments to exercise the
+// parser's corner paths) and optionally saved with --save for use with
+// standard tools.
+#include <cstdio>
+#include <map>
+
+#include "rfipc.h"
+
+using namespace rfipc;
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv,
+                       {"pcap", "rules", "packets", "engine", "seed", "save"});
+  const auto n_rules = flags.get_u64("rules", 256);
+  const auto n_packets = flags.get_u64("packets", 20000);
+  const auto spec = flags.get("engine", "stridebv:4");
+  const auto seed = flags.get_u64("seed", 12);
+
+  const auto rules = ruleset::generate_firewall(n_rules, seed);
+  const auto engine = engines::make_engine(spec, rules);
+
+  net::PcapFile capture;
+  if (flags.has("pcap")) {
+    capture = net::load_pcap(flags.get("pcap", ""));
+    std::printf("loaded %zu frames from %s\n", capture.records.size(),
+                flags.get("pcap", "").c_str());
+  } else {
+    ruleset::TraceConfig tcfg;
+    tcfg.size = n_packets;
+    tcfg.seed = seed + 1;
+    util::Xoshiro256 rng(seed + 2);
+    std::uint32_t ts = 1700000000;
+    for (const auto& t : ruleset::generate_trace(rules, tcfg)) {
+      net::BuildOptions opt;
+      opt.payload_len = rng.below(64);
+      opt.vlan = rng.chance(1, 10);
+      opt.fragment = rng.chance(1, 50);
+      net::PcapRecord rec;
+      rec.ts_sec = ts;
+      rec.ts_usec = static_cast<std::uint32_t>(rng.below(1000000));
+      ts += rng.chance(1, 3) ? 1 : 0;
+      rec.frame = net::build_packet(t, opt);
+      capture.records.push_back(std::move(rec));
+    }
+    std::printf("synthesized %zu-frame capture\n", capture.records.size());
+    if (flags.has("save")) {
+      if (net::save_pcap(flags.get("save", ""), capture)) {
+        std::printf("saved to %s\n", flags.get("save", "").c_str());
+      }
+    }
+  }
+
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t fragments = 0;
+  std::map<net::ParseStatus, std::uint64_t> parse_errors;
+  for (const auto& rec : capture.records) {
+    const auto p = net::parse_packet(rec.frame);
+    if (!p.ok()) {
+      ++parse_errors[p.status];
+      continue;
+    }
+    if (p.fragment) ++fragments;  // classified on IPs/proto only
+    const auto verdict = engine->classify_tuple(p.tuple);
+    if (verdict.has_match() &&
+        rules[verdict.best].action.kind == ruleset::Action::Kind::kForward) {
+      ++forwarded;
+    } else {
+      ++dropped;
+    }
+  }
+
+  std::printf("\nreplay through %s:\n", engine->name().c_str());
+  std::printf("  forwarded: %s\n", util::fmt_group(forwarded).c_str());
+  std::printf("  dropped:   %s\n", util::fmt_group(dropped).c_str());
+  std::printf("  fragments classified without ports: %s\n",
+              util::fmt_group(fragments).c_str());
+  for (const auto& [status, count] : parse_errors) {
+    std::printf("  parse error %-22s %s\n", net::parse_status_name(status),
+                util::fmt_group(count).c_str());
+  }
+  return 0;
+}

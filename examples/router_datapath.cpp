@@ -1,0 +1,86 @@
+// Router data path — IP lookup and packet classification combined, the
+// two TCAM workloads the paper names side by side (Section III-B).
+//
+//   $ router_datapath [--routes R] [--rules N] [--packets P] [--seed S]
+//
+// Each packet is (1) classified against the firewall ruleset — dropped
+// packets stop here — then (2) forwarded via longest-prefix-match on
+// its destination address. The classification runs on StrideBV, the
+// LPM on the length-ordered TCAM, with both cross-checked against
+// their references on the fly.
+#include <cstdio>
+#include <map>
+
+#include "rfipc.h"
+
+using namespace rfipc;
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv, {"routes", "rules", "packets", "seed"});
+  const auto n_routes = flags.get_u64("routes", 5000);
+  const auto n_rules = flags.get_u64("rules", 256);
+  const auto n_packets = flags.get_u64("packets", 50000);
+  const auto seed = flags.get_u64("seed", 99);
+
+  const auto rules = ruleset::generate_firewall(n_rules, seed);
+  const auto routes = lpm::RouteTable::synthetic(n_routes, seed + 1);
+  const auto firewall = engines::make_engine("stridebv:4", rules);
+  const lpm::TcamLpm rib(routes);
+  const lpm::TrieLpm rib_check(routes);
+
+  ruleset::TraceConfig tcfg;
+  tcfg.size = n_packets;
+  tcfg.seed = seed + 2;
+  const auto trace = ruleset::generate_trace(rules, tcfg);
+
+  std::uint64_t dropped = 0;
+  std::uint64_t no_route = 0;
+  std::uint64_t lpm_disagreements = 0;
+  std::map<std::uint32_t, std::uint64_t> per_hop;
+  for (const auto& t : trace) {
+    const auto verdict = firewall->classify_tuple(t);
+    if (!verdict.has_match() ||
+        rules[verdict.best].action.kind == ruleset::Action::Kind::kDrop) {
+      ++dropped;
+      continue;
+    }
+    const auto route = rib.lookup(t.dst_ip);
+    const auto check = rib_check.lookup(t.dst_ip);
+    if (route.has_value() != check.has_value() ||
+        (route && route->next_hop != check->next_hop)) {
+      ++lpm_disagreements;
+    }
+    if (!route) {
+      ++no_route;
+      continue;
+    }
+    ++per_hop[route->next_hop];
+  }
+
+  std::printf("router: %s packets | %s dropped by firewall | %s without route | "
+              "%zu next hops used | %llu TCAM/trie LPM disagreements\n",
+              util::fmt_group(trace.size()).c_str(), util::fmt_group(dropped).c_str(),
+              util::fmt_group(no_route).c_str(), per_hop.size(),
+              static_cast<unsigned long long>(lpm_disagreements));
+
+  // Busiest next hops.
+  std::printf("\nbusiest next hops:\n");
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> busiest;
+  for (const auto& [hop, count] : per_hop) busiest.push_back({count, hop});
+  std::sort(busiest.rbegin(), busiest.rend());
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, busiest.size()); ++i) {
+    std::printf("  hop %-3u %s packets\n", busiest[i].second,
+                util::fmt_group(busiest[i].first).c_str());
+  }
+
+  // Hardware budget for the combined data path.
+  const auto device = fpga::virtex7_xc7vx1140t();
+  const auto clas = fpga::analyze(
+      {fpga::EngineKind::kStrideBVDistRam, n_rules, 4, true, true}, device);
+  std::printf("\nclassification stage on %s: %s\n", device.name.c_str(),
+              clas.one_line().c_str());
+  std::printf("LPM TCAM: %s entries, %.1f Kbit\n",
+              util::fmt_group(rib.entry_count()).c_str(),
+              static_cast<double>(rib.memory_bits()) / 1024.0);
+  return lpm_disagreements == 0 ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// ruleset_tool — generate / analyze / convert / classify rulesets from
+// the command line.
+//
+//   $ ruleset_tool generate --size 512 --mode firewall --seed 7 --out fw.rules
+//   $ ruleset_tool analyze  fw.rules
+//   $ ruleset_tool convert  fw.rules --format classbench --out fw.cb
+//   $ ruleset_tool optimize fw.rules --out fw.min.rules
+//   $ ruleset_tool classify fw.rules --engine stridebv:4
+//         --header "10.1.2.3:1234 -> 192.168.0.9:80 proto 6"
+//
+// The Swiss-army knife for working with classifier files in either the
+// native or ClassBench format.
+#include <cstdio>
+#include <string>
+
+#include "rfipc.h"
+
+using namespace rfipc;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ruleset_tool <generate|analyze|convert|classify> ...\n"
+               "  generate --size N [--mode firewall|acl|feature-free]\n"
+               "           [--seed S] [--range-fraction F] [--out PATH]\n"
+               "  analyze  RULES\n"
+               "  convert  RULES --format native|classbench [--out PATH]\n"
+               "  optimize RULES [--out PATH]\n"
+               "  classify RULES [--engine SPEC] --header \"SIP:SP -> DIP:DP proto P\"\n");
+  return 2;
+}
+
+std::optional<net::FiveTuple> parse_header(const std::string& text) {
+  // "SIP:SP -> DIP:DP proto P"
+  const auto tok = util::split_ws(text);
+  if (tok.size() != 5 || tok[1] != "->" || tok[3] != "proto") return std::nullopt;
+  auto parse_side = [](std::string_view s,
+                       net::Ipv4Addr* addr) -> std::optional<std::uint16_t> {
+    const auto colon = s.rfind(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    const auto a = net::Ipv4Addr::parse(s.substr(0, colon));
+    const auto p = util::parse_u64(s.substr(colon + 1), 0xffff);
+    if (!a || !p) return std::nullopt;
+    *addr = *a;
+    return static_cast<std::uint16_t>(*p);
+  };
+  net::FiveTuple t;
+  const auto sp = parse_side(tok[0], &t.src_ip);
+  const auto dp = parse_side(tok[2], &t.dst_ip);
+  const auto proto = util::parse_u64(tok[4], 255);
+  if (!sp || !dp || !proto) return std::nullopt;
+  t.src_port = *sp;
+  t.dst_port = *dp;
+  t.protocol = static_cast<std::uint8_t>(*proto);
+  return t;
+}
+
+void emit(const std::string& content, const std::string& out) {
+  if (out.empty()) {
+    std::fputs(content.c_str(), stdout);
+  } else if (util::write_file(out, content)) {
+    std::printf("wrote %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  util::CliFlags flags(argc - 1, argv + 1,
+                       {"size", "mode", "seed", "range-fraction", "out", "format",
+                        "engine", "header"});
+
+  try {
+    if (cmd == "generate") {
+      ruleset::GeneratorConfig cfg;
+      cfg.size = flags.get_u64("size", 128);
+      cfg.seed = flags.get_u64("seed", 1);
+      cfg.range_fraction = flags.get_double("range-fraction", 0.2);
+      const auto mode = flags.get("mode", "firewall");
+      cfg.mode = mode == "acl"            ? ruleset::GeneratorMode::kAcl
+                 : mode == "feature-free" ? ruleset::GeneratorMode::kFeatureFree
+                                          : ruleset::GeneratorMode::kFirewall;
+      emit(ruleset::generate(cfg).to_text(), flags.get("out", ""));
+      return 0;
+    }
+
+    if (flags.positional().empty()) return usage();
+    const auto rules = ruleset::load_ruleset(flags.positional()[0]);
+
+    if (cmd == "analyze") {
+      std::printf("%s\n", ruleset::analyze(rules).summary().c_str());
+      const engines::tcam::TcamEngine tcam(rules);
+      const engines::stridebv::StrideBVEngine sbv(rules, {4});
+      std::printf("stridebv(k=4): %zu entries, %.1f Kbit stage memory\n",
+                  sbv.entry_count(),
+                  static_cast<double>(sbv.memory_bits()) / 1024.0);
+      std::printf("tcam: %zu entries, %.1f Kbit\n", tcam.entry_count(),
+                  static_cast<double>(tcam.memory_bits()) / 1024.0);
+      return 0;
+    }
+    if (cmd == "optimize") {
+      ruleset::RuleSet optimized = rules;
+      const auto stats = ruleset::optimize(optimized);
+      std::fprintf(stderr,
+                   "optimize: %zu -> %zu rules (%zu shadowed removed, %zu merged)\n",
+                   stats.before, stats.after, stats.shadowed_removed, stats.merged);
+      emit(optimized.to_text(), flags.get("out", ""));
+      return 0;
+    }
+    if (cmd == "convert") {
+      const auto format = flags.get("format", "native");
+      if (format == "classbench") {
+        emit(ruleset::to_classbench(rules), flags.get("out", ""));
+      } else if (format == "native") {
+        emit(rules.to_text(), flags.get("out", ""));
+      } else {
+        return usage();
+      }
+      return 0;
+    }
+    if (cmd == "classify") {
+      const auto header = parse_header(flags.get("header", ""));
+      if (!header) return usage();
+      const auto engine = engines::make_engine(flags.get("engine", "stridebv:4"), rules);
+      const auto r = engine->classify_tuple(*header);
+      if (!r.has_match()) {
+        std::printf("no match\n");
+      } else {
+        std::printf("rule %zu: %s\n", r.best, rules[r.best].to_string().c_str());
+        std::string multi;
+        for (const auto b : r.multi.set_bits()) {
+          multi += (multi.empty() ? "" : ", ") + std::to_string(b);
+        }
+        std::printf("all matches: {%s}\n", multi.c_str());
+      }
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

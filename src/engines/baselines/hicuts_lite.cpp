@@ -1,0 +1,173 @@
+#include "engines/baselines/hicuts_lite.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+#include "util/bitops.h"
+
+namespace rfipc::engines::baselines {
+namespace {
+
+/// Per-dimension closed interval of a rule.
+struct RuleBox {
+  std::uint32_t lo[5];
+  std::uint32_t hi[5];
+};
+
+RuleBox box_of(const ruleset::Rule& r) {
+  RuleBox b;
+  b.lo[0] = r.src_ip.lo();
+  b.hi[0] = r.src_ip.hi();
+  b.lo[1] = r.dst_ip.lo();
+  b.hi[1] = r.dst_ip.hi();
+  b.lo[2] = r.src_port.lo;
+  b.hi[2] = r.src_port.hi;
+  b.lo[3] = r.dst_port.lo;
+  b.hi[3] = r.dst_port.hi;
+  b.lo[4] = r.protocol.wildcard ? 0 : r.protocol.value;
+  b.hi[4] = r.protocol.wildcard ? 255 : r.protocol.value;
+  return b;
+}
+
+bool overlaps(const RuleBox& b, int dim, std::uint64_t lo, std::uint64_t hi) {
+  return b.lo[dim] <= hi && b.hi[dim] >= lo;
+}
+
+}  // namespace
+
+HiCutsLiteEngine::HiCutsLiteEngine(ruleset::RuleSet rules, HiCutsConfig config)
+    : rules_(std::move(rules)), config_(config) {
+  if (rules_.empty()) throw std::invalid_argument("HiCutsLiteEngine: empty ruleset");
+  if (!util::is_pow2(config_.cuts) || config_.cuts < 2) {
+    throw std::invalid_argument("HiCutsLiteEngine: cuts must be a power of two >= 2");
+  }
+  Region full;
+  for (int d = 0; d < 5; ++d) full.lo[d] = 0;
+  full.hi[0] = full.hi[1] = std::numeric_limits<std::uint32_t>::max();
+  full.hi[2] = full.hi[3] = 0xffff;
+  full.hi[4] = 0xff;
+
+  std::vector<std::uint32_t> all(rules_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<std::uint32_t>(i);
+  root_ = build(full, std::move(all), 0);
+  finalize_stats(*root_, 0);
+  stats_.replication =
+      static_cast<double>(stats_.leaf_rule_refs) / static_cast<double>(rules_.size());
+  stats_.memory_bytes = stats_.node_count * 16ull + stats_.leaf_rule_refs * 4ull;
+}
+
+HiCutsLiteEngine::NodePtr HiCutsLiteEngine::build(const Region& region,
+                                                  std::vector<std::uint32_t> rule_idx,
+                                                  unsigned depth) {
+  auto node = std::make_unique<Node>();
+  const bool guard_hit =
+      config_.guard_factor != 0 &&
+      total_refs_ > config_.guard_factor * rules_.size();
+  if (rule_idx.size() <= config_.binth || depth >= config_.max_depth || guard_hit) {
+    total_refs_ += rule_idx.size();
+    node->rule_indices = std::move(rule_idx);
+    return node;
+  }
+
+  // Pick the dimension whose equal power-of-two cut minimizes the
+  // maximum child load (classic HiCuts space-measure heuristic, lite).
+  int best_dim = -1;
+  unsigned best_shift = 0;
+  std::size_t best_max = rule_idx.size();
+  std::uint64_t best_total = std::numeric_limits<std::uint64_t>::max();
+
+  for (int d = 0; d < 5; ++d) {
+    const std::uint64_t span = std::uint64_t{region.hi[d]} - region.lo[d] + 1;
+    if (span < 2) continue;
+    const std::uint64_t cuts = std::min<std::uint64_t>(config_.cuts, span);
+    const unsigned shift = util::floor_log2(span / cuts);
+    std::vector<std::size_t> load(cuts, 0);
+    for (const auto ri : rule_idx) {
+      const RuleBox b = box_of(rules_[ri]);
+      // Child range covered by this rule within [region.lo, region.hi].
+      const std::uint64_t lo = std::max<std::uint64_t>(b.lo[d], region.lo[d]);
+      const std::uint64_t hi = std::min<std::uint64_t>(b.hi[d], region.hi[d]);
+      if (lo > hi) continue;
+      const std::uint64_t c0 = (lo - region.lo[d]) >> shift;
+      const std::uint64_t c1 = (hi - region.lo[d]) >> shift;
+      for (std::uint64_t c = c0; c <= c1; ++c) ++load[c];
+    }
+    std::size_t max_load = 0;
+    std::uint64_t total = 0;
+    for (const auto l : load) {
+      max_load = std::max(max_load, l);
+      total += l;
+    }
+    if (max_load < best_max || (max_load == best_max && total < best_total)) {
+      best_max = max_load;
+      best_total = total;
+      best_dim = d;
+      best_shift = shift;
+    }
+  }
+
+  if (best_dim < 0 || best_max >= rule_idx.size()) {
+    // No cut separates anything (all rules wildcard this region): leaf.
+    total_refs_ += rule_idx.size();
+    node->rule_indices = std::move(rule_idx);
+    return node;
+  }
+
+  const int d = best_dim;
+  const std::uint64_t span = std::uint64_t{region.hi[d]} - region.lo[d] + 1;
+  const std::uint64_t cuts = std::min<std::uint64_t>(config_.cuts, span);
+  node->cut_dim = d;
+  node->cut_shift = best_shift;
+  node->region_lo = region.lo[d];
+  node->children.reserve(cuts);
+  for (std::uint64_t c = 0; c < cuts; ++c) {
+    Region child = region;
+    child.lo[d] = static_cast<std::uint32_t>(region.lo[d] + (c << best_shift));
+    child.hi[d] = static_cast<std::uint32_t>(child.lo[d] + ((std::uint64_t{1} << best_shift) - 1));
+    std::vector<std::uint32_t> child_rules;
+    for (const auto ri : rule_idx) {
+      if (overlaps(box_of(rules_[ri]), d, child.lo[d], child.hi[d])) {
+        child_rules.push_back(ri);
+      }
+    }
+    node->children.push_back(build(child, std::move(child_rules), depth + 1));
+  }
+  return node;
+}
+
+void HiCutsLiteEngine::finalize_stats(const Node& node, std::size_t depth) {
+  ++stats_.node_count;
+  stats_.max_depth = std::max(stats_.max_depth, depth);
+  if (node.children.empty()) {
+    ++stats_.leaf_count;
+    stats_.leaf_rule_refs += node.rule_indices.size();
+    stats_.max_leaf_size = std::max(stats_.max_leaf_size, node.rule_indices.size());
+    return;
+  }
+  for (const auto& c : node.children) finalize_stats(*c, depth + 1);
+}
+
+MatchResult HiCutsLiteEngine::classify(const net::HeaderBits& header) const {
+  const net::FiveTuple t = header.unpack();
+  const std::uint32_t value[5] = {t.src_ip.value, t.dst_ip.value, t.src_port,
+                                  t.dst_port, t.protocol};
+  const Node* node = root_.get();
+  while (!node->children.empty()) {
+    const std::uint64_t idx =
+        (std::uint64_t{value[node->cut_dim]} - node->region_lo) >> node->cut_shift;
+    node = node->children[std::min<std::uint64_t>(idx, node->children.size() - 1)].get();
+  }
+  MatchResult r;
+  r.multi = util::BitVector(rules_.size());
+  for (const auto ri : node->rule_indices) {
+    if (rules_[ri].matches(t)) {
+      r.multi.set(ri);
+      if (r.best == MatchResult::kNoMatch) r.best = ri;
+    }
+  }
+  return r;
+}
+
+}  // namespace rfipc::engines::baselines

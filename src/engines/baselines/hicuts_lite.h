@@ -1,0 +1,97 @@
+// HiCuts-lite: a deliberately feature-RELIANT decision-tree classifier.
+//
+// The paper's motivation (Sections I-II) is that most algorithmic
+// classifiers exploit ruleset features — prefix-length structure, low
+// field overlap — and can blow up in memory when those features are
+// absent. This module implements a compact HiCuts-style decision tree
+// (Gupta & McKeown, reference [7]) so the feature-independence bench
+// can demonstrate exactly that: on firewall-flavoured rulesets the tree
+// is small; on the generator's feature-free rulesets rule replication
+// explodes while TCAM/StrideBV costs stay flat.
+//
+// "Lite": fixed power-of-two cut counts, the classic
+// minimize-max-child-load dimension heuristic, and a binth leaf bound —
+// enough to reproduce the qualitative behaviour without the full HiCuts
+// tuning machinery.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engines/common/engine.h"
+
+namespace rfipc::engines::baselines {
+
+struct HiCutsConfig {
+  /// Maximum rules per leaf before a node must cut.
+  std::size_t binth = 8;
+  /// Cuts per internal node (power of two).
+  unsigned cuts = 8;
+  /// Depth bound — nodes at this depth become (possibly fat) leaves.
+  unsigned max_depth = 24;
+  /// Replication guard: abort when total leaf rule references exceed
+  /// guard_factor * N (feature-free inputs can explode combinatorially).
+  /// 0 disables the guard. Building stops by making oversized leaves,
+  /// keeping the engine correct but slow — the stats expose the blowup.
+  std::size_t guard_factor = 0;
+};
+
+struct HiCutsStats {
+  std::size_t node_count = 0;
+  std::size_t leaf_count = 0;
+  std::size_t max_depth = 0;
+  /// Total rule references across leaves.
+  std::size_t leaf_rule_refs = 0;
+  /// leaf_rule_refs / rule_count — the replication (memory blowup)
+  /// factor the paper's motivation is about.
+  double replication = 0;
+  /// Approximate storage: node headers + child pointers + leaf refs.
+  std::uint64_t memory_bytes = 0;
+  /// Largest leaf (worst-case linear search length).
+  std::size_t max_leaf_size = 0;
+};
+
+class HiCutsLiteEngine final : public ClassifierEngine {
+ public:
+  HiCutsLiteEngine(ruleset::RuleSet rules, HiCutsConfig config = {});
+
+  std::string name() const override { return "HiCuts-lite"; }
+  std::size_t rule_count() const override { return rules_.size(); }
+  bool supports_multi_match() const override { return true; }
+
+  MatchResult classify(const net::HeaderBits& header) const override;
+
+  const HiCutsStats& stats() const { return stats_; }
+  const ruleset::RuleSet& rules() const { return rules_; }
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  /// Axis-aligned region of the 5-dimensional rule space.
+  struct Region {
+    std::uint32_t lo[5];
+    std::uint32_t hi[5];
+  };
+
+  struct Node {
+    // Leaf when children empty.
+    std::vector<std::uint32_t> rule_indices;  // sorted by priority
+    int cut_dim = -1;
+    unsigned cut_shift = 0;          // child = (value - lo) >> cut_shift
+    std::uint32_t region_lo = 0;     // lo of cut dimension
+    std::vector<NodePtr> children;
+  };
+
+  NodePtr build(const Region& region, std::vector<std::uint32_t> rules, unsigned depth);
+  void finalize_stats(const Node& node, std::size_t depth);
+
+  ruleset::RuleSet rules_;
+  HiCutsConfig config_;
+  NodePtr root_;
+  HiCutsStats stats_;
+  std::size_t total_refs_ = 0;  // running replication guard counter
+};
+
+}  // namespace rfipc::engines::baselines

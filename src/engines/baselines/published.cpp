@@ -1,0 +1,26 @@
+#include "engines/baselines/published.h"
+
+namespace rfipc::engines::baselines {
+
+std::vector<PublishedRow> table2_published_rows() {
+  return {
+      // TCAM-SSA: ASIC TCAM, 104-bit entries with SSA filter splitting
+      // (~1.3x entry overhead -> ~34 B/rule); one lookup per cycle at
+      // ~250 MHz ASIC clock -> ~10 Gbps at 40 B packets; SSA power is
+      // competitive with StrideBV-distRAM (the paper notes they are
+      // "close").
+      {"TCAM-SSA [23]", 20.0, 10.0, 8000.0,
+       "Yu et al., ANCS 2005; ASIC, SSA split filters"},
+      // Pattern-Matching FPGA engine: best memory efficiency in the
+      // table (the paper: "[16] ... better memory efficiency than
+      // either"); early-generation FPGA clock -> low Gbps.
+      {"Pattern-Matching [16]", 15.0, 2.5, 30000.0,
+       "Song & Lockwood, FPGA 2005; Virtex-4 era BV engine"},
+      // B2PC: highest memory demand in the table (the paper: StrideBV
+      // is "only lower than [12]"); mid throughput.
+      {"B2PC [12]", 80.0, 13.6, 20000.0,
+       "Papaefstathiou & Papaefstathiou, INFOCOM 2007"},
+  };
+}
+
+}  // namespace rfipc::engines::baselines

@@ -1,0 +1,40 @@
+// Published comparison points for Table II (paper Section V-E).
+//
+// The paper's Table II compares TCAM-FPGA and StrideBV against three
+// externally published multi-match classifiers at N = 512 rules:
+//   * TCAM-SSA        — Yu, Lakshman, Motoyama, Katz, ANCS 2005 [23]:
+//                       an ASIC TCAM scheme that splits filters (SSA)
+//                       so each lookup activates a subset of entries,
+//                       trading a small memory overhead for large power
+//                       savings over naive multi-match TCAM.
+//   * Pattern-Matching — Song & Lockwood, FPGA 2005 [16]: BV-based FPGA
+//                       engine tuned for IDS rules; best-in-class
+//                       memory (field reuse), modest clock.
+//   * B2PC            — Papaefstathiou², INFOCOM 2007 [12]: multi-stage
+//                       bloom/priority scheme; high memory, mid
+//                       throughput.
+// We cannot re-run those systems; their rows are reproduced as recorded
+// characteristics (order-of-magnitude values from the cited papers,
+// normalized to the paper's metrics). They are data, not models — kept
+// here so the bench prints provenance alongside each row. Our own four
+// StrideBV rows and the TCAM-FPGA row are computed live from the fpga
+// models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfipc::engines::baselines {
+
+struct PublishedRow {
+  std::string approach;
+  double memory_bytes_per_rule;
+  double throughput_gbps;
+  double power_uw_per_gbps;  // microwatts per Gbps, paper's Table II unit
+  std::string provenance;
+};
+
+/// The three external rows of Table II (N = 512, 5-field, worst case).
+std::vector<PublishedRow> table2_published_rows();
+
+}  // namespace rfipc::engines::baselines

@@ -1,0 +1,126 @@
+#include "engines/bv/decomposition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfipc::engines::bv {
+
+FieldAxis::FieldAxis(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& intervals,
+    std::uint32_t domain_max) {
+  // Elementary interval starts: 0, every lo, and every hi+1 (<= max).
+  starts_.push_back(0);
+  for (const auto& [lo, hi] : intervals) {
+    if (lo > hi || hi > domain_max) throw std::invalid_argument("FieldAxis: bad interval");
+    starts_.push_back(lo);
+    if (hi < domain_max) starts_.push_back(std::uint64_t{hi} + 1);
+  }
+  std::sort(starts_.begin(), starts_.end());
+  starts_.erase(std::unique(starts_.begin(), starts_.end()), starts_.end());
+
+  vectors_.assign(starts_.size(), util::BitVector(intervals.size()));
+  for (std::size_t r = 0; r < intervals.size(); ++r) {
+    const auto [lo, hi] = intervals[r];
+    // Set bit r for every elementary interval inside [lo, hi]; interval
+    // boundaries were derived from the rule endpoints, so membership is
+    // uniform within each elementary interval.
+    const auto first = std::lower_bound(starts_.begin(), starts_.end(), lo);
+    for (auto it = first; it != starts_.end() && *it <= hi; ++it) {
+      vectors_[static_cast<std::size_t>(it - starts_.begin())].set(r);
+    }
+  }
+}
+
+std::size_t FieldAxis::interval_index(std::uint32_t value) const {
+  // Last start <= value.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), value);
+  return static_cast<std::size_t>(it - starts_.begin()) - 1;
+}
+
+const util::BitVector& FieldAxis::match(std::uint32_t value) const {
+  return vectors_[interval_index(value)];
+}
+
+namespace {
+
+using Interval = std::pair<std::uint32_t, std::uint32_t>;
+
+std::vector<Interval> collect(const ruleset::RuleSet& rs, int field) {
+  std::vector<Interval> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) {
+    switch (field) {
+      case 0:
+        out.push_back({r.src_ip.lo(), r.src_ip.hi()});
+        break;
+      case 1:
+        out.push_back({r.dst_ip.lo(), r.dst_ip.hi()});
+        break;
+      case 2:
+        out.push_back({r.src_port.lo, r.src_port.hi});
+        break;
+      case 3:
+        out.push_back({r.dst_port.lo, r.dst_port.hi});
+        break;
+      default:
+        out.push_back(r.protocol.wildcard
+                          ? Interval{0, 255}
+                          : Interval{r.protocol.value, r.protocol.value});
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BvDecompositionEngine::BvDecompositionEngine(ruleset::RuleSet rules)
+    : rules_(std::move(rules)), ppe_(rules_.empty() ? 1 : rules_.size()) {
+  if (rules_.empty()) throw std::invalid_argument("BvDecompositionEngine: empty ruleset");
+  const std::uint32_t domain[5] = {0xffffffffu, 0xffffffffu, 0xffff, 0xffff, 0xff};
+  axes_.reserve(5);
+  for (int f = 0; f < 5; ++f) axes_.emplace_back(collect(rules_, f), domain[f]);
+}
+
+std::uint32_t BvDecompositionEngine::field_value(const net::FiveTuple& t,
+                                                 std::size_t f) {
+  switch (f) {
+    case 0:
+      return t.src_ip.value;
+    case 1:
+      return t.dst_ip.value;
+    case 2:
+      return t.src_port;
+    case 3:
+      return t.dst_port;
+    default:
+      return t.protocol;
+  }
+}
+
+MatchResult BvDecompositionEngine::classify(const net::HeaderBits& header) const {
+  const net::FiveTuple t = header.unpack();
+  util::BitVector bv = axes_[0].match(field_value(t, 0));
+  for (std::size_t f = 1; f < 5; ++f) bv.and_with(axes_[f].match(field_value(t, f)));
+
+  MatchResult r;
+  const std::size_t best = ppe_.encode(bv);
+  if (best != util::BitVector::npos) r.best = best;
+  r.multi = std::move(bv);
+  return r;
+}
+
+std::uint64_t BvDecompositionEngine::memory_bits() const {
+  std::uint64_t total = 0;
+  for (const auto& a : axes_) total += a.memory_bits();
+  return total;
+}
+
+std::vector<std::size_t> BvDecompositionEngine::interval_counts() const {
+  std::vector<std::size_t> out;
+  out.reserve(axes_.size());
+  for (const auto& a : axes_) out.push_back(a.interval_count());
+  return out;
+}
+
+}  // namespace rfipc::engines::bv

@@ -1,0 +1,89 @@
+// Decomposition-based bit-vector classifier (paper Section III-A-1).
+//
+// The original bit-vector approach ([17] and the Lakshman–Stiliadis
+// line): each field is searched independently, each field search emits
+// an N-bit vector of the rules whose field matches, and a bitwise AND
+// of the five vectors yields the rules matching in ALL fields; the
+// lowest set bit is the highest-priority match.
+//
+// Field search here is the classic projection technique: every rule's
+// field is an interval on that field's axis (prefixes, arbitrary
+// ranges, and exact/wildcard values all are); the rule endpoints cut
+// the axis into at most 2N+1 elementary intervals, each with a
+// precomputed N-bit vector; a lookup binary-searches the boundary
+// array. Worst-case memory is O(N^2) bits per field — the scaling
+// problem that motivated FSBV/StrideBV — and, unlike StrideBV, the
+// interval count (hence memory) depends on how much the ruleset's
+// fields overlap: a ruleset FEATURE. `memory_bits()` exposes that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engines/common/engine.h"
+#include "engines/stridebv/ppe.h"
+#include "util/bitvector.h"
+
+namespace rfipc::engines::bv {
+
+/// One field's projected axis: sorted elementary-interval boundaries
+/// plus one rule bit-vector per interval.
+class FieldAxis {
+ public:
+  /// Builds from per-rule closed intervals [lo, hi] over a field whose
+  /// domain is [0, domain_max].
+  FieldAxis(const std::vector<std::pair<std::uint32_t, std::uint32_t>>& intervals,
+            std::uint32_t domain_max);
+
+  /// The N-bit vector of rules whose interval covers `value`.
+  const util::BitVector& match(std::uint32_t value) const;
+
+  /// Elementary interval index covering `value` (for precomputed
+  /// per-interval metadata such as ABV aggregates).
+  std::size_t interval_index(std::uint32_t value) const;
+  /// The stored vector of interval `idx`.
+  const util::BitVector& vector(std::size_t idx) const { return vectors_[idx]; }
+
+  std::size_t interval_count() const { return vectors_.size(); }
+  std::uint64_t memory_bits() const {
+    return vectors_.empty() ? 0
+                            : vectors_.size() * vectors_.front().size();
+  }
+
+ private:
+  // starts_[i] is the first value of elementary interval i;
+  // interval i covers [starts_[i], starts_[i+1]) (last: to domain_max).
+  std::vector<std::uint64_t> starts_;
+  std::vector<util::BitVector> vectors_;
+};
+
+class BvDecompositionEngine final : public ClassifierEngine {
+ public:
+  explicit BvDecompositionEngine(ruleset::RuleSet rules);
+
+  std::string name() const override { return "BV-Decomposition"; }
+  std::size_t rule_count() const override { return rules_.size(); }
+  bool supports_multi_match() const override { return true; }
+
+  MatchResult classify(const net::HeaderBits& header) const override;
+
+  /// Total field-axis memory — ruleset-feature dependent, up to
+  /// O(N^2) per field.
+  std::uint64_t memory_bits() const;
+  /// Elementary intervals per field (SIP, DIP, SP, DP, PRT order).
+  std::vector<std::size_t> interval_counts() const;
+
+  /// Per-field axes (SIP, DIP, SP, DP, PRT) and the field value a
+  /// header presents to axis f — exposed for the ABV overlay.
+  const FieldAxis& axis(std::size_t f) const { return axes_[f]; }
+  static std::uint32_t field_value(const net::FiveTuple& t, std::size_t f);
+
+  const ruleset::RuleSet& rules() const { return rules_; }
+
+ private:
+  ruleset::RuleSet rules_;
+  std::vector<FieldAxis> axes_;  // SIP, DIP, SP, DP, PRT
+  stridebv::PipelinedPriorityEncoder ppe_;
+};
+
+}  // namespace rfipc::engines::bv

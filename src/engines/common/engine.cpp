@@ -1,0 +1,11 @@
+#include "engines/common/engine.h"
+
+namespace rfipc::engines {
+
+bool ClassifierEngine::insert_rule(std::size_t /*index*/, const ruleset::Rule& /*rule*/) {
+  return false;
+}
+
+bool ClassifierEngine::erase_rule(std::size_t /*index*/) { return false; }
+
+}  // namespace rfipc::engines

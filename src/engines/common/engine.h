@@ -1,0 +1,53 @@
+// The abstract packet classification engine.
+//
+// Every engine in the library — the golden linear search, StrideBV, the
+// FPGA TCAM, and the feature-reliant baseline — implements this
+// interface, so tests, benches, and examples treat them uniformly. The
+// primitive operation takes a packed HeaderBits; a FiveTuple convenience
+// overload packs on the fly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/header.h"
+#include "engines/common/match_result.h"
+#include "ruleset/ruleset.h"
+
+namespace rfipc::engines {
+
+class ClassifierEngine {
+ public:
+  virtual ~ClassifierEngine() = default;
+
+  /// Engine display name, e.g. "StrideBV(k=4)".
+  virtual std::string name() const = 0;
+
+  /// Number of rules loaded (priorities 0..rule_count()-1).
+  virtual std::size_t rule_count() const = 0;
+
+  /// Classifies a packed header.
+  virtual MatchResult classify(const net::HeaderBits& header) const = 0;
+
+  /// True when classify() fills MatchResult::multi.
+  virtual bool supports_multi_match() const { return false; }
+
+  /// Dynamic update support (paper Section IV: FPGA engines can be
+  /// updated without re-synthesis). Default: unsupported.
+  virtual bool supports_update() const { return false; }
+  /// Inserts `rule` at priority `index` (shifting lower priorities
+  /// down). Returns false when unsupported.
+  virtual bool insert_rule(std::size_t index, const ruleset::Rule& rule);
+  /// Removes the rule at priority `index`. Returns false when
+  /// unsupported.
+  virtual bool erase_rule(std::size_t index);
+
+  /// Convenience: pack and classify a decoded 5-tuple.
+  MatchResult classify_tuple(const net::FiveTuple& t) const {
+    return classify(net::HeaderBits(t));
+  }
+};
+
+using EnginePtr = std::unique_ptr<ClassifierEngine>;
+
+}  // namespace rfipc::engines

@@ -1,0 +1,83 @@
+#include "engines/common/factory.h"
+
+#include <stdexcept>
+
+#include "engines/baselines/hicuts_lite.h"
+#include "engines/bv/abv.h"
+#include "engines/bv/decomposition.h"
+#include "engines/common/linear_engine.h"
+#include "engines/hybrid/fsbv_hybrid.h"
+#include "engines/stridebv/range_engine.h"
+#include "engines/stridebv/stridebv_engine.h"
+#include "engines/tcam/partitioned_tcam.h"
+#include "engines/tcam/tcam_engine.h"
+#include "util/str.h"
+
+namespace rfipc::engines {
+namespace {
+
+unsigned parse_stride(const std::string& spec, std::size_t colon) {
+  if (colon == std::string::npos) return 4;  // the paper's default stride
+  const auto k = util::parse_u64(std::string_view(spec).substr(colon + 1), 8);
+  if (!k || *k < 1) throw std::invalid_argument("bad stride in engine spec: " + spec);
+  return static_cast<unsigned>(*k);
+}
+
+}  // namespace
+
+EnginePtr make_engine(const std::string& spec, ruleset::RuleSet rules) {
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  if (kind == "linear") {
+    return std::make_unique<LinearSearchEngine>(std::move(rules));
+  }
+  if (kind == "tcam") {
+    return std::make_unique<tcam::TcamEngine>(std::move(rules));
+  }
+  if (kind == "stridebv") {
+    return std::make_unique<stridebv::StrideBVEngine>(
+        std::move(rules), stridebv::StrideBVConfig{parse_stride(spec, colon)});
+  }
+  if (kind == "stridebv-re") {
+    return std::make_unique<stridebv::StrideBVRangeEngine>(
+        std::move(rules), stridebv::StrideBVConfig{parse_stride(spec, colon)});
+  }
+  if (kind == "hicuts") {
+    return std::make_unique<baselines::HiCutsLiteEngine>(std::move(rules));
+  }
+  if (kind == "fsbv-hybrid") {
+    return std::make_unique<hybrid::FsbvHybridEngine>(std::move(rules));
+  }
+  if (kind == "bv") {
+    return std::make_unique<bv::BvDecompositionEngine>(std::move(rules));
+  }
+  if (kind == "abv") {
+    // Suffix selects the aggregation chunk size, e.g. "abv:32".
+    bv::AbvConfig cfg;
+    if (colon != std::string::npos) {
+      const auto a = util::parse_u64(std::string_view(spec).substr(colon + 1), 4096);
+      if (!a || *a < 2) throw std::invalid_argument("bad chunk size in spec: " + spec);
+      cfg.chunk_bits = static_cast<unsigned>(*a);
+    }
+    return std::make_unique<bv::AbvEngine>(std::move(rules), cfg);
+  }
+  if (kind == "tcam-part") {
+    // Suffix selects the DIP index bits, e.g. "tcam-part:4".
+    unsigned bits = 3;
+    if (colon != std::string::npos) {
+      const auto b = util::parse_u64(std::string_view(spec).substr(colon + 1), 12);
+      if (!b || *b < 1) throw std::invalid_argument("bad index bits in spec: " + spec);
+      bits = static_cast<unsigned>(*b);
+    }
+    return std::make_unique<tcam::PartitionedTcamEngine>(
+        std::move(rules), tcam::PartitionedTcamConfig{bits});
+  }
+  throw std::invalid_argument("unknown engine spec: " + spec);
+}
+
+std::vector<std::string> known_engine_specs() {
+  return {"linear",        "tcam",   "stridebv:3",  "stridebv:4",  "stridebv-re:4",
+          "hicuts",        "bv",     "abv:64",      "fsbv-hybrid", "tcam-part:3"};
+}
+
+}  // namespace rfipc::engines

@@ -1,0 +1,21 @@
+// Engine factory: builds any engine in the library by name, so examples
+// and tools can switch engines from the command line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engines/common/engine.h"
+
+namespace rfipc::engines {
+
+/// Engine spec strings accepted by make_engine():
+///   "linear", "tcam", "stridebv:k" (k = 1..8, e.g. "stridebv:4"),
+///   "stridebv-re:k", "hicuts".
+/// Throws std::invalid_argument on an unknown spec.
+EnginePtr make_engine(const std::string& spec, ruleset::RuleSet rules);
+
+/// All specs make_engine accepts (with default strides), for help text.
+std::vector<std::string> known_engine_specs();
+
+}  // namespace rfipc::engines

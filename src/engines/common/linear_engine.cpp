@@ -1,0 +1,30 @@
+#include "engines/common/linear_engine.h"
+
+namespace rfipc::engines {
+
+MatchResult LinearSearchEngine::classify(const net::HeaderBits& header) const {
+  const net::FiveTuple t = header.unpack();
+  MatchResult r;
+  r.multi = util::BitVector(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].matches(t)) {
+      r.multi.set(i);
+      if (r.best == MatchResult::kNoMatch) r.best = i;
+    }
+  }
+  return r;
+}
+
+bool LinearSearchEngine::insert_rule(std::size_t index, const ruleset::Rule& rule) {
+  if (index > rules_.size()) return false;
+  rules_.insert(index, rule);
+  return true;
+}
+
+bool LinearSearchEngine::erase_rule(std::size_t index) {
+  if (index >= rules_.size()) return false;
+  rules_.erase(index);
+  return true;
+}
+
+}  // namespace rfipc::engines

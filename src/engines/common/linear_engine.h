@@ -1,0 +1,29 @@
+// Golden reference engine: priority-ordered linear scan over the
+// decoded rules. Slow but obviously correct — every other engine is
+// property-tested against it.
+#pragma once
+
+#include "engines/common/engine.h"
+
+namespace rfipc::engines {
+
+class LinearSearchEngine final : public ClassifierEngine {
+ public:
+  explicit LinearSearchEngine(ruleset::RuleSet rules) : rules_(std::move(rules)) {}
+
+  std::string name() const override { return "LinearSearch"; }
+  std::size_t rule_count() const override { return rules_.size(); }
+  bool supports_multi_match() const override { return true; }
+  bool supports_update() const override { return true; }
+
+  MatchResult classify(const net::HeaderBits& header) const override;
+  bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
+  bool erase_rule(std::size_t index) override;
+
+  const ruleset::RuleSet& rules() const { return rules_; }
+
+ private:
+  ruleset::RuleSet rules_;
+};
+
+}  // namespace rfipc::engines

@@ -1,0 +1,29 @@
+// The result of classifying one header.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "util/bitvector.h"
+
+namespace rfipc::engines {
+
+struct MatchResult {
+  static constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+
+  /// Highest-priority matching rule index, or kNoMatch.
+  std::size_t best = kNoMatch;
+
+  /// Multi-match vector: bit i set iff rule i matched (paper Section
+  /// III-A — IDS-style applications need all matches). Engines that only
+  /// report the best match leave it empty.
+  util::BitVector multi;
+
+  bool has_match() const { return best != kNoMatch; }
+
+  std::optional<std::size_t> best_or_nullopt() const {
+    return has_match() ? std::optional<std::size_t>(best) : std::nullopt;
+  }
+};
+
+}  // namespace rfipc::engines

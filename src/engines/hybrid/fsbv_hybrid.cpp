@@ -1,0 +1,124 @@
+#include "engines/hybrid/fsbv_hybrid.h"
+
+#include <stdexcept>
+
+#include "ruleset/range_to_prefix.h"
+
+namespace rfipc::engines::hybrid {
+
+FsbvFieldPlane::FsbvFieldPlane(const std::vector<net::PortRange>& ranges,
+                               std::size_t rules)
+    : rules_(rules) {
+  // Expand each rule's range into prefix alternatives (Figure 1's rule
+  // columns), remembering which rule each column belongs to.
+  struct Alt {
+    std::uint16_t value;
+    std::uint16_t mask;  // top `len` bits
+  };
+  std::vector<Alt> alts;
+  for (std::size_t r = 0; r < ranges.size(); ++r) {
+    for (const auto& blk : ruleset::range_to_prefixes(ranges[r].lo, ranges[r].hi, 16)) {
+      const std::uint16_t mask =
+          blk.length == 0
+              ? 0
+              : static_cast<std::uint16_t>(0xffffu << (16 - blk.length));
+      alts.push_back({static_cast<std::uint16_t>(blk.value), mask});
+      alt_rule_.push_back(r);
+    }
+  }
+
+  // Two bit-vectors per bit position: bv[i][0] collects the
+  // alternatives compatible with header bit i == 0, bv[i][1] with 1.
+  bv_.assign(32, util::BitVector(alts.size()));
+  for (unsigned bit = 0; bit < 16; ++bit) {
+    const std::uint16_t probe = static_cast<std::uint16_t>(1u << (15 - bit));
+    for (std::size_t a = 0; a < alts.size(); ++a) {
+      const bool cares = (alts[a].mask & probe) != 0;
+      const bool value = (alts[a].value & probe) != 0;
+      if (!cares || !value) bv_[bit * 2 + 0].set(a);
+      if (!cares || value) bv_[bit * 2 + 1].set(a);
+    }
+  }
+}
+
+util::BitVector FsbvFieldPlane::match(std::uint16_t value) const {
+  util::BitVector alt_match(alt_rule_.size(), true);
+  for (unsigned bit = 0; bit < 16; ++bit) {
+    alt_match.and_with(bv(bit, (value >> (15 - bit)) & 1u));
+  }
+  // OR-fold alternatives onto rules: a rule matches the field iff any
+  // of its prefix alternatives matched.
+  util::BitVector rule_match(rules_);
+  for (std::size_t a = alt_match.first_set(); a != util::BitVector::npos;
+       a = alt_match.next_set(a + 1)) {
+    rule_match.set(alt_rule_[a]);
+  }
+  return rule_match;
+}
+
+namespace {
+
+ruleset::TernaryWord tcam_slice_entry(const ruleset::Rule& r) {
+  ruleset::TernaryWord w;
+  w.set_prefix_field(net::kSipField.offset, 32, r.src_ip.lo(), r.src_ip.length);
+  w.set_prefix_field(net::kDipField.offset, 32, r.dst_ip.lo(), r.dst_ip.length);
+  w.set_prefix_field(net::kSpField.offset, 16, 0, 0);
+  w.set_prefix_field(net::kDpField.offset, 16, 0, 0);
+  if (r.protocol.wildcard) {
+    w.set_prefix_field(net::kPrtField.offset, 8, 0, 0);
+  } else {
+    w.set_prefix_field(net::kPrtField.offset, 8, r.protocol.value, 8);
+  }
+  return w;
+}
+
+std::vector<net::PortRange> collect_sp(const ruleset::RuleSet& rs) {
+  std::vector<net::PortRange> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) out.push_back(r.src_port);
+  return out;
+}
+
+std::vector<net::PortRange> collect_dp(const ruleset::RuleSet& rs) {
+  std::vector<net::PortRange> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) out.push_back(r.dst_port);
+  return out;
+}
+
+}  // namespace
+
+FsbvHybridEngine::FsbvHybridEngine(ruleset::RuleSet rules)
+    : rules_(std::move(rules)),
+      sp_(collect_sp(rules_), rules_.size()),
+      dp_(collect_dp(rules_), rules_.size()),
+      ppe_(rules_.empty() ? 1 : rules_.size()) {
+  if (rules_.empty()) throw std::invalid_argument("FsbvHybridEngine: empty ruleset");
+  tcam_slice_.reserve(rules_.size());
+  for (const auto& r : rules_) tcam_slice_.push_back(tcam_slice_entry(r));
+}
+
+MatchResult FsbvHybridEngine::classify(const net::HeaderBits& header) const {
+  // TCAM slice: parallel ternary compare over SIP/DIP/PRT.
+  util::BitVector bv(rules_.size());
+  for (std::size_t i = 0; i < tcam_slice_.size(); ++i) {
+    if (tcam_slice_[i].matches(header)) bv.set(i);
+  }
+  // FSBV planes for the port fields.
+  const net::FiveTuple t = header.unpack();
+  bv.and_with(sp_.match(t.src_port));
+  bv.and_with(dp_.match(t.dst_port));
+
+  MatchResult r;
+  const std::size_t best = ppe_.encode(bv);
+  if (best != util::BitVector::npos) r.best = best;
+  r.multi = std::move(bv);
+  return r;
+}
+
+std::uint64_t FsbvHybridEngine::memory_bits() const {
+  const std::uint64_t tcam_bits = rules_.size() * 2ull * 80ull;
+  return tcam_bits + sp_.memory_bits() + dp_.memory_bits();
+}
+
+}  // namespace rfipc::engines::hybrid

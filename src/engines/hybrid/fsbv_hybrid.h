@@ -1,0 +1,81 @@
+// FSBV hybrid engine — the architecture of reference [11] the paper
+// describes in Section III-A-2: "FSBV was applied to only the SP and
+// DP fields ... for the fields that did not satisfy the aforementioned
+// condition, TCAMs generated on FPGA were used."
+//
+// Structure:
+//   * SIP/DIP/PRT (80 bits, prefix/exact) -> one fabric-TCAM ternary
+//     entry per rule (no expansion possible in these fields).
+//   * SP and DP   -> per-field FSBV: the field's range lowers to prefix
+//     alternatives; each alternative is a column in the field's bit-
+//     vector plane. A lookup ANDs one of two bit-vectors per bit
+//     position (the FSBV step of Figure 1), then alternatives OR-fold
+//     onto their rules. Folding per FIELD is exact — a rule matches the
+//     field iff any alternative matches — which is what makes the
+//     hybrid attractive: expansion cost is per-field additive, not
+//     cross-product multiplicative like a full-rule TCAM.
+//
+// Final match vector = tcam AND fsbv(SP) AND fsbv(DP).
+#pragma once
+
+#include <vector>
+
+#include "engines/common/engine.h"
+#include "engines/stridebv/ppe.h"
+#include "ruleset/ternary.h"
+#include "util/bitvector.h"
+
+namespace rfipc::engines::hybrid {
+
+/// One port field's FSBV plane: 16 bit positions x 2 bit-vectors over
+/// the field's expanded alternatives.
+class FsbvFieldPlane {
+ public:
+  /// Builds from per-rule port ranges; `rules` is the rule count.
+  FsbvFieldPlane(const std::vector<net::PortRange>& ranges, std::size_t rules);
+
+  /// N-bit rule vector for a field value: AND the 16 selected
+  /// alternative vectors, then OR-fold alternatives onto rules.
+  util::BitVector match(std::uint16_t value) const;
+
+  std::size_t alternative_count() const { return alt_rule_.size(); }
+  /// FSBV storage: 16 positions x 2 vectors x alternatives.
+  std::uint64_t memory_bits() const { return 16ull * 2 * alt_rule_.size(); }
+
+ private:
+  std::size_t rules_;
+  std::vector<std::size_t> alt_rule_;          // alternative -> rule
+  std::vector<util::BitVector> bv_;            // [bit][value] flattened: 16*2
+  const util::BitVector& bv(unsigned bit, bool v) const {
+    return bv_[bit * 2 + (v ? 1 : 0)];
+  }
+};
+
+class FsbvHybridEngine final : public ClassifierEngine {
+ public:
+  explicit FsbvHybridEngine(ruleset::RuleSet rules);
+
+  std::string name() const override { return "FSBV-Hybrid"; }
+  std::size_t rule_count() const override { return rules_.size(); }
+  bool supports_multi_match() const override { return true; }
+
+  MatchResult classify(const net::HeaderBits& header) const override;
+
+  /// Memory: TCAM slice (2 bits x 80 bits x N) + both FSBV planes.
+  std::uint64_t memory_bits() const;
+  std::size_t sp_alternatives() const { return sp_.alternative_count(); }
+  std::size_t dp_alternatives() const { return dp_.alternative_count(); }
+
+  const ruleset::RuleSet& rules() const { return rules_; }
+
+ private:
+  ruleset::RuleSet rules_;
+  // TCAM slice over SIP/DIP/PRT: full 104-bit ternary entries whose
+  // port windows are don't-care (only 80 bits carry information).
+  std::vector<ruleset::TernaryWord> tcam_slice_;
+  FsbvFieldPlane sp_;
+  FsbvFieldPlane dp_;
+  stridebv::PipelinedPriorityEncoder ppe_;
+};
+
+}  // namespace rfipc::engines::hybrid

@@ -1,0 +1,43 @@
+#include "engines/stridebv/ppe.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/bitops.h"
+
+namespace rfipc::engines::stridebv {
+
+PipelinedPriorityEncoder::PipelinedPriorityEncoder(std::size_t width)
+    : width_(width),
+      num_stages_(width <= 1 ? 1 : util::ceil_log2(width)) {
+  if (width == 0) throw std::invalid_argument("PipelinedPriorityEncoder: width 0");
+}
+
+std::size_t PipelinedPriorityEncoder::encode(const util::BitVector& bv) const {
+  if (bv.size() != width_) {
+    throw std::invalid_argument("PipelinedPriorityEncoder::encode: width mismatch");
+  }
+  // Stage 0 registers: one (valid, index) pair per bit. Each subsequent
+  // stage merges adjacent pairs, preferring the lower index — exactly
+  // the 2:1 mux column a hardware PPE stage implements.
+  struct Candidate {
+    bool valid;
+    std::size_t index;
+  };
+  std::vector<Candidate> regs(width_);
+  for (std::size_t i = 0; i < width_; ++i) regs[i] = {bv.test(i), i};
+
+  std::size_t live = width_;
+  for (unsigned stage = 0; stage < num_stages_; ++stage) {
+    const std::size_t next_live = (live + 1) / 2;
+    for (std::size_t i = 0; i < next_live; ++i) {
+      const Candidate& a = regs[2 * i];
+      const Candidate b = (2 * i + 1 < live) ? regs[2 * i + 1] : Candidate{false, 0};
+      regs[i] = a.valid ? a : b;
+    }
+    live = next_live;
+  }
+  return regs[0].valid ? regs[0].index : util::BitVector::npos;
+}
+
+}  // namespace rfipc::engines::stridebv

@@ -1,0 +1,41 @@
+// Pipelined Priority Encoder (PPE).
+//
+// The StrideBV pipeline ends with a multi-match bit-vector; packet
+// classification reports only the highest-priority (lowest-index) set
+// bit. A single-cycle N-input priority encoder would bottleneck the
+// clock, so the paper uses a PPE of ceil(log2 N) stages, each doing a
+// constant amount of work (Section IV-A).
+//
+// This model mirrors the hardware structure explicitly: stage d of the
+// tournament halves the number of candidate segments, propagating
+// (any?, index-prefix) pairs, so its stage count and per-stage work are
+// what the timing model charges for. The functional result is verified
+// against BitVector::first_set.
+#pragma once
+
+#include <cstddef>
+
+#include "util/bitvector.h"
+
+namespace rfipc::engines::stridebv {
+
+class PipelinedPriorityEncoder {
+ public:
+  /// Encoder for vectors of `width` bits (width >= 1).
+  explicit PipelinedPriorityEncoder(std::size_t width);
+
+  std::size_t width() const { return width_; }
+
+  /// Number of pipeline stages: ceil(log2 width), minimum 1.
+  unsigned num_stages() const { return num_stages_; }
+
+  /// Runs the staged reduction. Returns the lowest set index or
+  /// BitVector::npos. `bv.size()` must equal width().
+  std::size_t encode(const util::BitVector& bv) const;
+
+ private:
+  std::size_t width_;
+  unsigned num_stages_;
+};
+
+}  // namespace rfipc::engines::stridebv

@@ -1,0 +1,108 @@
+#include "engines/stridebv/range_engine.h"
+
+#include <stdexcept>
+
+#include "util/bitops.h"
+
+namespace rfipc::engines::stridebv {
+namespace {
+
+/// Ternary encoding of a rule with the port fields forced to
+/// don't-care: the stride stages only see SIP/DIP/PRT, the range
+/// modules own SP/DP.
+ruleset::TernaryWord masked_ternary(const ruleset::Rule& r) {
+  ruleset::TernaryWord w;
+  w.set_prefix_field(net::kSipField.offset, 32, r.src_ip.lo(), r.src_ip.length);
+  w.set_prefix_field(net::kDipField.offset, 32, r.dst_ip.lo(), r.dst_ip.length);
+  w.set_prefix_field(net::kSpField.offset, 16, 0, 0);
+  w.set_prefix_field(net::kDpField.offset, 16, 0, 0);
+  if (r.protocol.wildcard) {
+    w.set_prefix_field(net::kPrtField.offset, 8, 0, 0);
+  } else {
+    w.set_prefix_field(net::kPrtField.offset, 8, r.protocol.value, 8);
+  }
+  return w;
+}
+
+}  // namespace
+
+StrideBVRangeEngine::StrideBVRangeEngine(ruleset::RuleSet rules, StrideBVConfig config)
+    : rules_(std::move(rules)), config_(config), table_({}, config.stride), ppe_(1) {
+  if (rules_.empty()) throw std::invalid_argument("StrideBVRangeEngine: empty ruleset");
+  rebuild();
+}
+
+void StrideBVRangeEngine::rebuild() {
+  masked_entries_.clear();
+  sp_bounds_.clear();
+  dp_bounds_.clear();
+  masked_entries_.reserve(rules_.size());
+  for (const auto& r : rules_) {
+    masked_entries_.push_back(masked_ternary(r));
+    sp_bounds_.push_back(r.src_port);
+    dp_bounds_.push_back(r.dst_port);
+  }
+  table_ = StrideTable(masked_entries_, config_.stride);
+  ppe_ = PipelinedPriorityEncoder(rules_.size());
+}
+
+std::string StrideBVRangeEngine::name() const {
+  return "StrideBV-RE(k=" + std::to_string(config_.stride) + ")";
+}
+
+unsigned StrideBVRangeEngine::num_stride_stages() const {
+  // SIP+DIP form one contiguous 64-bit window; PRT is its own 8-bit
+  // window (fields are stride-aligned separately in this architecture).
+  return static_cast<unsigned>(util::ceil_div(64, config_.stride) +
+                               util::ceil_div(8, config_.stride));
+}
+
+unsigned StrideBVRangeEngine::pipeline_depth() const {
+  return num_stride_stages() + 2 /* SP, DP range modules */ + ppe_.num_stages();
+}
+
+std::uint64_t StrideBVRangeEngine::memory_bits() const {
+  const std::uint64_t stride_bits = static_cast<std::uint64_t>(num_stride_stages()) *
+                                    (std::uint64_t{1} << config_.stride) * rules_.size();
+  const std::uint64_t bound_bits = 2ull * 32 * rules_.size();  // lo+hi per port field
+  return stride_bits + bound_bits;
+}
+
+MatchResult StrideBVRangeEngine::classify(const net::HeaderBits& header) const {
+  util::BitVector bv(rules_.size(), true);
+  // Stride stages (port windows in the underlying table are all
+  // don't-care, so they AND with all-ones and cost nothing functionally).
+  for (unsigned s = 0; s < table_.num_stages(); ++s) {
+    bv.and_with(table_.bv(s, table_.stride_value(header, s)));
+  }
+  // Range modules: N parallel [lo, hi] comparators per port field.
+  const net::FiveTuple t = header.unpack();
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (bv.test(i) &&
+        !(sp_bounds_[i].matches(t.src_port) && dp_bounds_[i].matches(t.dst_port))) {
+      bv.reset(i);
+    }
+  }
+
+  MatchResult r;
+  const std::size_t best = ppe_.encode(bv);
+  if (best != util::BitVector::npos) r.best = best;
+  r.multi = std::move(bv);
+  return r;
+}
+
+bool StrideBVRangeEngine::insert_rule(std::size_t index, const ruleset::Rule& rule) {
+  if (index > rules_.size()) return false;
+  rules_.insert(index, rule);
+  rebuild();
+  return true;
+}
+
+bool StrideBVRangeEngine::erase_rule(std::size_t index) {
+  if (index >= rules_.size()) return false;
+  rules_.erase(index);
+  rebuild();
+  return true;
+}
+
+}  // namespace rfipc::engines::stridebv

@@ -1,0 +1,87 @@
+#include "engines/stridebv/stridebv_engine.h"
+
+#include <stdexcept>
+
+namespace rfipc::engines::stridebv {
+namespace {
+
+struct Lowered {
+  std::vector<ruleset::TernaryWord> entries;
+  std::vector<std::size_t> entry_rule;
+};
+
+Lowered lower(const ruleset::RuleSet& rules) {
+  Lowered out;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    for (auto& e : ruleset::rule_to_ternary(rules[r])) {
+      out.entries.push_back(e);
+      out.entry_rule.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StrideBVEngine::StrideBVEngine(ruleset::RuleSet rules, StrideBVConfig config)
+    : rules_(std::move(rules)),
+      config_(config),
+      entries_(),
+      entry_rule_(),
+      table_({}, config.stride),
+      ppe_(1) {
+  if (rules_.empty()) throw std::invalid_argument("StrideBVEngine: empty ruleset");
+  rebuild();
+}
+
+void StrideBVEngine::rebuild() {
+  Lowered low = lower(rules_);
+  entries_ = std::move(low.entries);
+  entry_rule_ = std::move(low.entry_rule);
+  table_ = StrideTable(entries_, config_.stride);
+  ppe_ = PipelinedPriorityEncoder(entries_.size());
+}
+
+std::string StrideBVEngine::name() const {
+  return "StrideBV(k=" + std::to_string(config_.stride) + ")";
+}
+
+util::BitVector StrideBVEngine::match_entries(const net::HeaderBits& header) const {
+  // BVP enters stage 0 as all-ones (Figure 2); each stage ANDs the
+  // vector its stride value addresses in stage memory.
+  util::BitVector bv(entries_.size(), true);
+  for (unsigned s = 0; s < table_.num_stages(); ++s) {
+    bv.and_with(table_.bv(s, table_.stride_value(header, s)));
+  }
+  return bv;
+}
+
+MatchResult StrideBVEngine::classify(const net::HeaderBits& header) const {
+  const util::BitVector entry_bv = match_entries(header);
+  MatchResult r;
+  const std::size_t best_entry = ppe_.encode(entry_bv);
+  if (best_entry != util::BitVector::npos) r.best = entry_rule_[best_entry];
+  // Fold entry bits onto rule indices for the multi-match report.
+  r.multi = util::BitVector(rules_.size());
+  for (std::size_t e = entry_bv.first_set(); e != util::BitVector::npos;
+       e = entry_bv.next_set(e + 1)) {
+    r.multi.set(entry_rule_[e]);
+  }
+  return r;
+}
+
+bool StrideBVEngine::insert_rule(std::size_t index, const ruleset::Rule& rule) {
+  if (index > rules_.size()) return false;
+  rules_.insert(index, rule);
+  rebuild();
+  return true;
+}
+
+bool StrideBVEngine::erase_rule(std::size_t index) {
+  if (index >= rules_.size()) return false;
+  rules_.erase(index);
+  rebuild();
+  return true;
+}
+
+}  // namespace rfipc::engines::stridebv

@@ -1,0 +1,71 @@
+// The StrideBV classification engine (paper Sections III-A and IV-A).
+//
+// The rule set is first lowered to ternary entries (port ranges expand
+// to prefix blocks — the same lowering a TCAM needs, and what this
+// paper means by "employs the FSBV algorithm for the entire rule").
+// Classification walks the ceil(104/k) stride stages, ANDing one
+// M-bit vector per stage, then the PPE extracts the lowest set entry,
+// which maps back to its originating rule.
+//
+// Entry order is rule order (stable across a rule's expansion), so
+// entry priority order == rule priority order and the PPE result is the
+// highest-priority rule. Multi-match is the entry vector folded onto
+// rule indices.
+#pragma once
+
+#include <vector>
+
+#include "engines/common/engine.h"
+#include "engines/stridebv/ppe.h"
+#include "engines/stridebv/stride_table.h"
+
+namespace rfipc::engines::stridebv {
+
+struct StrideBVConfig {
+  /// Stride width k (paper evaluates 3 and 4).
+  unsigned stride = 4;
+};
+
+class StrideBVEngine final : public ClassifierEngine {
+ public:
+  StrideBVEngine(ruleset::RuleSet rules, StrideBVConfig config);
+
+  std::string name() const override;
+  std::size_t rule_count() const override { return rules_.size(); }
+  bool supports_multi_match() const override { return true; }
+  bool supports_update() const override { return true; }
+
+  MatchResult classify(const net::HeaderBits& header) const override;
+  bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
+  bool erase_rule(std::size_t index) override;
+
+  /// Ternary entries after range lowering (>= rule_count()).
+  std::size_t entry_count() const { return entries_.size(); }
+  unsigned stride() const { return config_.stride; }
+  unsigned num_stages() const { return table_.num_stages(); }
+  /// Stride stages + PPE stages: the pipeline depth a packet traverses
+  /// (paper: W/k + log2 N).
+  unsigned pipeline_depth() const { return table_.num_stages() + ppe_.num_stages(); }
+  std::uint64_t memory_bits() const { return table_.memory_bits(); }
+
+  const StrideTable& table() const { return table_; }
+  const ruleset::RuleSet& rules() const { return rules_; }
+  /// Rule index that entry e belongs to.
+  std::size_t entry_rule(std::size_t e) const { return entry_rule_[e]; }
+
+  /// The raw multi-match ENTRY vector for a header (before folding onto
+  /// rules) — exposed for the cycle-level pipeline simulation and tests.
+  util::BitVector match_entries(const net::HeaderBits& header) const;
+
+ private:
+  void rebuild();
+
+  ruleset::RuleSet rules_;
+  StrideBVConfig config_;
+  std::vector<ruleset::TernaryWord> entries_;
+  std::vector<std::size_t> entry_rule_;
+  StrideTable table_;
+  PipelinedPriorityEncoder ppe_;
+};
+
+}  // namespace rfipc::engines::stridebv

@@ -1,0 +1,46 @@
+#include "engines/tcam/bcam.h"
+
+#include "util/prng.h"
+
+namespace rfipc::engines::tcam {
+
+std::size_t BcamTable::KeyHash::operator()(const std::array<std::uint8_t, 13>& a) const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto b : a) {
+    h ^= b;
+    h = util::splitmix64(h);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t BcamTable::insert(const net::HeaderBits& key) {
+  const auto [it, fresh] = index_.try_emplace(key.bytes(), keys_.size());
+  if (fresh) keys_.push_back(key);
+  return it->second;
+}
+
+std::optional<std::size_t> BcamTable::lookup(const net::HeaderBits& key) const {
+  const auto it = index_.find(key.bytes());
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<BcamTable> BcamTable::from_ruleset(const ruleset::RuleSet& rs) {
+  BcamTable t;
+  for (const auto& r : rs) {
+    const bool exact = r.src_ip.length == 32 && r.dst_ip.length == 32 &&
+                       r.src_port.is_exact() && r.dst_port.is_exact() &&
+                       !r.protocol.wildcard;
+    if (!exact) return std::nullopt;
+    net::FiveTuple t5;
+    t5.src_ip = r.src_ip.addr;
+    t5.dst_ip = r.dst_ip.addr;
+    t5.src_port = r.src_port.lo;
+    t5.dst_port = r.dst_port.lo;
+    t5.protocol = r.protocol.value;
+    t.insert(net::HeaderBits(t5));
+  }
+  return t;
+}
+
+}  // namespace rfipc::engines::tcam

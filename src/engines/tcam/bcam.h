@@ -1,0 +1,49 @@
+// Binary CAM (BCAM) — exact-match-only content addressable memory.
+//
+// The paper distinguishes TCAM from BCAM: a BCAM cannot store
+// wildcards, so it cannot hold classification rules directly, but it is
+// the right structure for exact-match flow tables (e.g. the packet
+// reassembly / DPI flow lookup the introduction mentions). Provided as
+// a substrate and to make the TCAM/BCAM capability gap concrete in
+// tests: a BCAM built from a ruleset is only possible when every field
+// is fully exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/header.h"
+#include "ruleset/ruleset.h"
+
+namespace rfipc::engines::tcam {
+
+class BcamTable {
+ public:
+  /// Adds `key` with the next index; returns its index. Duplicate keys
+  /// keep their first (highest-priority) index, as CAM priority does.
+  std::size_t insert(const net::HeaderBits& key);
+
+  /// Exact-match lookup.
+  std::optional<std::size_t> lookup(const net::HeaderBits& key) const;
+
+  std::size_t size() const { return keys_.size(); }
+
+  /// BCAM storage: 1 bit per key bit (vs the TCAM's 2).
+  std::uint64_t memory_bits() const { return keys_.size() * net::kHeaderBits; }
+
+  /// Attempts to build a BCAM from a ruleset: succeeds only when every
+  /// rule is fully exact (/32 prefixes, single ports, fixed protocol) —
+  /// otherwise returns std::nullopt (wildcards need a TCAM).
+  static std::optional<BcamTable> from_ruleset(const ruleset::RuleSet& rs);
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::array<std::uint8_t, 13>& a) const;
+  };
+  std::vector<net::HeaderBits> keys_;
+  std::unordered_map<std::array<std::uint8_t, 13>, std::size_t, KeyHash> index_;
+};
+
+}  // namespace rfipc::engines::tcam

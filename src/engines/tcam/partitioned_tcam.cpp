@@ -1,0 +1,74 @@
+#include "engines/tcam/partitioned_tcam.h"
+
+#include <stdexcept>
+
+namespace rfipc::engines::tcam {
+
+PartitionedTcamEngine::PartitionedTcamEngine(ruleset::RuleSet rules,
+                                             PartitionedTcamConfig config)
+    : rules_(std::move(rules)), config_(config) {
+  if (rules_.empty()) throw std::invalid_argument("PartitionedTcamEngine: empty ruleset");
+  if (config_.index_bits < 1 || config_.index_bits > 12) {
+    throw std::invalid_argument("PartitionedTcamEngine: index_bits must be 1..12");
+  }
+  banks_.resize(std::size_t{1} << config_.index_bits);
+
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const bool indexed = rules_[r].dst_ip.length >= config_.index_bits;
+    Bank* target;
+    if (indexed) {
+      const std::uint32_t idx = rules_[r].dst_ip.lo() >> (32 - config_.index_bits);
+      target = &banks_[idx];
+    } else {
+      target = &overflow_;
+    }
+    for (auto& e : ruleset::rule_to_ternary(rules_[r])) {
+      target->entries.push_back(e);
+      target->entry_rule.push_back(r);
+      ++total_entries_;
+    }
+  }
+}
+
+std::string PartitionedTcamEngine::name() const {
+  return "TCAM-partitioned(b=" + std::to_string(config_.index_bits) + ")";
+}
+
+const PartitionedTcamEngine::Bank& PartitionedTcamEngine::bank_for(
+    const net::HeaderBits& header) const {
+  const std::uint32_t dip = header.field(net::kDipField);
+  return banks_[dip >> (32 - config_.index_bits)];
+}
+
+void PartitionedTcamEngine::scan(const Bank& bank, const net::HeaderBits& header,
+                                 util::BitVector& rule_match) {
+  for (std::size_t e = 0; e < bank.entries.size(); ++e) {
+    if (bank.entries[e].matches(header)) rule_match.set(bank.entry_rule[e]);
+  }
+}
+
+MatchResult PartitionedTcamEngine::classify(const net::HeaderBits& header) const {
+  // Activate the indexed bank and the always-on overflow bank; all
+  // other banks stay dark (the power saving).
+  MatchResult r;
+  r.multi = util::BitVector(rules_.size());
+  scan(bank_for(header), header, r.multi);
+  scan(overflow_, header, r.multi);
+  const std::size_t best = r.multi.first_set();
+  if (best != util::BitVector::npos) r.best = best;
+  return r;
+}
+
+std::size_t PartitionedTcamEngine::active_entries(const net::HeaderBits& header) const {
+  return bank_for(header).entries.size() + overflow_.entries.size();
+}
+
+double PartitionedTcamEngine::expected_active_fraction() const {
+  const double indexed =
+      static_cast<double>(total_entries_ - overflow_.entries.size());
+  const double expected = static_cast<double>(overflow_.entries.size()) +
+                          indexed / static_cast<double>(banks_.size());
+  return expected / static_cast<double>(total_entries_);
+}
+
+}  // namespace rfipc::engines::tcam

@@ -1,0 +1,70 @@
+// Partitioned TCAM with bank power gating (paper Section II-B).
+//
+// "Efforts have been put on reducing the power consumption of TCAM
+// based solutions via partitioning so as to disable the TCAMs that are
+// not relevant for a given search operation."
+//
+// Scheme: entries are indexed by the top `index_bits` of the
+// destination IP. An entry whose DIP prefix pins all index bits lands
+// in exactly one bank; entries with shorter DIP prefixes (the index
+// bits are partly wildcard) go to an always-active overflow bank. A
+// lookup activates ONE indexed bank plus the overflow bank, so the
+// dynamic match-line power is proportional to the activated entries
+// rather than all N — the trade being that wildcard-heavy rulesets
+// push everything into the overflow bank and the benefit evaporates
+// (which is itself a ruleset-FEATURE dependence, underlining why the
+// paper's comparison sticks to the flat TCAM).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engines/common/engine.h"
+#include "ruleset/ternary.h"
+
+namespace rfipc::engines::tcam {
+
+struct PartitionedTcamConfig {
+  /// DIP index bits -> 2^index_bits banks plus the overflow bank.
+  unsigned index_bits = 3;
+};
+
+class PartitionedTcamEngine final : public ClassifierEngine {
+ public:
+  PartitionedTcamEngine(ruleset::RuleSet rules, PartitionedTcamConfig config);
+
+  std::string name() const override;
+  std::size_t rule_count() const override { return rules_.size(); }
+  bool supports_multi_match() const override { return true; }
+
+  MatchResult classify(const net::HeaderBits& header) const override;
+
+  std::size_t bank_count() const { return banks_.size(); }
+  std::size_t overflow_entries() const { return overflow_.entries.size(); }
+  std::size_t total_entries() const { return total_entries_; }
+  /// Entries activated for a given header's lookup (bank + overflow).
+  std::size_t active_entries(const net::HeaderBits& header) const;
+  /// Expected active fraction under a uniform bank distribution:
+  /// (overflow + total_indexed / banks) / total.
+  double expected_active_fraction() const;
+
+  const ruleset::RuleSet& rules() const { return rules_; }
+
+ private:
+  struct Bank {
+    std::vector<ruleset::TernaryWord> entries;
+    std::vector<std::size_t> entry_rule;
+  };
+
+  const Bank& bank_for(const net::HeaderBits& header) const;
+  static void scan(const Bank& bank, const net::HeaderBits& header,
+                   util::BitVector& rule_match);
+
+  ruleset::RuleSet rules_;
+  PartitionedTcamConfig config_;
+  std::vector<Bank> banks_;
+  Bank overflow_;
+  std::size_t total_entries_ = 0;
+};
+
+}  // namespace rfipc::engines::tcam

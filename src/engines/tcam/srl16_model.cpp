@@ -1,0 +1,88 @@
+#include "engines/tcam/srl16_model.h"
+
+namespace rfipc::engines::tcam {
+namespace {
+
+/// Target image for a ternary chunk: bit (1 << v) is set iff chunk value
+/// v is compatible with (value, mask). Other (non-one-hot) addresses are
+/// left zero, as the Xilinx application note does.
+std::uint16_t image_for(std::uint8_t value, std::uint8_t mask) {
+  std::uint16_t img = 0;
+  for (std::uint8_t v = 0; v < 4; ++v) {
+    if ((v & mask) == (value & mask)) {
+      img = static_cast<std::uint16_t>(img | (1u << (1u << v)));
+    }
+  }
+  return img;
+}
+
+/// Chunk c covers header bits [2c, 2c+2); returns (value, mask) with the
+/// first bit as bit 1 (MSB of the pair), matching HeaderBits order.
+std::pair<std::uint8_t, std::uint8_t> chunk_ternary(const ruleset::TernaryWord& w,
+                                                    unsigned c) {
+  std::uint8_t value = 0;
+  std::uint8_t mask = 0;
+  for (unsigned i = 0; i < 2; ++i) {
+    const unsigned pos = 2 * c + i;
+    value = static_cast<std::uint8_t>(value << 1);
+    mask = static_cast<std::uint8_t>(mask << 1);
+    if (w.care_bit(pos)) {
+      mask |= 1u;
+      value |= w.value_bit(pos) ? 1u : 0u;
+    }
+  }
+  return {value, mask};
+}
+
+}  // namespace
+
+void Srl16Cell::program(std::uint8_t value, std::uint8_t mask) {
+  // Equivalent to 16 shift_in cycles of the target image, MSB first.
+  const std::uint16_t target = image_for(value, mask);
+  image_ = 0;
+  for (int b = 15; b >= 0; --b) shift_in((target >> b) & 1u);
+}
+
+void SrlEntry::program(const ruleset::TernaryWord& w) {
+  for (unsigned c = 0; c < kChunksPerEntry; ++c) {
+    const auto [value, mask] = chunk_ternary(w, c);
+    cells_[c].program(value, mask);
+  }
+}
+
+unsigned SrlEntry::write_serial(const ruleset::TernaryWord& w) {
+  // All 52 cells shift in parallel, one image bit per cycle.
+  std::vector<std::uint16_t> targets(kChunksPerEntry);
+  for (unsigned c = 0; c < kChunksPerEntry; ++c) {
+    const auto [value, mask] = chunk_ternary(w, c);
+    std::uint16_t img = 0;
+    for (std::uint8_t v = 0; v < 4; ++v) {
+      if ((v & mask) == (value & mask)) img = static_cast<std::uint16_t>(img | (1u << (1u << v)));
+    }
+    targets[c] = img;
+  }
+  for (int b = 15; b >= 0; --b) {
+    for (unsigned c = 0; c < kChunksPerEntry; ++c) {
+      cells_[c].shift_in((targets[c] >> b) & 1u);
+    }
+  }
+  return kSrlWriteCycles;
+}
+
+bool SrlEntry::match(const net::HeaderBits& h) const {
+  for (unsigned c = 0; c < kChunksPerEntry; ++c) {
+    const std::uint8_t v = static_cast<std::uint8_t>(h.stride(2 * c, 2));
+    if (!cells_[c].lookup(v)) return false;
+  }
+  return true;
+}
+
+util::BitVector SrlTcam::match_lines(const net::HeaderBits& h) const {
+  util::BitVector lines(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].match(h)) lines.set(i);
+  }
+  return lines;
+}
+
+}  // namespace rfipc::engines::tcam

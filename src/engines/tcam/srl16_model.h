@@ -1,0 +1,99 @@
+// SRL16E-based FPGA TCAM cell model (paper Section IV-B, Figure 3).
+//
+// On Xilinx fabric a TCAM is built from SRL16E shift-register LUTs: one
+// SRL16E realizes a 2-ternary-bit × 1-entry slice. Its 16-bit image is a
+// truth table; during lookup the incoming 2-bit header chunk is
+// one-hot encoded onto 4 of the 16 addresses (the ternary encoder's
+// A/B/C/D bits) and the SRL16E output is high iff the stored ternary
+// chunk can match that value. A 104-bit entry therefore needs 52
+// SRL16Es whose outputs AND-reduce into the entry's match line.
+//
+// Writes shift the 16-bit image in serially — 16 clock cycles per
+// update, all SRL16Es of an entry loaded in parallel — which is the
+// real (and modeled) TCAM-on-FPGA update latency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/header.h"
+#include "ruleset/ternary.h"
+#include "util/bitvector.h"
+
+namespace rfipc::engines::tcam {
+
+/// Chunks of 2 ternary bits per 104-bit entry.
+inline constexpr unsigned kChunksPerEntry = net::kHeaderBits / 2;  // 52
+/// Shift cycles to (re)load one SRL16E image.
+inline constexpr unsigned kSrlWriteCycles = 16;
+
+/// One SRL16E: a 16-bit image addressed by the one-hot encoding of the
+/// incoming 2-bit chunk value (address = 1 << value).
+class Srl16Cell {
+ public:
+  /// Programs the image for a ternary 2-bit chunk: `value`/`mask` hold
+  /// the cared bits (mask bit 1 = care).
+  void program(std::uint8_t value, std::uint8_t mask);
+
+  /// Lookup: output for incoming 2-bit chunk `v` (0..3).
+  bool lookup(std::uint8_t v) const { return (image_ >> (1u << (v & 3u))) & 1u; }
+
+  std::uint16_t image() const { return image_; }
+
+  /// Serially shifts one image bit in (hardware write path). After 16
+  /// shifts the image equals `target`. Returns true when loading is
+  /// complete for the given cycle count.
+  void shift_in(bool bit) { image_ = static_cast<std::uint16_t>((image_ << 1) | (bit ? 1u : 0u)); }
+
+ private:
+  std::uint16_t image_ = 0;
+};
+
+/// One TCAM entry row: 52 SRL16E cells + the AND-reduced match line.
+class SrlEntry {
+ public:
+  SrlEntry() : cells_(kChunksPerEntry) {}
+
+  /// Programs all cells from a ternary word (instant, test convenience).
+  void program(const ruleset::TernaryWord& w);
+
+  /// Hardware-faithful write: returns the per-cell images so callers can
+  /// drive shift_in over 16 cycles; write_serial does it in one call and
+  /// reports the cycle count (always kSrlWriteCycles).
+  unsigned write_serial(const ruleset::TernaryWord& w);
+
+  /// Match line: AND over all 52 cell outputs for this header.
+  bool match(const net::HeaderBits& h) const;
+
+  const std::vector<Srl16Cell>& cells() const { return cells_; }
+
+ private:
+  std::vector<Srl16Cell> cells_;
+};
+
+/// A bank of entries — the structural model behind TcamEngine, used by
+/// tests to show the SRL16E mapping computes the same match lines as
+/// the functional ternary compare, and by the resource model to count
+/// LUTs.
+class SrlTcam {
+ public:
+  explicit SrlTcam(std::size_t entries) : rows_(entries) {}
+
+  std::size_t entry_count() const { return rows_.size(); }
+
+  void program_entry(std::size_t i, const ruleset::TernaryWord& w) { rows_[i].program(w); }
+  unsigned write_entry_serial(std::size_t i, const ruleset::TernaryWord& w) {
+    return rows_[i].write_serial(w);
+  }
+
+  util::BitVector match_lines(const net::HeaderBits& h) const;
+
+  /// LUTs holding CAM bits: 52 SRL16E per entry.
+  std::uint64_t srl_lut_count() const { return rows_.size() * kChunksPerEntry; }
+
+ private:
+  std::vector<SrlEntry> rows_;
+};
+
+}  // namespace rfipc::engines::tcam

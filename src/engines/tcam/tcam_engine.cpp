@@ -1,0 +1,58 @@
+#include "engines/tcam/tcam_engine.h"
+
+#include <stdexcept>
+
+namespace rfipc::engines::tcam {
+
+TcamEngine::TcamEngine(ruleset::RuleSet rules) : rules_(std::move(rules)) {
+  if (rules_.empty()) throw std::invalid_argument("TcamEngine: empty ruleset");
+  rebuild();
+}
+
+void TcamEngine::rebuild() {
+  entries_.clear();
+  entry_rule_.clear();
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    for (auto& e : ruleset::rule_to_ternary(rules_[r])) {
+      entries_.push_back(e);
+      entry_rule_.push_back(r);
+    }
+  }
+}
+
+util::BitVector TcamEngine::match_lines(const net::HeaderBits& header) const {
+  util::BitVector lines(entries_.size());
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    if (entries_[e].matches(header)) lines.set(e);
+  }
+  return lines;
+}
+
+MatchResult TcamEngine::classify(const net::HeaderBits& header) const {
+  const util::BitVector lines = match_lines(header);
+  MatchResult r;
+  const std::size_t best_entry = lines.first_set();
+  if (best_entry != util::BitVector::npos) r.best = entry_rule_[best_entry];
+  r.multi = util::BitVector(rules_.size());
+  for (std::size_t e = lines.first_set(); e != util::BitVector::npos;
+       e = lines.next_set(e + 1)) {
+    r.multi.set(entry_rule_[e]);
+  }
+  return r;
+}
+
+bool TcamEngine::insert_rule(std::size_t index, const ruleset::Rule& rule) {
+  if (index > rules_.size()) return false;
+  rules_.insert(index, rule);
+  rebuild();
+  return true;
+}
+
+bool TcamEngine::erase_rule(std::size_t index) {
+  if (index >= rules_.size()) return false;
+  rules_.erase(index);
+  rebuild();
+  return true;
+}
+
+}  // namespace rfipc::engines::tcam

@@ -1,0 +1,54 @@
+// Functional TCAM classification engine (paper Sections III-B, IV-B).
+//
+// The ruleset is lowered to ternary (value, mask) entries — port ranges
+// prefix-expand, the memory blow-up TCAMs are known for — and stored in
+// priority order. A lookup compares the header against every entry "in
+// parallel" (a single hardware cycle; a loop here) producing the match
+// lines, and a priority encoder picks the lowest matching index.
+#pragma once
+
+#include <vector>
+
+#include "engines/common/engine.h"
+#include "ruleset/ternary.h"
+
+namespace rfipc::engines::tcam {
+
+class TcamEngine final : public ClassifierEngine {
+ public:
+  explicit TcamEngine(ruleset::RuleSet rules);
+
+  std::string name() const override { return "TCAM-FPGA"; }
+  std::size_t rule_count() const override { return rules_.size(); }
+  bool supports_multi_match() const override { return true; }
+  bool supports_update() const override { return true; }
+
+  MatchResult classify(const net::HeaderBits& header) const override;
+  bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
+  bool erase_rule(std::size_t index) override;
+
+  /// Stored ternary entries (>= rule_count() when ranges expanded).
+  std::size_t entry_count() const { return entries_.size(); }
+  const std::vector<ruleset::TernaryWord>& entries() const { return entries_; }
+  std::size_t entry_rule(std::size_t e) const { return entry_rule_[e]; }
+
+  /// Raw match lines (one bit per ternary entry) for a header.
+  util::BitVector match_lines(const net::HeaderBits& header) const;
+
+  /// TCAM storage bits: 2 bits (data + mask) per rule bit per entry —
+  /// the paper's "memory requirement is double that of a regular CAM".
+  std::uint64_t memory_bits() const {
+    return static_cast<std::uint64_t>(entries_.size()) * 2 * net::kHeaderBits;
+  }
+
+  const ruleset::RuleSet& rules() const { return rules_; }
+
+ private:
+  void rebuild();
+
+  ruleset::RuleSet rules_;
+  std::vector<ruleset::TernaryWord> entries_;
+  std::vector<std::size_t> entry_rule_;
+};
+
+}  // namespace rfipc::engines::tcam

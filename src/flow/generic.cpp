@@ -1,0 +1,368 @@
+#include "flow/generic.h"
+
+#include <stdexcept>
+
+#include "ruleset/range_to_prefix.h"
+#include "util/bitops.h"
+
+namespace rfipc::flow {
+
+// ----------------------------------------------------------- GenericHeader
+
+GenericHeader::GenericHeader(const Schema& schema,
+                             std::vector<std::uint64_t> field_values)
+    : schema_(&schema), values_(std::move(field_values)) {
+  if (values_.size() != schema.field_count()) {
+    throw std::invalid_argument("GenericHeader: field count mismatch");
+  }
+  bytes_.assign((schema.total_bits() + 7) / 8, 0);
+  for (std::size_t f = 0; f < values_.size(); ++f) {
+    if (values_[f] > schema.field_max(f)) {
+      throw std::invalid_argument("GenericHeader: value exceeds field width");
+    }
+    const unsigned w = schema.field(f).width;
+    const unsigned off = schema.offset(f);
+    for (unsigned i = 0; i < w; ++i) {
+      if ((values_[f] >> (w - 1 - i)) & 1u) {
+        const unsigned pos = off + i;
+        bytes_[pos >> 3] |= static_cast<std::uint8_t>(1u << (7 - (pos & 7)));
+      }
+    }
+  }
+}
+
+std::uint32_t GenericHeader::stride(unsigned offset, unsigned k) const {
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    const unsigned pos = offset + i;
+    const bool b = pos < schema_->total_bits() && bit(pos);
+    v = (v << 1) | static_cast<std::uint32_t>(b);
+  }
+  return v;
+}
+
+// ------------------------------------------------------------- GenericRule
+
+GenericRule::GenericRule(const Schema& schema, std::vector<FieldMatch> fields)
+    : schema_(&schema), fields_(std::move(fields)) {
+  if (fields_.size() != schema.field_count()) {
+    throw std::invalid_argument("GenericRule: field count mismatch");
+  }
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    const auto& spec = schema.field(f);
+    const auto& m = fields_[f];
+    switch (spec.kind) {
+      case FieldKind::kPrefix:
+        if (m.prefix_len > spec.width) {
+          throw std::invalid_argument("GenericRule: prefix too long: " + spec.name);
+        }
+        break;
+      case FieldKind::kRange:
+        if (!m.wildcard && (m.value > m.hi || m.hi > schema.field_max(f))) {
+          throw std::invalid_argument("GenericRule: bad range: " + spec.name);
+        }
+        break;
+      case FieldKind::kExact:
+        if (!m.wildcard && m.value > schema.field_max(f)) {
+          throw std::invalid_argument("GenericRule: value too wide: " + spec.name);
+        }
+        break;
+    }
+  }
+}
+
+GenericRule GenericRule::match_all(const Schema& schema) {
+  return GenericRule(schema,
+                     std::vector<FieldMatch>(schema.field_count(), FieldMatch::any()));
+}
+
+bool GenericRule::matches(const GenericHeader& h) const {
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    const auto& spec = schema_->field(f);
+    const auto& m = fields_[f];
+    const std::uint64_t v = h.field(f);
+    switch (spec.kind) {
+      case FieldKind::kPrefix: {
+        if (m.prefix_len == 0) break;
+        const unsigned host = spec.width - m.prefix_len;
+        if ((v >> host) != (m.value >> host)) return false;
+        break;
+      }
+      case FieldKind::kRange:
+        if (!m.wildcard && (v < m.value || v > m.hi)) return false;
+        break;
+      case FieldKind::kExact:
+        if (!m.wildcard && v != m.value) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------- GenericTernary
+
+GenericTernary::GenericTernary(unsigned width)
+    : width_(width), value_((width + 7) / 8, 0), mask_((width + 7) / 8, 0) {}
+
+void GenericTernary::put(std::vector<std::uint8_t>& a, unsigned i, bool v) {
+  const auto m = static_cast<std::uint8_t>(1u << (7 - (i & 7)));
+  if (v) {
+    a[i >> 3] |= m;
+  } else {
+    a[i >> 3] &= static_cast<std::uint8_t>(~m);
+  }
+}
+
+void GenericTernary::set_bit(unsigned i, bool v) {
+  put(mask_, i, true);
+  put(value_, i, v);
+}
+
+void GenericTernary::set_dont_care(unsigned i) {
+  put(mask_, i, false);
+  put(value_, i, false);
+}
+
+bool GenericTernary::matches(const GenericHeader& h) const {
+  for (unsigned i = 0; i < width_; ++i) {
+    if (care_bit(i) && h.bit(i) != value_bit(i)) return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- lowering
+
+namespace {
+
+/// Writes the top `len` bits of `value` (w-bit field) at `offset`,
+/// remaining bits don't-care.
+void write_prefix(GenericTernary& t, unsigned offset, unsigned w,
+                  std::uint64_t value, unsigned len) {
+  for (unsigned i = 0; i < w; ++i) {
+    if (i < len) {
+      t.set_bit(offset + i, (value >> (w - 1 - i)) & 1u);
+    } else {
+      t.set_dont_care(offset + i);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<GenericTernary> lower_rule(const GenericRule& rule) {
+  const Schema& schema = rule.schema();
+  const unsigned W = schema.total_bits();
+
+  std::vector<GenericTernary> out{GenericTernary(W)};
+  for (std::size_t f = 0; f < schema.field_count(); ++f) {
+    const auto& spec = schema.field(f);
+    const auto& m = rule.field(f);
+    const unsigned off = schema.offset(f);
+    const unsigned w = spec.width;
+
+    if (spec.kind == FieldKind::kRange && !m.wildcard) {
+      if (w > 32) throw std::invalid_argument("lower_rule: range fields limited to 32 bits");
+      const auto blocks = ruleset::range_to_prefixes(
+          static_cast<std::uint32_t>(m.value), static_cast<std::uint32_t>(m.hi), w);
+      std::vector<GenericTernary> expanded;
+      expanded.reserve(out.size() * blocks.size());
+      for (const auto& base : out) {
+        for (const auto& blk : blocks) {
+          GenericTernary t = base;
+          write_prefix(t, off, w, blk.value, blk.length);
+          expanded.push_back(std::move(t));
+        }
+      }
+      out = std::move(expanded);
+      continue;
+    }
+
+    unsigned len = 0;
+    std::uint64_t value = 0;
+    if (spec.kind == FieldKind::kPrefix) {
+      len = m.prefix_len;
+      value = m.value;
+    } else if (!m.wildcard) {  // exact, or wildcard range handled as len 0
+      len = w;
+      value = m.value;
+    }
+    for (auto& t : out) write_prefix(t, off, w, value, len);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- engines
+
+GenericLinearEngine::GenericLinearEngine(const Schema& /*schema*/,
+                                         std::vector<GenericRule> rules)
+    : rules_(std::move(rules)) {
+  if (rules_.empty()) throw std::invalid_argument("GenericLinearEngine: empty");
+}
+
+GenericMatch GenericLinearEngine::classify(const GenericHeader& h) const {
+  GenericMatch r;
+  r.multi = util::BitVector(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].matches(h)) {
+      r.multi.set(i);
+      if (r.best == GenericMatch::kNoMatch) r.best = i;
+    }
+  }
+  return r;
+}
+
+GenericStrideBVEngine::GenericStrideBVEngine(const Schema& schema,
+                                             std::vector<GenericRule> rules,
+                                             unsigned stride)
+    : schema_(&schema), rules_(std::move(rules)), stride_(stride) {
+  if (rules_.empty()) throw std::invalid_argument("GenericStrideBVEngine: empty");
+  if (stride_ < 1 || stride_ > 8) {
+    throw std::invalid_argument("GenericStrideBVEngine: stride 1..8");
+  }
+  num_stages_ =
+      static_cast<unsigned>(util::ceil_div(schema.total_bits(), stride_));
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    for (auto& e : lower_rule(rules_[r])) {
+      entries_.push_back(std::move(e));
+      entry_rule_.push_back(r);
+    }
+  }
+  const std::size_t values = std::size_t{1} << stride_;
+  table_.assign(num_stages_ * values, util::BitVector(entries_.size()));
+  for (unsigned s = 0; s < num_stages_; ++s) {
+    for (std::size_t v = 0; v < values; ++v) {
+      auto& bv = table_[s * values + v];
+      for (std::size_t e = 0; e < entries_.size(); ++e) {
+        bool compatible = true;
+        for (unsigned i = 0; i < stride_; ++i) {
+          const unsigned pos = s * stride_ + i;
+          if (pos >= schema.total_bits()) break;
+          if (!entries_[e].care_bit(pos)) continue;
+          const bool header_bit = (v >> (stride_ - 1 - i)) & 1u;
+          if (header_bit != entries_[e].value_bit(pos)) {
+            compatible = false;
+            break;
+          }
+        }
+        if (compatible) bv.set(e);
+      }
+    }
+  }
+}
+
+GenericMatch GenericStrideBVEngine::classify(const GenericHeader& h) const {
+  const std::size_t values = std::size_t{1} << stride_;
+  util::BitVector bv(entries_.size(), true);
+  for (unsigned s = 0; s < num_stages_; ++s) {
+    bv.and_with(table_[s * values + h.stride(s * stride_, stride_)]);
+  }
+  GenericMatch r;
+  r.multi = util::BitVector(rules_.size());
+  for (std::size_t e = bv.first_set(); e != util::BitVector::npos;
+       e = bv.next_set(e + 1)) {
+    r.multi.set(entry_rule_[e]);
+    if (r.best == GenericMatch::kNoMatch) r.best = entry_rule_[e];
+  }
+  return r;
+}
+
+GenericTcamEngine::GenericTcamEngine(const Schema& schema,
+                                     std::vector<GenericRule> rules)
+    : schema_(&schema), rules_(std::move(rules)) {
+  if (rules_.empty()) throw std::invalid_argument("GenericTcamEngine: empty");
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    for (auto& e : lower_rule(rules_[r])) {
+      entries_.push_back(std::move(e));
+      entry_rule_.push_back(r);
+    }
+  }
+}
+
+GenericMatch GenericTcamEngine::classify(const GenericHeader& h) const {
+  GenericMatch r;
+  r.multi = util::BitVector(rules_.size());
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    if (entries_[e].matches(h)) {
+      r.multi.set(entry_rule_[e]);
+      if (r.best == GenericMatch::kNoMatch) r.best = entry_rule_[e];
+    }
+  }
+  return r;
+}
+
+// -------------------------------------------------------------- generators
+
+GenericRule random_rule(const Schema& schema, util::Xoshiro256& rng,
+                        double wildcard_prob) {
+  std::vector<FieldMatch> fields;
+  fields.reserve(schema.field_count());
+  for (std::size_t f = 0; f < schema.field_count(); ++f) {
+    const auto& spec = schema.field(f);
+    if (rng.uniform01() < wildcard_prob) {
+      fields.push_back(FieldMatch::any());
+      continue;
+    }
+    const std::uint64_t max = schema.field_max(f);
+    switch (spec.kind) {
+      case FieldKind::kPrefix: {
+        const auto len = static_cast<unsigned>(rng.in_range(1, spec.width));
+        const std::uint64_t v = rng() & max;
+        const unsigned host = spec.width - len;
+        fields.push_back(FieldMatch::prefix((v >> host) << host, len));
+        break;
+      }
+      case FieldKind::kRange: {
+        std::uint64_t a = rng() & max;
+        std::uint64_t b = rng() & max;
+        if (a > b) std::swap(a, b);
+        fields.push_back(FieldMatch::range(a, b));
+        break;
+      }
+      case FieldKind::kExact:
+        fields.push_back(FieldMatch::exact(rng() & max));
+        break;
+    }
+  }
+  return GenericRule(schema, std::move(fields));
+}
+
+GenericHeader random_header(const Schema& schema, util::Xoshiro256& rng) {
+  std::vector<std::uint64_t> values;
+  values.reserve(schema.field_count());
+  for (std::size_t f = 0; f < schema.field_count(); ++f) {
+    values.push_back(rng() & schema.field_max(f));
+  }
+  return GenericHeader(schema, std::move(values));
+}
+
+GenericHeader header_for_rule(const GenericRule& rule, util::Xoshiro256& rng) {
+  const Schema& schema = rule.schema();
+  std::vector<std::uint64_t> values;
+  values.reserve(schema.field_count());
+  for (std::size_t f = 0; f < schema.field_count(); ++f) {
+    const auto& spec = schema.field(f);
+    const auto& m = rule.field(f);
+    const std::uint64_t max = schema.field_max(f);
+    std::uint64_t v = rng() & max;
+    switch (spec.kind) {
+      case FieldKind::kPrefix:
+        if (m.prefix_len > 0) {
+          const unsigned host = spec.width - m.prefix_len;
+          const std::uint64_t host_mask = host >= 64 ? ~std::uint64_t{0}
+                                                     : ((std::uint64_t{1} << host) - 1);
+          v = (m.value & ~host_mask) | (v & host_mask);
+        }
+        break;
+      case FieldKind::kRange:
+        if (!m.wildcard) v = m.value + rng.below(m.hi - m.value + 1);
+        break;
+      case FieldKind::kExact:
+        if (!m.wildcard) v = m.value;
+        break;
+    }
+    values.push_back(v);
+  }
+  return GenericHeader(schema, std::move(values));
+}
+
+}  // namespace rfipc::flow

@@ -1,0 +1,58 @@
+#include "flow/schema.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rfipc::flow {
+
+Schema::Schema(std::vector<FieldSpec> fields) : fields_(std::move(fields)) {
+  if (fields_.empty()) throw std::invalid_argument("Schema: no fields");
+  offsets_.reserve(fields_.size());
+  for (const auto& f : fields_) {
+    if (f.width < 1 || f.width > 64) {
+      throw std::invalid_argument("Schema: field width must be 1..64: " + f.name);
+    }
+    offsets_.push_back(total_bits_);
+    total_bits_ += f.width;
+  }
+}
+
+std::uint64_t Schema::field_max(std::size_t i) const {
+  const unsigned w = fields_[i].width;
+  return w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+}
+
+Schema Schema::five_tuple() {
+  return Schema({{"sip", FieldKind::kPrefix, 32},
+                 {"dip", FieldKind::kPrefix, 32},
+                 {"sp", FieldKind::kRange, 16},
+                 {"dp", FieldKind::kRange, 16},
+                 {"prt", FieldKind::kExact, 8}});
+}
+
+Schema Schema::openflow10() {
+  return Schema({{"in_port", FieldKind::kExact, 16},
+                 {"eth_src", FieldKind::kPrefix, 48},
+                 {"eth_dst", FieldKind::kPrefix, 48},
+                 {"eth_type", FieldKind::kExact, 16},
+                 {"vlan_id", FieldKind::kExact, 12},
+                 {"vlan_pcp", FieldKind::kExact, 3},
+                 {"ip_src", FieldKind::kPrefix, 32},
+                 {"ip_dst", FieldKind::kPrefix, 32},
+                 {"ip_proto", FieldKind::kExact, 8},
+                 {"ip_tos", FieldKind::kExact, 6},
+                 {"tp_src", FieldKind::kRange, 16},
+                 {"tp_dst", FieldKind::kRange, 16}});
+}
+
+std::string Schema::to_string() const {
+  std::ostringstream os;
+  os << total_bits_ << " bits:";
+  for (const auto& f : fields_) {
+    os << ' ' << f.name << '/' << f.width
+       << (f.kind == FieldKind::kPrefix ? "p" : f.kind == FieldKind::kRange ? "r" : "e");
+  }
+  return os.str();
+}
+
+}  // namespace rfipc::flow

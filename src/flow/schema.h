@@ -1,0 +1,60 @@
+// Generic multi-field classification schemas.
+//
+// The paper's background (Section II-A) notes that beyond the 5-tuple,
+// "other multi-field packet classification schemes such as OpenFlow
+// also exist which consider 12+ number of fields". Both TCAM and
+// StrideBV are agnostic to the field layout — they only see a W-bit
+// ternary string — so this module generalizes the engines to arbitrary
+// schemas: an ordered list of fields, each prefix-, range-, or
+// exact-matched, concatenated MSB-first into one canonical bit string
+// exactly like the 104-bit 5-tuple.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfipc::flow {
+
+enum class FieldKind : std::uint8_t {
+  kPrefix,  // top-L-bits match (IPs, MACs as prefixes)
+  kRange,   // closed interval [lo, hi]
+  kExact,   // exact value or full wildcard
+};
+
+struct FieldSpec {
+  std::string name;
+  FieldKind kind = FieldKind::kExact;
+  unsigned width = 8;  // 1..64 bits
+};
+
+class Schema {
+ public:
+  explicit Schema(std::vector<FieldSpec> fields);
+
+  std::size_t field_count() const { return fields_.size(); }
+  const FieldSpec& field(std::size_t i) const { return fields_[i]; }
+  /// Bit offset of field i in the canonical string.
+  unsigned offset(std::size_t i) const { return offsets_[i]; }
+  /// Total canonical width W.
+  unsigned total_bits() const { return total_bits_; }
+  /// Maximum value of field i (all-ones over its width).
+  std::uint64_t field_max(std::size_t i) const;
+
+  /// The paper's 5-tuple: SIP/32 prefix, DIP/32 prefix, SP/16 range,
+  /// DP/16 range, PRT/8 exact — 104 bits.
+  static Schema five_tuple();
+  /// An OpenFlow-1.0-flavoured 12-field schema (ingress port, Ethernet
+  /// src/dst/type, VLAN id/prio, IPv4 src/dst prefixes, protocol, ToS,
+  /// transport src/dst ranges) — 253 bits.
+  static Schema openflow10();
+
+  std::string to_string() const;
+
+ private:
+  std::vector<FieldSpec> fields_;
+  std::vector<unsigned> offsets_;
+  unsigned total_bits_ = 0;
+};
+
+}  // namespace rfipc::flow

@@ -1,0 +1,22 @@
+#include "fpga/asic_tcam.h"
+
+#include <algorithm>
+
+#include "fpga/calibration.h"
+#include "net/header.h"
+
+namespace rfipc::fpga {
+
+AsicTcamEstimate estimate_asic_tcam(std::uint64_t entries) {
+  AsicTcamEstimate e;
+  const double bits = static_cast<double>(entries) * 2.0 * net::kHeaderBits;
+  e.occupancy = std::min(1.0, bits / cal::kAsicTcamCapacityBits);
+  e.power_w = cal::kAsicTcamStaticW +
+              (cal::kAsicTcamTotalW - cal::kAsicTcamStaticW) * e.occupancy;
+  e.clock_mhz = cal::kAsicTcamClockMhz;
+  e.throughput_gbps = e.clock_mhz * 1e6 * cal::kPacketBits / 1e9;
+  e.mw_per_gbps = e.power_w * 1e3 / e.throughput_gbps;
+  return e;
+}
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,28 @@
+// ASIC TCAM model (paper Section IV-C).
+//
+// The paper contrasts its FPGA engines with a commodity ASIC TCAM chip:
+// ~8 Mbit capacity, 250+ MHz, ~5 W fully populated with ~0.8 W static
+// at 70 nm (Agrawal & Sherwood's model, references [1][2]). Dynamic
+// power scales with the number of active entries since entries can be
+// enabled per-rule. The paper gives the per-ruleset power as
+//     P(N) = Ps + (Pt - Ps) * (bits_per_entry * N) / capacity
+// with 2 * 104 bits per stored entry (data + mask).
+#pragma once
+
+#include <cstdint>
+
+namespace rfipc::fpga {
+
+struct AsicTcamEstimate {
+  double power_w = 0;
+  double clock_mhz = 0;
+  double throughput_gbps = 0;
+  double mw_per_gbps = 0;
+  /// Fraction of chip capacity the ruleset occupies.
+  double occupancy = 0;
+};
+
+/// Evaluates the ASIC TCAM model for `entries` 104-bit rules.
+AsicTcamEstimate estimate_asic_tcam(std::uint64_t entries);
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,108 @@
+// Calibration constants for the FPGA timing / power models.
+//
+// The paper reports post place-and-route numbers from Xilinx ISE 14.x;
+// we replace the tool chain with first-order analytical models whose
+// *structure* encodes the effects the paper attributes its results to
+// (wire length growth, BRAM column cascading, TCAM match-line fan-in,
+// BRAM block power floor). The constants below pin those models to the
+// operating points the paper states explicitly. Each constant cites its
+// anchor; everything downstream (sweep shapes, crossovers, ratios) is
+// produced by the model, not by per-point tuning.
+//
+// Anchors used (paper Section V):
+//   A1  StrideBV distRAM k=4 N=1024: ~150 Gbps with PlanAhead,
+//       ~100 Gbps without (Figure 5 text).
+//   A2  StrideBV throughput ~6x TCAM (distRAM) and ~4x (BRAM), averaged
+//       over the sweep (abstract, Section V-A).
+//   A3  distRAM ~1.3x BRAM throughput on average (Section V-A).
+//   A4  Power efficiency: StrideBV distRAM ~4.5x better than TCAM,
+//       BRAM ~3.5x (abstract); BRAM k=3 ~4.5x worse than distRAM and
+//       k=4 ~1.3x better than k=3 (Section V-D).
+//   A5  Resource: distRAM N=2048 ~40% slices; BRAM k=3 N=2048 uses all
+//       BRAM (Figures 8-9); memory k=4 N=2048 = 832 Kbit (Figure 7).
+#pragma once
+
+namespace rfipc::fpga::cal {
+
+// ---------------------------------------------------------------- timing
+// All delays in nanoseconds.
+
+/// StrideBV distRAM stage: LUT-RAM access + AND + register. [A1]
+inline constexpr double kDistLogicNs = 1.4;
+/// StrideBV BRAM stage: BRAM clock-to-out is slower than LUT-RAM.
+inline constexpr double kBramLogicNs = 1.9;
+/// TCAM: SRL16 access + 52-input AND reduce (two LUT levels).
+inline constexpr double kTcamLogicNs = 1.9;
+
+/// distRAM routing: base + growth per doubling of BV width. With
+/// floorplanning the pipeline is placed column-regular (short nets);
+/// without, P&R spreads it. [A1: 150 vs 100 Gbps at N=1024]
+inline constexpr double kDistRouteBaseFpNs = 1.70;
+inline constexpr double kDistRouteSlopeFpNs = 0.23;
+inline constexpr double kDistRouteBaseNs = 2.90;
+inline constexpr double kDistRouteSlopeNs = 0.50;
+
+/// BRAM routing grows with the number of cascaded RAMB36 columns per
+/// stage (fixed block locations force long nets). [A3]
+inline constexpr double kBramRouteBaseFpNs = 1.90;
+inline constexpr double kBramRouteSlopeFpNs = 0.45;
+inline constexpr double kBramRouteBaseNs = 3.20;
+inline constexpr double kBramRouteSlopeNs = 0.70;
+
+/// TCAM: match-line broadcast/collection routing grows with entry
+/// count; the (single-cycle) priority encoder adds log-depth delay. [A2]
+inline constexpr double kTcamRouteBaseNs = 4.5;
+inline constexpr double kTcamRouteSlopeNs = 1.0;
+inline constexpr double kTcamPrioEncNsPerLevel = 0.45;
+
+/// Minimum packet size for throughput conversion (the paper's Gbps
+/// figures assume 40-byte minimum Ethernet/IPv4 packets).
+inline constexpr double kPacketBits = 320.0;
+
+// ----------------------------------------------------------------- power
+// Dynamic energy coefficients in microwatts per MHz per resource unit,
+// plus architecture activity factors. [A4]
+
+inline constexpr double kUwPerMhzLut = 0.08;  // logic LUT
+/// Distributed RAM switches per stored bit actually present (RAM32
+/// primitives burn energy on the bits they hold), so the k=3 pipeline's
+/// smaller 280N-bit footprint beats k=4's 416N bits -- Table II lists
+/// distRAM k=3 as the most power-efficient configuration.
+inline constexpr double kUwPerMhzDistRamBit = 0.015;
+inline constexpr double kUwPerMhzFf = 0.02;
+inline constexpr double kUwPerMhzBram36 = 45.0;  // whole-block power floor
+inline constexpr double kUwPerMhzIo = 1.5;
+/// Extra per-entry match-line switching of a TCAM (every line toggles
+/// on every lookup — the "all entries active" cost, Section III-B).
+inline constexpr double kUwPerMhzTcamEntry = 6.0;
+
+/// Average switching activity: SRAM pipelines toggle about half their
+/// nets per cycle; TCAM toggles all match lines.
+inline constexpr double kActivityStrideBv = 0.5;
+inline constexpr double kActivityTcam = 1.0;
+
+/// Device static power (W) plus leakage per occupied slice (W).
+inline constexpr double kStaticBaseW = 0.25;
+inline constexpr double kStaticPerSliceW = 2.0e-6;
+
+// -------------------------------------------------------------- resource
+/// Slice packing efficiency post-P&R (not every LUT/FF pairs up).
+inline constexpr double kSlicePacking = 0.75;
+/// True-dual-port RAMB36 max port width -> ceil(N/36) blocks per stage.
+/// [A5: k=3, N=2048 -> 35*57 = 1995 blocks ~ full 1880-block device]
+inline constexpr unsigned kBramPortWidth = 36;
+/// RAM32X1D: one dual-port distRAM bit costs 2 LUTs (depth 8/16 rounds
+/// up to the 32-deep primitive).
+inline constexpr unsigned kLutsPerDistRamBitColumn = 2;
+
+// ------------------------------------------------------------- ASIC TCAM
+/// Section IV-C model: an 8 Mbit ASIC TCAM chip at 250 MHz dissipating
+/// 5 W fully populated, 0.8 W static (70 nm; Agrawal & Sherwood).
+/// Power scales with the active fraction: P(N) = Ps + (Pt - Ps) *
+/// (2 * 104 * N) / capacity  (data + mask bits per entry).
+inline constexpr double kAsicTcamStaticW = 0.8;
+inline constexpr double kAsicTcamTotalW = 5.0;
+inline constexpr double kAsicTcamCapacityBits = 8.0 * 1024 * 1024;
+inline constexpr double kAsicTcamClockMhz = 250.0;
+
+}  // namespace rfipc::fpga::cal

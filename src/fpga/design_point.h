@@ -1,0 +1,37 @@
+// A design point: which engine, at what size, with which memory and
+// floorplanning options — the coordinates of every figure in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rfipc::fpga {
+
+enum class EngineKind {
+  kStrideBVDistRam,  // StrideBV, stage memory in distributed RAM
+  kStrideBVBlockRam, // StrideBV, stage memory in block RAM
+  kTcamFpga,         // SRL16E-based TCAM on fabric
+};
+
+struct DesignPoint {
+  EngineKind kind = EngineKind::kStrideBVDistRam;
+  /// Ternary entry count (== ruleset size for the paper's sweeps).
+  std::uint64_t entries = 512;
+  /// StrideBV stride width k (ignored for TCAM).
+  unsigned stride = 4;
+  /// Dual-port stage memory -> two packets per cycle (paper Section
+  /// V-A). TCAM is always single-issue.
+  bool dual_port = true;
+  /// PlanAhead-style floorplanning applied (Figures 5-6).
+  bool floorplanned = true;
+  /// Classifier key width in bits. 104 is the paper's 5-tuple; wider
+  /// schemas (e.g. the 237-bit OpenFlow-style 12-tuple in flow/) scale
+  /// the stage count and TCAM entry width proportionally.
+  unsigned header_bits = 104;
+
+  std::string label() const;
+};
+
+const char* engine_kind_name(EngineKind k);
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,31 @@
+#include "fpga/device.h"
+
+namespace rfipc::fpga {
+
+FpgaDevice virtex7_xc7vx1140t() {
+  FpgaDevice d;
+  d.name = "XC7VX1140T-2";
+  d.slices = 178'000;           // 7-series datasheet: 178,000 slices
+  d.luts = 712'000;             // 4 LUT6 per slice
+  d.distram_kbits = 17'700;     // max distributed RAM ~17.7 Mb
+  d.bram36 = 1'880;             // 67.7 Mb / 36 Kb
+  d.bram_kbits = 67'680;
+  d.iobs = 1'100;
+  d.speed_grade = 2;
+  return d;
+}
+
+FpgaDevice virtex7_xc7vx485t() {
+  FpgaDevice d;
+  d.name = "XC7VX485T-2";
+  d.slices = 75'900;
+  d.luts = 303'600;
+  d.distram_kbits = 8'175;
+  d.bram36 = 1'030;
+  d.bram_kbits = 37'080;
+  d.iobs = 700;
+  d.speed_grade = 2;
+  return d;
+}
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,40 @@
+// FPGA device database.
+//
+// Capacities of the paper's target part (Xilinx Virtex-7 XC7VX1140T,
+// speed grade -2) from the public 7-series datasheets. Resource
+// percentages in Figures 8 and 9 are computed against these numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rfipc::fpga {
+
+struct FpgaDevice {
+  std::string name;
+  /// CLB slices (4 LUT6 + 8 FF each).
+  std::uint64_t slices = 0;
+  /// Total 6-input LUTs (= 4 * slices).
+  std::uint64_t luts = 0;
+  /// Maximum distributed RAM capacity in Kbits (SLICEM LUTs as RAM).
+  std::uint64_t distram_kbits = 0;
+  /// RAMB36E1 blocks.
+  std::uint64_t bram36 = 0;
+  /// Block RAM capacity in Kbits (= 36 * bram36).
+  std::uint64_t bram_kbits = 0;
+  /// Bonded I/O pins.
+  std::uint64_t iobs = 0;
+  /// Speed grade (negative grades stored positive: -2 -> 2).
+  int speed_grade = 2;
+
+  /// Distributed-RAM capacity expressed as SLICEM LUTs (64 bits each).
+  std::uint64_t distram_luts() const { return distram_kbits * 1024 / 64; }
+};
+
+/// The paper's device: Virtex-7 XC7VX1140T, -2 speed grade.
+FpgaDevice virtex7_xc7vx1140t();
+
+/// A mid-size part for scalability what-ifs (extension benches).
+FpgaDevice virtex7_xc7vx485t();
+
+}  // namespace rfipc::fpga

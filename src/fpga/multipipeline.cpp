@@ -1,0 +1,93 @@
+#include "fpga/multipipeline.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/str.h"
+
+namespace rfipc::fpga {
+namespace {
+
+ResourceUsage add(const ResourceUsage& a, const ResourceUsage& b) {
+  ResourceUsage s;
+  s.luts_logic = a.luts_logic + b.luts_logic;
+  s.luts_memory = a.luts_memory + b.luts_memory;
+  s.ffs = a.ffs + b.ffs;
+  s.slices = a.slices + b.slices;
+  s.bram36 = a.bram36 + b.bram36;
+  // Header distribution is shared: count IOBs once.
+  s.iobs = a.iobs > b.iobs ? a.iobs : b.iobs;
+  s.memory_bits = a.memory_bits + b.memory_bits;
+  return s;
+}
+
+bool within(const ResourceUsage& u, const FpgaDevice& d, double ceiling) {
+  const auto cap = [&](std::uint64_t capacity) {
+    return static_cast<std::uint64_t>(static_cast<double>(capacity) * ceiling);
+  };
+  return u.slices <= cap(d.slices) && u.bram36 <= cap(d.bram36) &&
+         u.luts_memory <= cap(d.distram_luts()) && u.iobs <= d.iobs;
+}
+
+}  // namespace
+
+MultiPipelinePlan plan_multipipeline(const MultiPipelineConfig& config,
+                                     const FpgaDevice& device) {
+  if (config.entries == 0) throw std::invalid_argument("plan_multipipeline: zero entries");
+  if (config.utilization_ceiling <= 0 || config.utilization_ceiling > 1.0) {
+    throw std::invalid_argument("plan_multipipeline: ceiling in (0, 1]");
+  }
+
+  MultiPipelinePlan plan;
+  plan.entries = config.entries;
+  plan.stride = config.stride;
+
+  const DesignPoint dist{EngineKind::kStrideBVDistRam, config.entries, config.stride,
+                         true, config.floorplanned};
+  const DesignPoint bram{EngineKind::kStrideBVBlockRam, config.entries, config.stride,
+                         true, config.floorplanned};
+  const auto dist_res = estimate_resources(dist);
+  const auto bram_res = estimate_resources(bram);
+  const auto dist_tim = estimate_timing(dist);
+  const auto bram_tim = estimate_timing(bram);
+  const auto dist_pow = estimate_power(dist, dist_res, dist_tim);
+  const auto bram_pow = estimate_power(bram, bram_res, bram_tim);
+
+  // Greedy: distRAM pipelines run faster per watt, so fill with them
+  // first, then add BRAM pipelines (their memory lives in otherwise
+  // idle blocks).
+  const auto capped = [&] {
+    return config.max_pipelines != 0 && plan.pipeline_count() >= config.max_pipelines;
+  };
+  while (!capped() && within(add(plan.total, dist_res), device,
+                             config.utilization_ceiling)) {
+    plan.total = add(plan.total, dist_res);
+    plan.dist_pipelines++;
+    plan.aggregate_gbps += dist_tim.throughput_gbps;
+    plan.total_power_w += dist_pow.dynamic_w;
+  }
+  while (!capped() && within(add(plan.total, bram_res), device,
+                             config.utilization_ceiling)) {
+    plan.total = add(plan.total, bram_res);
+    plan.bram_pipelines++;
+    plan.aggregate_gbps += bram_tim.throughput_gbps;
+    plan.total_power_w += bram_pow.dynamic_w;
+  }
+  // One static-power budget for the whole chip.
+  plan.total_power_w += dist_pow.static_w;
+  plan.mw_per_gbps =
+      plan.aggregate_gbps > 0 ? plan.total_power_w * 1e3 / plan.aggregate_gbps : 0;
+  return plan;
+}
+
+std::string MultiPipelinePlan::summary() const {
+  std::ostringstream os;
+  os << pipeline_count() << " pipelines (" << dist_pipelines << " distRAM + "
+     << bram_pipelines << " BRAM) x N=" << entries << " k=" << stride << ": "
+     << util::fmt_double(aggregate_gbps, 1) << " Gbps aggregate, "
+     << util::fmt_double(total_power_w, 1) << " W, "
+     << util::fmt_double(mw_per_gbps, 1) << " mW/Gbps";
+  return os.str();
+}
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,58 @@
+// Multi-pipeline StrideBV scaling model (paper Sections IV-A, V-A).
+//
+// The paper's experiments use ONE pipeline to keep the comparison fair,
+// but note that "multiple pipelines could be employed through the use
+// of a combination of distributed and block RAM ... to achieve 400G+
+// throughput", and that memory totals then scale with the pipeline
+// count (Section V-B's multiplication-factor remark). This module
+// packs as many independent pipelines as the device holds — distRAM
+// pipelines first (higher clock), then BRAM pipelines — and reports
+// the aggregate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/design_point.h"
+#include "fpga/device.h"
+#include "fpga/power_model.h"
+#include "fpga/resource_model.h"
+#include "fpga/timing_model.h"
+
+namespace rfipc::fpga {
+
+struct MultiPipelinePlan {
+  std::uint64_t entries = 0;
+  unsigned stride = 4;
+  unsigned dist_pipelines = 0;
+  unsigned bram_pipelines = 0;
+
+  /// Aggregate over all pipelines (each dual-ported).
+  double aggregate_gbps = 0;
+  double total_power_w = 0;
+  double mw_per_gbps = 0;
+
+  /// Summed resources; always fits the device by construction.
+  ResourceUsage total;
+
+  unsigned pipeline_count() const { return dist_pipelines + bram_pipelines; }
+  std::string summary() const;
+};
+
+struct MultiPipelineConfig {
+  std::uint64_t entries = 512;
+  unsigned stride = 4;
+  bool floorplanned = true;
+  /// Caps (0 = no cap beyond device capacity).
+  unsigned max_pipelines = 0;
+  /// Headroom: use at most this fraction of each device resource
+  /// (placement never achieves 100%).
+  double utilization_ceiling = 0.85;
+};
+
+/// Greedily packs pipelines into `device`.
+MultiPipelinePlan plan_multipipeline(const MultiPipelineConfig& config,
+                                     const FpgaDevice& device);
+
+}  // namespace rfipc::fpga

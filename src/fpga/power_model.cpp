@@ -1,0 +1,47 @@
+#include "fpga/power_model.h"
+
+#include "fpga/calibration.h"
+
+namespace rfipc::fpga {
+
+PowerEstimate estimate_power(const DesignPoint& dp) {
+  return estimate_power(dp, estimate_resources(dp), estimate_timing(dp));
+}
+
+PowerEstimate estimate_power(const DesignPoint& dp, const ResourceUsage& res,
+                             const TimingEstimate& timing) {
+  const bool is_tcam = dp.kind == EngineKind::kTcamFpga;
+
+  // Microwatts per MHz contributed by each resource class.
+  double uw_per_mhz = 0;
+  uw_per_mhz += static_cast<double>(res.luts_logic) * cal::kUwPerMhzLut;
+  if (is_tcam) {
+    // SRL16E cells switch like logic LUTs.
+    uw_per_mhz += static_cast<double>(res.luts_memory) * cal::kUwPerMhzLut;
+  } else if (dp.kind == EngineKind::kStrideBVDistRam) {
+    // distRAM energy follows the stored bits (see calibration.h).
+    uw_per_mhz += static_cast<double>(res.memory_bits) * cal::kUwPerMhzDistRamBit;
+  }
+  // BRAM stage memory is covered by the per-block term below.
+  uw_per_mhz += static_cast<double>(res.ffs) * cal::kUwPerMhzFf;
+  uw_per_mhz += static_cast<double>(res.bram36) * cal::kUwPerMhzBram36;
+  uw_per_mhz += static_cast<double>(res.iobs) * cal::kUwPerMhzIo;
+  if (is_tcam) {
+    uw_per_mhz += static_cast<double>(dp.entries) * cal::kUwPerMhzTcamEntry;
+  }
+
+  const double activity = is_tcam ? cal::kActivityTcam : cal::kActivityStrideBv;
+
+  PowerEstimate p;
+  p.static_w = cal::kStaticBaseW +
+               static_cast<double>(res.slices) * cal::kStaticPerSliceW;
+  p.dynamic_w = activity * timing.clock_mhz * uw_per_mhz * 1e-6;
+  p.total_w = p.static_w + p.dynamic_w;
+  p.mw_per_gbps = timing.throughput_gbps > 0
+                      ? p.total_w * 1e3 / timing.throughput_gbps
+                      : 0;
+  p.uw_per_gbps = p.mw_per_gbps * 1e3;
+  return p;
+}
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,33 @@
+// XPower-analogue power model (paper Section V-D).
+//
+// P = P_static + activity * f * sum(resource_count * unit_energy).
+// The coefficients (calibration.h) encode the effects the paper
+// attributes its power results to: BRAM blocks dissipate a whole-block
+// floor even when a stage uses a sliver of one (the stride-3/4 waste
+// the paper describes), distRAM rides on cheap SLICEM LUTs, and every
+// TCAM match line toggles on every lookup ("all entries are active").
+#pragma once
+
+#include "fpga/design_point.h"
+#include "fpga/resource_model.h"
+#include "fpga/timing_model.h"
+
+namespace rfipc::fpga {
+
+struct PowerEstimate {
+  double static_w = 0;
+  double dynamic_w = 0;
+  double total_w = 0;
+  /// Figure 10's metric: mW per Gbps of throughput.
+  double mw_per_gbps = 0;
+  /// Table II's unit.
+  double uw_per_gbps = 0;
+};
+
+/// Computes power for `dp`; resources/timing are derived internally
+/// when not supplied.
+PowerEstimate estimate_power(const DesignPoint& dp);
+PowerEstimate estimate_power(const DesignPoint& dp, const ResourceUsage& res,
+                             const TimingEstimate& timing);
+
+}  // namespace rfipc::fpga

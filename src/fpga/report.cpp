@@ -1,0 +1,70 @@
+#include "fpga/report.h"
+
+#include <sstream>
+
+#include "util/str.h"
+
+namespace rfipc::fpga {
+
+std::string DesignPoint::label() const {
+  switch (kind) {
+    case EngineKind::kStrideBVDistRam:
+      return "StrideBV(k=" + std::to_string(stride) + ") distRAM";
+    case EngineKind::kStrideBVBlockRam:
+      return "StrideBV(k=" + std::to_string(stride) + ") BRAM";
+    case EngineKind::kTcamFpga:
+      return "TCAM on FPGA";
+  }
+  return "?";
+}
+
+const char* engine_kind_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::kStrideBVDistRam:
+      return "stridebv-distram";
+    case EngineKind::kStrideBVBlockRam:
+      return "stridebv-bram";
+    case EngineKind::kTcamFpga:
+      return "tcam-fpga";
+  }
+  return "?";
+}
+
+ImplementationReport analyze(const DesignPoint& dp, const FpgaDevice& device) {
+  ImplementationReport r;
+  r.point = dp;
+  r.resources = estimate_resources(dp);
+  r.timing = estimate_timing(dp);
+  r.power = estimate_power(dp, r.resources, r.timing);
+  r.fits = fits_device(r.resources, device);
+  return r;
+}
+
+std::string ImplementationReport::one_line() const {
+  std::ostringstream os;
+  os << point.label() << " N=" << point.entries << ": "
+     << util::fmt_double(timing.clock_mhz, 1) << " MHz, "
+     << util::fmt_double(timing.throughput_gbps, 1) << " Gbps, "
+     << util::fmt_double(memory_kbits(), 1) << " Kbit, "
+     << util::fmt_double(resources.slice_percent(virtex7_xc7vx1140t()), 1)
+     << "% slices, " << util::fmt_double(power.total_w, 2) << " W, "
+     << util::fmt_double(power.mw_per_gbps, 1) << " mW/Gbps"
+     << (fits ? "" : "  [DOES NOT FIT]");
+  return os.str();
+}
+
+std::vector<DesignPoint> paper_sweep_points(std::uint64_t entries, bool floorplanned) {
+  std::vector<DesignPoint> pts;
+  for (const unsigned k : {3u, 4u}) {
+    pts.push_back({EngineKind::kStrideBVDistRam, entries, k, true, floorplanned});
+  }
+  for (const unsigned k : {3u, 4u}) {
+    pts.push_back({EngineKind::kStrideBVBlockRam, entries, k, true, floorplanned});
+  }
+  pts.push_back({EngineKind::kTcamFpga, entries, 4, false, floorplanned});
+  return pts;
+}
+
+std::vector<std::uint64_t> paper_sizes() { return {32, 64, 128, 256, 512, 1024, 2048}; }
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,45 @@
+// Implementation report: one call evaluates a design point through all
+// three models — the figures' single data source.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/design_point.h"
+#include "fpga/device.h"
+#include "fpga/power_model.h"
+#include "fpga/resource_model.h"
+#include "fpga/timing_model.h"
+
+namespace rfipc::fpga {
+
+struct ImplementationReport {
+  DesignPoint point;
+  ResourceUsage resources;
+  TimingEstimate timing;
+  PowerEstimate power;
+  bool fits = false;
+
+  double memory_kbits() const {
+    return static_cast<double>(resources.memory_bits) / 1024.0;
+  }
+  double memory_bytes_per_rule() const {
+    return static_cast<double>(resources.memory_bits) / 8.0 /
+           static_cast<double>(point.entries);
+  }
+
+  std::string one_line() const;
+};
+
+/// Evaluates `dp` against `device`.
+ImplementationReport analyze(const DesignPoint& dp, const FpgaDevice& device);
+
+/// The five configurations every sweep figure plots, for `entries`
+/// rules: StrideBV {distRAM, BRAM} x {k=3, k=4} and TCAM.
+std::vector<DesignPoint> paper_sweep_points(std::uint64_t entries,
+                                            bool floorplanned = true);
+
+/// The ruleset sizes of the paper's sweeps: 32..2048.
+std::vector<std::uint64_t> paper_sizes();
+
+}  // namespace rfipc::fpga

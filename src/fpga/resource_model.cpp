@@ -1,0 +1,119 @@
+#include "fpga/resource_model.h"
+
+#include <stdexcept>
+
+#include "fpga/calibration.h"
+#include "net/header.h"
+#include "util/bitops.h"
+
+namespace rfipc::fpga {
+namespace {
+
+using util::ceil_div;
+using util::ceil_log2;
+
+std::uint64_t pack_slices(std::uint64_t luts, std::uint64_t ffs) {
+  const auto by_lut = static_cast<double>(luts) / 4.0;
+  const auto by_ff = static_cast<double>(ffs) / 8.0;
+  const double raw = by_lut > by_ff ? by_lut : by_ff;
+  return static_cast<std::uint64_t>(raw / cal::kSlicePacking + 0.5);
+}
+
+ResourceUsage stridebv_resources(const DesignPoint& dp) {
+  const std::uint64_t n = dp.entries;
+  const unsigned s = stridebv_stages(dp.stride, dp.header_bits);
+  const unsigned ports = dp.dual_port ? 2 : 1;
+  const unsigned ppe_stages = n <= 1 ? 1 : ceil_log2(n);
+
+  ResourceUsage u;
+  u.memory_bits = static_cast<std::uint64_t>(s) * (1ull << dp.stride) * n;
+
+  // Per stage, per issue port: N AND gates + N BVP register bits.
+  u.luts_logic = static_cast<std::uint64_t>(s) * n * ports;
+  u.ffs = static_cast<std::uint64_t>(s) * n * ports;
+  // PPE: ~2N LUT/FF total across its log stages, per port.
+  u.luts_logic += 2ull * n * ports;
+  u.ffs += 2ull * n * ports;
+  (void)ppe_stages;
+
+  if (dp.kind == EngineKind::kStrideBVDistRam) {
+    // RAM32X1D pairs; the dual-port primitive already provides the
+    // second read port, so port count does not multiply memory LUTs.
+    u.luts_memory = static_cast<std::uint64_t>(s) * n * cal::kLutsPerDistRamBitColumn;
+  } else {
+    u.bram36 = static_cast<std::uint64_t>(s) * bram_blocks_per_stage(n, dp.dual_port);
+    // Glue between fixed BRAM columns and the AND/register fabric; the
+    // bridging cost grows with how many columns a stage spans (paper
+    // Section V-C: BRAM uses MORE slices at large N despite moving the
+    // memory out of the fabric).
+    const double span = static_cast<double>(bram_blocks_per_stage(n, dp.dual_port));
+    u.luts_logic += static_cast<std::uint64_t>(
+        static_cast<double>(s) * static_cast<double>(n) * (0.4 + 0.04 * span));
+  }
+
+  // IOBs: header in per port + match index out per port + control.
+  u.iobs = ports * (dp.header_bits + ceil_log2(n ? n : 1)) + 10;
+
+  u.slices = pack_slices(u.luts_total(), u.ffs);
+  return u;
+}
+
+ResourceUsage tcam_resources(const DesignPoint& dp) {
+  const std::uint64_t m = dp.entries;
+
+  ResourceUsage u;
+  // 2 bits (data+mask) per rule bit — Figure 7's TCAM line.
+  u.memory_bits = m * 2 * dp.header_bits;
+
+  // One SRL16E per 2 ternary bits per entry (52 for the 5-tuple).
+  u.luts_memory = m * ceil_div(dp.header_bits, 2);
+  // Match-line AND reduce: 52 -> 9 -> 2 -> 1 with LUT6 = 12 LUTs/entry;
+  // plus input broadcast buffering and the priority encoder.
+  u.luts_logic = m * 12 + m * 2 + 2 * m;
+  u.ffs = m * 2 + dp.header_bits;
+
+  u.iobs = dp.header_bits + ceil_log2(m ? m : 1) + 10;
+  u.slices = pack_slices(u.luts_total(), u.ffs);
+  return u;
+}
+
+}  // namespace
+
+unsigned stridebv_stages(unsigned stride) {
+  return stridebv_stages(stride, net::kHeaderBits);
+}
+
+unsigned stridebv_stages(unsigned stride, unsigned header_bits) {
+  if (stride < 1 || stride > 8) throw std::invalid_argument("stridebv_stages: stride 1..8");
+  if (header_bits == 0) throw std::invalid_argument("stridebv_stages: zero width");
+  return static_cast<unsigned>(ceil_div(header_bits, stride));
+}
+
+std::uint64_t bram_blocks_per_stage(std::uint64_t entries, bool dual_port) {
+  // True dual port (one port per packet issue) limits port width to 36;
+  // single-issue could use the 72-bit simple-dual-port shape.
+  const unsigned width = dual_port ? cal::kBramPortWidth : 2 * cal::kBramPortWidth;
+  return ceil_div(entries, width);
+}
+
+ResourceUsage estimate_resources(const DesignPoint& dp) {
+  if (dp.entries == 0) throw std::invalid_argument("estimate_resources: zero entries");
+  switch (dp.kind) {
+    case EngineKind::kStrideBVDistRam:
+    case EngineKind::kStrideBVBlockRam:
+      return stridebv_resources(dp);
+    case EngineKind::kTcamFpga:
+      return tcam_resources(dp);
+  }
+  throw std::logic_error("estimate_resources: bad kind");
+}
+
+bool fits_device(const ResourceUsage& u, const FpgaDevice& d) {
+  if (u.slices > d.slices) return false;
+  if (u.bram36 > d.bram36) return false;
+  if (u.iobs > d.iobs) return false;
+  if (u.luts_memory > d.distram_luts()) return false;
+  return true;
+}
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,61 @@
+// Resource model: LUT/FF/slice/BRAM/IOB counts for each architecture.
+//
+// StrideBV (Section IV-A): ceil(104/k) uniform stages. Each stage holds
+// a 2^k x N dual-port memory plus an N-bit AND network and N-bit BVP
+// register per issue port; a ceil(log2 N)-stage PPE follows.
+//   distRAM: each memory bit column costs RAM32X1D LUT pairs (SLICEM).
+//   BRAM:    ceil(N / 36) RAMB36 per stage (true-dual-port port width
+//            36) plus glue logic to bridge the fixed BRAM columns.
+// TCAM (Section IV-B): 52 SRL16E per entry + a 52-input AND reduce per
+// match line + priority encoder.
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/design_point.h"
+#include "fpga/device.h"
+
+namespace rfipc::fpga {
+
+struct ResourceUsage {
+  std::uint64_t luts_logic = 0;   // plain logic LUTs (AND nets, PPE, glue)
+  std::uint64_t luts_memory = 0;  // SLICEM LUTs as distRAM or SRL16E
+  std::uint64_t ffs = 0;
+  std::uint64_t slices = 0;       // packed estimate
+  std::uint64_t bram36 = 0;
+  std::uint64_t iobs = 0;
+  /// Architectural memory bits (Figure 7's metric): stage-memory bits
+  /// for StrideBV, 2 bits per rule bit for TCAM — independent of which
+  /// RAM implements it.
+  std::uint64_t memory_bits = 0;
+
+  std::uint64_t luts_total() const { return luts_logic + luts_memory; }
+
+  /// Figure 8's metric.
+  double slice_percent(const FpgaDevice& d) const {
+    return 100.0 * static_cast<double>(slices) / static_cast<double>(d.slices);
+  }
+  /// Figure 9's metric.
+  double bram_percent(const FpgaDevice& d) const {
+    return 100.0 * static_cast<double>(bram36) / static_cast<double>(d.bram36);
+  }
+  double iob_percent(const FpgaDevice& d) const {
+    return 100.0 * static_cast<double>(iobs) / static_cast<double>(d.iobs);
+  }
+};
+
+/// Computes the resource usage of `dp`.
+ResourceUsage estimate_resources(const DesignPoint& dp);
+
+/// True when the design fits the device (slices, BRAM, distRAM, IOBs).
+bool fits_device(const ResourceUsage& u, const FpgaDevice& d);
+
+/// StrideBV pipeline stage count: ceil(header_bits / stride). The
+/// one-argument form uses the paper's 104-bit 5-tuple.
+unsigned stridebv_stages(unsigned stride);
+unsigned stridebv_stages(unsigned stride, unsigned header_bits);
+
+/// RAMB36 blocks needed for one StrideBV stage of width `entries`.
+std::uint64_t bram_blocks_per_stage(std::uint64_t entries, bool dual_port);
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,75 @@
+#include "fpga/timing_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fpga/calibration.h"
+#include "fpga/resource_model.h"
+#include "util/bitops.h"
+
+namespace rfipc::fpga {
+namespace {
+
+/// log2 growth above a 32-entry baseline (the smallest sweep point).
+double doublings(double x, double base) { return x <= base ? 0.0 : std::log2(x / base); }
+
+double stridebv_path_ns(const DesignPoint& dp) {
+  const auto n = static_cast<double>(dp.entries);
+  if (dp.kind == EngineKind::kStrideBVDistRam) {
+    const double route =
+        dp.floorplanned
+            ? cal::kDistRouteBaseFpNs + cal::kDistRouteSlopeFpNs * doublings(n, 32)
+            : cal::kDistRouteBaseNs + cal::kDistRouteSlopeNs * doublings(n, 32);
+    return cal::kDistLogicNs + route;
+  }
+  // BRAM: routing scales with cascaded blocks per stage.
+  const auto blocks = static_cast<double>(bram_blocks_per_stage(dp.entries, dp.dual_port));
+  const double route =
+      dp.floorplanned
+          ? cal::kBramRouteBaseFpNs + cal::kBramRouteSlopeFpNs * std::log2(blocks + 1)
+          : cal::kBramRouteBaseNs + cal::kBramRouteSlopeNs * std::log2(blocks + 1);
+  return cal::kBramLogicNs + route;
+}
+
+double tcam_path_ns(const DesignPoint& dp) {
+  const auto m = static_cast<double>(dp.entries);
+  const double route = cal::kTcamRouteBaseNs + cal::kTcamRouteSlopeNs * doublings(m, 32);
+  const double prio = cal::kTcamPrioEncNsPerLevel *
+                      static_cast<double>(util::ceil_log2(dp.entries ? dp.entries : 1));
+  return cal::kTcamLogicNs + route + prio;
+}
+
+}  // namespace
+
+TimingEstimate estimate_timing(const DesignPoint& dp) {
+  if (dp.entries == 0) throw std::invalid_argument("estimate_timing: zero entries");
+  TimingEstimate t;
+  switch (dp.kind) {
+    case EngineKind::kStrideBVDistRam:
+    case EngineKind::kStrideBVBlockRam:
+      t.critical_path_ns = stridebv_path_ns(dp);
+      t.issue_rate = dp.dual_port ? 2.0 : 1.0;
+      break;
+    case EngineKind::kTcamFpga:
+      t.critical_path_ns = tcam_path_ns(dp);
+      t.issue_rate = 1.0;  // single lookup per cycle
+      break;
+  }
+  t.clock_mhz = 1000.0 / t.critical_path_ns;
+  t.throughput_gbps = t.issue_rate * t.clock_mhz * 1e6 * cal::kPacketBits / 1e9;
+  return t;
+}
+
+unsigned pipeline_latency_cycles(const DesignPoint& dp) {
+  switch (dp.kind) {
+    case EngineKind::kStrideBVDistRam:
+    case EngineKind::kStrideBVBlockRam:
+      return stridebv_stages(dp.stride, dp.header_bits) +
+             (dp.entries <= 1 ? 1 : util::ceil_log2(dp.entries));
+    case EngineKind::kTcamFpga:
+      return 2;  // registered match + registered priority encode
+  }
+  return 0;
+}
+
+}  // namespace rfipc::fpga

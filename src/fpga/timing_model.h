@@ -1,0 +1,37 @@
+// Post place-and-route timing analogue.
+//
+// Pipelined architectures run at the clock of their slowest stage
+// (paper Section III): T = t_logic + t_route. The logic term is fixed
+// per architecture; the routing term encodes the first-order wire
+// effects the paper discusses:
+//   * StrideBV distRAM — net length grows with the BV width being
+//     distributed across slices; PlanAhead floorplanning keeps the
+//     pipeline column-regular and shortens nets (Figures 5-6).
+//   * StrideBV BRAM — fixed BRAM column locations force longer nets;
+//     delay grows with the number of cascaded RAMB36 per stage.
+//   * TCAM — the slowest path spans the header broadcast, per-entry
+//     match line, AND reduce, and a combinational priority encoder
+//     whose depth grows with log2(entries); despite the O(1) lookup the
+//     clock degrades with size (Section V-A).
+#pragma once
+
+#include "fpga/design_point.h"
+
+namespace rfipc::fpga {
+
+struct TimingEstimate {
+  double critical_path_ns = 0;
+  double clock_mhz = 0;
+  /// Packets per clock cycle (2 for dual-port StrideBV, else 1).
+  double issue_rate = 1;
+  /// Throughput at 40-byte minimum packets (Figure 4's metric).
+  double throughput_gbps = 0;
+};
+
+TimingEstimate estimate_timing(const DesignPoint& dp);
+
+/// Pipeline latency in cycles (stride stages + PPE for StrideBV; the
+/// TCAM's lookup + priority encode registers).
+unsigned pipeline_latency_cycles(const DesignPoint& dp);
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,55 @@
+#include "fpga/tree_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fpga/calibration.h"
+
+namespace rfipc::fpga {
+namespace {
+
+/// Stage clock from its memory footprint: BRAM-block cascading law —
+/// identical constants to the StrideBV BRAM path so profiles compare
+/// fairly. One RAMB36 holds 36 Kbit.
+double stage_clock_mhz(std::uint64_t bits) {
+  const double blocks = std::ceil(static_cast<double>(bits) / (36.0 * 1024.0));
+  const double route =
+      cal::kBramRouteBaseFpNs + cal::kBramRouteSlopeFpNs * std::log2(blocks + 1);
+  return 1000.0 / (cal::kBramLogicNs + route);
+}
+
+}  // namespace
+
+TreePipelineEstimate estimate_tree_pipeline(
+    const std::vector<std::uint64_t>& stage_bits) {
+  TreePipelineEstimate e;
+  std::uint64_t total = 0;
+  std::uint64_t max_bits = 0;
+  std::size_t nonempty = 0;
+  for (std::size_t s = 0; s < stage_bits.size(); ++s) {
+    if (stage_bits[s] == 0) continue;
+    ++nonempty;
+    total += stage_bits[s];
+    const double clock = stage_clock_mhz(stage_bits[s]);
+    if (stage_bits[s] > max_bits) {
+      max_bits = stage_bits[s];
+      e.slowest_stage = e.stage_clock_mhz.size();
+    }
+    e.stage_clock_mhz.push_back(clock);
+  }
+  if (nonempty == 0) throw std::invalid_argument("estimate_tree_pipeline: empty profile");
+  e.clock_mhz = *std::min_element(e.stage_clock_mhz.begin(), e.stage_clock_mhz.end());
+  const double mean = static_cast<double>(total) / static_cast<double>(nonempty);
+  e.skew = static_cast<double>(max_bits) / mean;
+  e.throughput_gbps = e.clock_mhz * 1e6 * cal::kPacketBits / 1e9;
+  return e;
+}
+
+TreePipelineEstimate estimate_uniform_pipeline(unsigned stages,
+                                               std::uint64_t bits_per_stage) {
+  return estimate_tree_pipeline(
+      std::vector<std::uint64_t>(stages, bits_per_stage));
+}
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,43 @@
+// Tree-pipeline timing model — the paper's slowest-stage argument made
+// executable (Sections II-B, III-A-3).
+//
+// "Typically, with increasing depth, the number of nodes in a given
+// level increases exponentially. When mapping such solutions to
+// pipelined hardware engines, the performance will be dictated by the
+// slowest stage and the slowest stage is generally the one with the
+// highest memory usage."
+//
+// Given a per-level memory profile (e.g. TrieLpm::level_histogram() ×
+// node bits), this model assigns each level a pipeline stage, derives
+// each stage's clock from its memory size with the same
+// cascaded-block routing law the StrideBV BRAM model uses, and reports
+// the pipeline clock = min over stages. StrideBV's uniform S×2^k×N
+// profile run through the SAME law recovers its flat clock, making the
+// comparison apples-to-apples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rfipc::fpga {
+
+struct TreePipelineEstimate {
+  std::vector<double> stage_clock_mhz;  // one per non-empty level
+  double clock_mhz = 0;                 // slowest stage
+  std::size_t slowest_stage = 0;
+  /// max stage memory / mean stage memory — the non-uniformity factor.
+  double skew = 1.0;
+  double throughput_gbps = 0;           // single-issue, 40 B packets
+};
+
+/// Evaluates a pipeline whose stage s holds `stage_bits[s]` memory
+/// bits. Empty (zero-bit) stages are skipped.
+TreePipelineEstimate estimate_tree_pipeline(const std::vector<std::uint64_t>& stage_bits);
+
+/// Convenience: the uniform StrideBV profile (S stages of 2^k * n
+/// bits) through the same law — used to show uniformity keeps the
+/// clock flat.
+TreePipelineEstimate estimate_uniform_pipeline(unsigned stages,
+                                               std::uint64_t bits_per_stage);
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,40 @@
+#include "fpga/update_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfipc::fpga {
+
+UpdateEstimate estimate_updates(const DesignPoint& dp, double update_rate) {
+  if (update_rate < 0) throw std::invalid_argument("estimate_updates: negative rate");
+  const auto timing = estimate_timing(dp);
+
+  UpdateEstimate u;
+  double blocked_fraction_per_cycle = 0;  // issue slots lost while updating
+  switch (dp.kind) {
+    case EngineKind::kTcamFpga:
+      // 16 shift cycles; the whole match word is unreliable -> stall.
+      u.cycles_per_update = 16;
+      blocked_fraction_per_cycle = 1.0;
+      break;
+    case EngineKind::kStrideBVDistRam:
+    case EngineKind::kStrideBVBlockRam:
+      // 2^k word rewrites per stage, stages in parallel; one of the two
+      // ports is stolen, halving issue for the duration.
+      u.cycles_per_update = 1ull << dp.stride;
+      blocked_fraction_per_cycle = dp.dual_port ? 0.5 : 1.0;
+      break;
+  }
+
+  const double cycles_per_sec = timing.clock_mhz * 1e6;
+  u.updates_per_sec = cycles_per_sec / static_cast<double>(u.cycles_per_update);
+  u.lookup_slots_lost_per_update =
+      static_cast<double>(u.cycles_per_update) * blocked_fraction_per_cycle;
+
+  const double lost_fraction = std::min(
+      1.0, update_rate * u.lookup_slots_lost_per_update / cycles_per_sec);
+  u.sustained_gbps = timing.throughput_gbps * (1.0 - lost_fraction);
+  return u;
+}
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,41 @@
+// Dynamic update model.
+//
+// The paper stresses that FPGA engines can be "reconfigured either
+// statically or dynamically" (Section IV-C). Both engines here support
+// in-place rule updates without re-synthesis, at different costs:
+//   * FPGA TCAM: an entry's 52 SRL16E images reload serially, 16 clock
+//     cycles per update with all cells shifting in parallel
+//     (srl16_model.h's write path). The entry's match line is invalid
+//     while shifting, so lookups stall (or the entry is masked).
+//   * StrideBV: updating one rule rewrites its bit column in every
+//     stage memory: 2^k words per stage, all stages updatable
+//     independently, stealing one memory port — dual-ported stage
+//     memory degrades to single-issue during the rewrite.
+// This module turns those costs into updates/second and sustained
+// throughput under a given update rate.
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/design_point.h"
+#include "fpga/timing_model.h"
+
+namespace rfipc::fpga {
+
+struct UpdateEstimate {
+  /// Clock cycles one rule update occupies the write machinery.
+  std::uint64_t cycles_per_update = 0;
+  /// Updates per second at the design's clock.
+  double updates_per_sec = 0;
+  /// Fraction of lookup capacity lost per update (update cycles *
+  /// blocked issue slots / total issue slots).
+  double lookup_slots_lost_per_update = 0;
+  /// Sustained classification throughput (Gbps) when `update_rate`
+  /// updates/sec stream in.
+  double sustained_gbps = 0;
+};
+
+/// Evaluates update behaviour for `dp` at `update_rate` updates/sec.
+UpdateEstimate estimate_updates(const DesignPoint& dp, double update_rate);
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,46 @@
+#include "lpm/route_table.h"
+
+#include <set>
+
+#include "util/prng.h"
+
+namespace rfipc::lpm {
+
+std::string Route::to_string() const {
+  return prefix.to_string() + " -> hop " + std::to_string(next_hop);
+}
+
+std::optional<Route> RouteTable::lookup(net::Ipv4Addr addr) const {
+  std::optional<Route> best;
+  for (const auto& r : routes_) {
+    if (!r.prefix.matches(addr)) continue;
+    if (!best || r.prefix.length > best->prefix.length) best = r;
+  }
+  return best;
+}
+
+RouteTable RouteTable::synthetic(std::size_t size, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  RouteTable table;
+  std::set<std::pair<std::uint32_t, std::uint8_t>> seen;
+  while (table.size() < size) {
+    // BGP-ish length mix: mostly /16../24, some shorter aggregates and
+    // a few host routes.
+    std::uint8_t len;
+    const double roll = rng.uniform01();
+    if (roll < 0.12) {
+      len = static_cast<std::uint8_t>(rng.in_range(8, 15));
+    } else if (roll < 0.88) {
+      len = static_cast<std::uint8_t>(rng.in_range(16, 24));
+    } else {
+      len = static_cast<std::uint8_t>(rng.in_range(25, 32));
+    }
+    const auto p =
+        net::Ipv4Prefix{{static_cast<std::uint32_t>(rng())}, len}.canonical();
+    if (!seen.insert({p.addr.value, p.length}).second) continue;
+    table.add({p, static_cast<std::uint32_t>(rng.below(64))});
+  }
+  return table;
+}
+
+}  // namespace rfipc::lpm

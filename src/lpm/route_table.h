@@ -1,0 +1,55 @@
+// IP lookup (longest prefix match) substrate.
+//
+// The paper repeatedly positions TCAM as the standard engine for both
+// packet classification and IP lookup (Sections I, III-B): "in the
+// case of IP lookup, the prefixes can be stored by their prefix length
+// and this yields longest prefix match". This module builds that
+// substrate: a routing table model, the TCAM-based LPM engine using
+// exactly that ordering trick, and a binary-trie reference both are
+// verified against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace rfipc::lpm {
+
+struct Route {
+  net::Ipv4Prefix prefix;
+  std::uint32_t next_hop = 0;
+
+  bool operator==(const Route&) const = default;
+  std::string to_string() const;
+};
+
+/// A routing table: an unordered collection of routes with LPM query
+/// semantics defined by the reference lookup below.
+class RouteTable {
+ public:
+  RouteTable() = default;
+  explicit RouteTable(std::vector<Route> routes) : routes_(std::move(routes)) {}
+
+  void add(Route r) { routes_.push_back(r); }
+  std::size_t size() const { return routes_.size(); }
+  const std::vector<Route>& routes() const { return routes_; }
+
+  /// Reference LPM: scan all routes, keep the longest matching prefix.
+  /// Ties on length keep the earliest route (stable).
+  std::optional<Route> lookup(net::Ipv4Addr addr) const;
+
+  /// Deterministic synthetic table: core-style prefix mix (/8../24
+  /// heavy, some /25../32), deduplicated per (prefix).
+  static RouteTable synthetic(std::size_t size, std::uint64_t seed);
+
+  auto begin() const { return routes_.begin(); }
+  auto end() const { return routes_.end(); }
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace rfipc::lpm

@@ -1,0 +1,62 @@
+#include "lpm/tcam_lpm.h"
+
+#include <algorithm>
+
+namespace rfipc::lpm {
+
+TcamLpm::Entry TcamLpm::make_entry(const Route& r) {
+  return {r.prefix.lo(), r.prefix.mask(), r.prefix.length, r.next_hop};
+}
+
+TcamLpm::TcamLpm(const RouteTable& table) {
+  entries_.reserve(table.size());
+  for (const auto& r : table) entries_.push_back(make_entry(r));
+  // Longest prefixes first; stable so equal lengths keep table order.
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) { return a.length > b.length; });
+}
+
+std::optional<Route> TcamLpm::lookup(net::Ipv4Addr addr) const {
+  for (const auto& e : entries_) {
+    if ((addr.value & e.mask) == e.value) {
+      return Route{net::Ipv4Prefix{{e.value}, e.length}, e.next_hop};
+    }
+  }
+  return std::nullopt;
+}
+
+void TcamLpm::insert(Route r) {
+  const Entry e = make_entry(r);
+  // First position whose length is strictly smaller: end of the
+  // per-length region, so existing same-length entries keep priority.
+  const auto pos = std::find_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& x) { return x.length < e.length; });
+  entries_.insert(pos, e);
+}
+
+bool TcamLpm::erase(const net::Ipv4Prefix& prefix) {
+  const auto canon = prefix.canonical();
+  const auto pos = std::find_if(entries_.begin(), entries_.end(), [&](const Entry& x) {
+    return x.length == canon.length && x.value == canon.lo();
+  });
+  if (pos == entries_.end()) return false;
+  entries_.erase(pos);
+  return true;
+}
+
+util::BitVector TcamLpm::match_lines(net::Ipv4Addr addr) const {
+  util::BitVector lines(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if ((addr.value & entries_[i].mask) == entries_[i].value) lines.set(i);
+  }
+  return lines;
+}
+
+bool TcamLpm::length_ordered() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].length > entries_[i - 1].length) return false;
+  }
+  return true;
+}
+
+}  // namespace rfipc::lpm

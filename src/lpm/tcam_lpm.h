@@ -1,0 +1,59 @@
+// TCAM-based longest prefix match (paper Section III-B).
+//
+// A TCAM returns the first (highest-priority) matching entry; sorting
+// entries by DECREASING prefix length makes that first match the
+// longest match — the classic trick the paper cites ([20]). The engine
+// stores 32-bit ternary entries (value + mask) and models the same
+// priority-encoder semantics as the classification TCAM.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lpm/route_table.h"
+#include "util/bitvector.h"
+
+namespace rfipc::lpm {
+
+class TcamLpm {
+ public:
+  explicit TcamLpm(const RouteTable& table);
+
+  std::size_t entry_count() const { return entries_.size(); }
+
+  /// LPM lookup: first matching entry in length-sorted order.
+  std::optional<Route> lookup(net::Ipv4Addr addr) const;
+
+  /// Inserts a route preserving the length ordering invariant
+  /// (the per-length region is located and the entry placed at its
+  /// end — the standard TCAM update strategy).
+  void insert(Route r);
+  /// Removes the first entry equal to `r.prefix`; returns false when
+  /// absent.
+  bool erase(const net::Ipv4Prefix& prefix);
+
+  /// Raw match lines for tests (bit per entry).
+  util::BitVector match_lines(net::Ipv4Addr addr) const;
+
+  /// TCAM storage: 2 bits per address bit per entry.
+  std::uint64_t memory_bits() const { return entries_.size() * 2ull * 32ull; }
+
+  /// Ordering invariant: entries sorted by non-increasing prefix
+  /// length. Exposed so property tests can assert it after updates.
+  bool length_ordered() const;
+
+ private:
+  struct Entry {
+    std::uint32_t value;
+    std::uint32_t mask;
+    std::uint8_t length;
+    std::uint32_t next_hop;
+  };
+
+  static Entry make_entry(const Route& r);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rfipc::lpm

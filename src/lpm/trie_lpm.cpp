@@ -1,0 +1,64 @@
+#include "lpm/trie_lpm.h"
+
+namespace rfipc::lpm {
+
+TrieLpm::TrieLpm(const RouteTable& table) : root_(std::make_unique<Node>()) {
+  node_count_ = 1;
+  for (const auto& r : table) insert(r);
+}
+
+void TrieLpm::insert(const Route& r) {
+  Node* n = root_.get();
+  const auto canon = r.prefix.canonical();
+  for (unsigned d = 0; d < canon.length; ++d) {
+    const unsigned bit = (canon.lo() >> (31 - d)) & 1u;
+    if (!n->child[bit]) {
+      n->child[bit] = std::make_unique<Node>();
+      ++node_count_;
+    }
+    n = n->child[bit].get();
+  }
+  // Earliest route wins on duplicates, matching RouteTable::lookup's
+  // stable tie-break.
+  if (!n->route) n->route = Route{canon, r.next_hop};
+}
+
+bool TrieLpm::erase(const net::Ipv4Prefix& prefix) {
+  Node* n = root_.get();
+  const auto canon = prefix.canonical();
+  for (unsigned d = 0; d < canon.length; ++d) {
+    const unsigned bit = (canon.lo() >> (31 - d)) & 1u;
+    if (!n->child[bit]) return false;
+    n = n->child[bit].get();
+  }
+  if (!n->route) return false;
+  n->route.reset();
+  return true;
+}
+
+std::optional<Route> TrieLpm::lookup(net::Ipv4Addr addr) const {
+  const Node* n = root_.get();
+  std::optional<Route> best = n->route;
+  for (unsigned d = 0; d < 32 && n; ++d) {
+    const unsigned bit = (addr.value >> (31 - d)) & 1u;
+    n = n->child[bit].get();
+    if (n && n->route) best = n->route;
+  }
+  return best;
+}
+
+void TrieLpm::count_levels(const Node& n, unsigned depth,
+                           std::array<std::size_t, 33>& hist) const {
+  hist[depth]++;
+  for (const auto& c : n.child) {
+    if (c) count_levels(*c, depth + 1, hist);
+  }
+}
+
+std::array<std::size_t, 33> TrieLpm::level_histogram() const {
+  std::array<std::size_t, 33> hist{};
+  count_levels(*root_, 0, hist);
+  return hist;
+}
+
+}  // namespace rfipc::lpm

@@ -1,0 +1,50 @@
+// Binary-trie LPM — the SRAM-based reference the paper contrasts TCAM
+// against ("decision tree based" search, Section II-B). A uni-bit trie:
+// descend one address bit per level, remembering the deepest route
+// passed. Also reports the structural stats (node counts per level)
+// that exhibit the exponential-levels effect the paper blames for
+// non-uniform pipeline stages.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "lpm/route_table.h"
+
+namespace rfipc::lpm {
+
+class TrieLpm {
+ public:
+  explicit TrieLpm(const RouteTable& table);
+
+  std::optional<Route> lookup(net::Ipv4Addr addr) const;
+
+  void insert(const Route& r);
+  /// Removes the route for `prefix` (the node keeps its children).
+  bool erase(const net::Ipv4Prefix& prefix);
+
+  std::size_t node_count() const { return node_count_; }
+  /// Nodes at each depth 0..32 — the per-stage memory profile a
+  /// pipelined trie would need (non-uniform, unlike StrideBV).
+  std::array<std::size_t, 33> level_histogram() const;
+
+  /// Approximate SRAM bits for a pipelined implementation: two child
+  /// pointers + route info per node.
+  std::uint64_t memory_bits() const { return node_count_ * 72ull; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::optional<Route> route;
+  };
+
+  void count_levels(const Node& n, unsigned depth,
+                    std::array<std::size_t, 33>& hist) const;
+
+  std::unique_ptr<Node> root_;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace rfipc::lpm

@@ -1,0 +1,55 @@
+#include "net/header.h"
+
+namespace rfipc::net {
+
+std::string FiveTuple::to_string() const {
+  return src_ip.to_string() + ":" + std::to_string(src_port) + " -> " +
+         dst_ip.to_string() + ":" + std::to_string(dst_port) + " proto " +
+         std::to_string(protocol);
+}
+
+HeaderBits::HeaderBits(const FiveTuple& t) {
+  put(kSipField.offset, kSipField.width, t.src_ip.value);
+  put(kDipField.offset, kDipField.width, t.dst_ip.value);
+  put(kSpField.offset, kSpField.width, t.src_port);
+  put(kDpField.offset, kDpField.width, t.dst_port);
+  put(kPrtField.offset, kPrtField.width, t.protocol);
+}
+
+void HeaderBits::put(unsigned offset, unsigned width, std::uint32_t value) {
+  for (unsigned i = 0; i < width; ++i) {
+    const bool b = (value >> (width - 1 - i)) & 1u;
+    const unsigned pos = offset + i;
+    if (b) bytes_[pos >> 3] |= static_cast<std::uint8_t>(1u << (7 - (pos & 7)));
+  }
+}
+
+std::uint32_t HeaderBits::stride(unsigned offset, unsigned k) const {
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    const unsigned pos = offset + i;
+    const bool b = pos < kHeaderBits && bit(pos);
+    v = (v << 1) | static_cast<std::uint32_t>(b);
+  }
+  return v;
+}
+
+std::uint32_t HeaderBits::field(FieldLayout f) const {
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < f.width; ++i) {
+    v = (v << 1) | static_cast<std::uint32_t>(bit(f.offset + i));
+  }
+  return v;
+}
+
+FiveTuple HeaderBits::unpack() const {
+  FiveTuple t;
+  t.src_ip.value = field(kSipField);
+  t.dst_ip.value = field(kDipField);
+  t.src_port = static_cast<std::uint16_t>(field(kSpField));
+  t.dst_port = static_cast<std::uint16_t>(field(kDpField));
+  t.protocol = static_cast<std::uint8_t>(field(kPrtField));
+  return t;
+}
+
+}  // namespace rfipc::net

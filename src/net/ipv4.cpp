@@ -1,0 +1,41 @@
+#include "net/ipv4.h"
+
+#include "util/str.h"
+
+namespace rfipc::net {
+
+std::string Ipv4Addr::to_string() const {
+  return std::to_string((value >> 24) & 0xff) + "." + std::to_string((value >> 16) & 0xff) +
+         "." + std::to_string((value >> 8) & 0xff) + "." + std::to_string(value & 0xff);
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  const auto parts = util::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto part : parts) {
+    const auto octet = util::parse_u64(part, 255);
+    if (!octet) return std::nullopt;
+    v = (v << 8) | static_cast<std::uint32_t>(*octet);
+  }
+  return Ipv4Addr{v};
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return addr.to_string() + "/" + std::to_string(length);
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view s) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string_view::npos) {
+    const auto a = Ipv4Addr::parse(s);
+    if (!a) return std::nullopt;
+    return Ipv4Prefix{*a, 32};
+  }
+  const auto a = Ipv4Addr::parse(s.substr(0, slash));
+  const auto len = util::parse_u64(s.substr(slash + 1), 32);
+  if (!a || !len) return std::nullopt;
+  return Ipv4Prefix{*a, static_cast<std::uint8_t>(*len)}.canonical();
+}
+
+}  // namespace rfipc::net

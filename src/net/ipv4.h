@@ -1,0 +1,67 @@
+// IPv4 addresses and prefixes.
+//
+// Prefixes use the usual CIDR semantics: a /L prefix matches an address
+// when the top L bits agree. A /0 prefix is the wildcard '*'.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rfipc::net {
+
+/// A 32-bit IPv4 address, stored host-order (bit 31 = first octet MSB).
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  constexpr bool operator==(const Ipv4Addr&) const = default;
+
+  /// Dotted-quad rendering, e.g. "192.168.0.1".
+  std::string to_string() const;
+
+  /// Parses dotted-quad; rejects octets > 255 and malformed strings.
+  static std::optional<Ipv4Addr> parse(std::string_view s);
+};
+
+/// A CIDR prefix: the top `length` bits of `addr` are significant.
+struct Ipv4Prefix {
+  Ipv4Addr addr;
+  std::uint8_t length = 0;  // 0..32
+
+  constexpr bool operator==(const Ipv4Prefix&) const = default;
+
+  /// True when `a` falls inside this prefix.
+  constexpr bool matches(Ipv4Addr a) const {
+    if (length == 0) return true;
+    const std::uint32_t mask = length >= 32 ? ~std::uint32_t{0}
+                                            : ~((std::uint32_t{1} << (32 - length)) - 1);
+    return (a.value & mask) == (addr.value & mask);
+  }
+
+  /// Network mask as a 32-bit word (host order).
+  constexpr std::uint32_t mask() const {
+    return length == 0 ? 0
+           : length >= 32
+               ? ~std::uint32_t{0}
+               : ~((std::uint32_t{1} << (32 - length)) - 1);
+  }
+
+  /// Lowest / highest address covered.
+  constexpr std::uint32_t lo() const { return addr.value & mask(); }
+  constexpr std::uint32_t hi() const { return lo() | ~mask(); }
+
+  /// Canonicalizes: zeroes the host bits of `addr`.
+  constexpr Ipv4Prefix canonical() const { return {{addr.value & mask()}, length}; }
+
+  /// "a.b.c.d/len" rendering; "/0" renders as "0.0.0.0/0".
+  std::string to_string() const;
+
+  /// Parses "a.b.c.d/len"; a bare address is treated as /32.
+  static std::optional<Ipv4Prefix> parse(std::string_view s);
+
+  /// The full wildcard prefix.
+  static constexpr Ipv4Prefix any() { return {{0}, 0}; }
+};
+
+}  // namespace rfipc::net

@@ -1,0 +1,157 @@
+#include "net/packet_parser.h"
+
+namespace rfipc::net {
+namespace {
+
+constexpr std::size_t kEthHeader = 14;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+
+std::uint16_t be16(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+std::uint32_t be32(std::span<const std::uint8_t> b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) |
+         static_cast<std::uint32_t>(b[off + 3]);
+}
+
+void put16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+const char* parse_status_name(ParseStatus s) {
+  switch (s) {
+    case ParseStatus::kOk:
+      return "ok";
+    case ParseStatus::kTruncatedEthernet:
+      return "truncated-ethernet";
+    case ParseStatus::kUnsupportedEtherType:
+      return "unsupported-ethertype";
+    case ParseStatus::kTruncatedIp:
+      return "truncated-ip";
+    case ParseStatus::kBadIpVersion:
+      return "bad-ip-version";
+    case ParseStatus::kBadIpHeaderLength:
+      return "bad-ip-ihl";
+    case ParseStatus::kBadIpTotalLength:
+      return "bad-ip-total-length";
+    case ParseStatus::kTruncatedTransport:
+      return "truncated-transport";
+  }
+  return "?";
+}
+
+ParsedPacket parse_packet(std::span<const std::uint8_t> frame) {
+  ParsedPacket out;
+  auto fail = [&](ParseStatus s) {
+    out.status = s;
+    return out;
+  };
+
+  if (frame.size() < kEthHeader) return fail(ParseStatus::kTruncatedEthernet);
+  std::size_t l3 = kEthHeader;
+  std::uint16_t ethertype = be16(frame, 12);
+  if (ethertype == kEtherTypeVlan) {
+    if (frame.size() < kEthHeader + 4) return fail(ParseStatus::kTruncatedEthernet);
+    ethertype = be16(frame, 16);
+    l3 += 4;
+  }
+  if (ethertype != kEtherTypeIpv4) return fail(ParseStatus::kUnsupportedEtherType);
+
+  if (frame.size() < l3 + 20) return fail(ParseStatus::kTruncatedIp);
+  const std::uint8_t ver_ihl = frame[l3];
+  if ((ver_ihl >> 4) != 4) return fail(ParseStatus::kBadIpVersion);
+  const std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if (ihl < 20) return fail(ParseStatus::kBadIpHeaderLength);
+  if (frame.size() < l3 + ihl) return fail(ParseStatus::kTruncatedIp);
+  const std::uint16_t total_len = be16(frame, l3 + 2);
+  if (total_len < ihl || frame.size() < l3 + total_len) {
+    return fail(ParseStatus::kBadIpTotalLength);
+  }
+
+  out.tuple.protocol = frame[l3 + 9];
+  out.tuple.src_ip.value = be32(frame, l3 + 12);
+  out.tuple.dst_ip.value = be32(frame, l3 + 16);
+
+  const std::uint16_t flags_frag = be16(frame, l3 + 6);
+  const std::uint16_t frag_offset = flags_frag & 0x1fff;
+  const std::size_t l4 = l3 + ihl;
+  out.fragment = frag_offset != 0;
+
+  if (!out.fragment &&
+      (out.tuple.protocol == 6 /*TCP*/ || out.tuple.protocol == 17 /*UDP*/)) {
+    if (frame.size() < l4 + 4 || total_len < ihl + 4) {
+      return fail(ParseStatus::kTruncatedTransport);
+    }
+    out.tuple.src_port = be16(frame, l4);
+    out.tuple.dst_port = be16(frame, l4 + 2);
+  }
+  out.payload_offset = l4;
+  out.status = ParseStatus::kOk;
+  return out;
+}
+
+std::vector<std::uint8_t> build_packet(const FiveTuple& tuple,
+                                       const BuildOptions& options) {
+  std::vector<std::uint8_t> b;
+  // Ethernet: locally administered MACs derived from the IPs.
+  b.insert(b.end(), {0x02, 0, 0, 0, 0, 1});
+  b.insert(b.end(), {0x02, 0, 0, 0, 0, 2});
+  if (options.vlan) {
+    put16(b, 0x8100);
+    put16(b, options.vlan_id & 0x0fff);
+  }
+  put16(b, 0x0800);
+
+  const bool tcp = tuple.protocol == 6 && !options.fragment;
+  const bool udp = tuple.protocol == 17 && !options.fragment;
+  const std::size_t l4_len = tcp ? 20 : udp ? 8 : 0;
+  const std::size_t total = 20 + l4_len + options.payload_len;
+
+  b.push_back(0x45);  // v4, IHL 5
+  b.push_back(0);     // DSCP/ECN
+  put16(b, static_cast<std::uint16_t>(total));
+  put16(b, 0x1234);  // identification
+  put16(b, options.fragment ? 0x0008 : 0x4000);  // frag offset 8 / DF
+  b.push_back(64);                               // TTL
+  b.push_back(tuple.protocol);
+  put16(b, 0);  // checksum (not validated by the parser)
+  put32(b, tuple.src_ip.value);
+  put32(b, tuple.dst_ip.value);
+
+  if (tcp) {
+    put16(b, tuple.src_port);
+    put16(b, tuple.dst_port);
+    put32(b, 0);         // seq
+    put32(b, 0);         // ack
+    b.push_back(0x50);   // data offset 5
+    b.push_back(0x02);   // SYN
+    put16(b, 0xffff);    // window
+    put16(b, 0);         // checksum
+    put16(b, 0);         // urgent
+  } else if (udp) {
+    put16(b, tuple.src_port);
+    put16(b, tuple.dst_port);
+    put16(b, static_cast<std::uint16_t>(8 + options.payload_len));
+    put16(b, 0);  // checksum
+  }
+  for (std::size_t i = 0; i < options.payload_len; ++i) {
+    b.push_back(static_cast<std::uint8_t>(i));
+  }
+  return b;
+}
+
+}  // namespace rfipc::net

@@ -1,0 +1,64 @@
+// Raw packet parsing: Ethernet II (+ optional 802.1Q VLAN) / IPv4 /
+// TCP|UDP|other -> the classifier's 5-tuple.
+//
+// Firewalls classify wire packets, not pre-decoded tuples; this module
+// is the header-extraction substrate in front of the engines (the
+// paper's pipeline assumes it — cf. its reference [3] on programmable
+// packet parsing). Parsing is defensive: every length and version
+// field is validated and a precise ParseStatus explains rejections.
+// A builder synthesizes valid packets for tests and traces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/header.h"
+
+namespace rfipc::net {
+
+enum class ParseStatus : std::uint8_t {
+  kOk,
+  kTruncatedEthernet,
+  kUnsupportedEtherType,  // not IPv4 (possibly after VLAN)
+  kTruncatedIp,
+  kBadIpVersion,
+  kBadIpHeaderLength,
+  kBadIpTotalLength,
+  kTruncatedTransport,
+};
+
+const char* parse_status_name(ParseStatus s);
+
+struct ParsedPacket {
+  ParseStatus status = ParseStatus::kOk;
+  FiveTuple tuple;
+  /// True when the packet is a non-first IP fragment: the transport
+  /// header is absent, so ports are reported as 0 (and a classifier
+  /// relying on them should treat the packet specially).
+  bool fragment = false;
+  /// Bytes consumed by headers (payload starts here) — 0 on error.
+  std::size_t payload_offset = 0;
+
+  bool ok() const { return status == ParseStatus::kOk; }
+};
+
+/// Parses one raw frame.
+ParsedPacket parse_packet(std::span<const std::uint8_t> frame);
+
+struct BuildOptions {
+  std::size_t payload_len = 16;
+  bool vlan = false;
+  std::uint16_t vlan_id = 0;
+  /// Emit a non-first fragment (fragment offset > 0, no L4 header).
+  bool fragment = false;
+};
+
+/// Synthesizes a valid Ethernet/IPv4/L4 frame carrying `tuple`.
+/// TCP (proto 6) gets a 20-byte TCP header, UDP (17) an 8-byte UDP
+/// header, everything else a bare IP payload.
+std::vector<std::uint8_t> build_packet(const FiveTuple& tuple,
+                                       const BuildOptions& options = {});
+
+}  // namespace rfipc::net

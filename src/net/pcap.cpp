@@ -1,0 +1,127 @@
+#include "net/pcap.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace rfipc::net {
+namespace {
+
+constexpr std::uint32_t kMagicLe = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicBe = 0xd4c3b2a1;
+
+void put32le(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put16le(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32(bool swap) {
+    if (pos_ + 4 > bytes_.size()) throw std::runtime_error("pcap: truncated");
+    std::uint32_t v = static_cast<std::uint32_t>(bytes_[pos_]) |
+                      (static_cast<std::uint32_t>(bytes_[pos_ + 1]) << 8) |
+                      (static_cast<std::uint32_t>(bytes_[pos_ + 2]) << 16) |
+                      (static_cast<std::uint32_t>(bytes_[pos_ + 3]) << 24);
+    pos_ += 4;
+    if (swap) {
+      v = ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) | (v >> 24);
+    }
+    return v;
+  }
+
+  std::vector<std::uint8_t> take(std::size_t n) {
+    if (pos_ + n > bytes_.size()) throw std::runtime_error("pcap: truncated record");
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  bool done() const { return pos_ >= bytes_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> pcap_to_bytes(const PcapFile& file) {
+  std::vector<std::uint8_t> b;
+  put32le(b, kMagicLe);
+  put16le(b, 2);      // version major
+  put16le(b, 4);      // version minor
+  put32le(b, 0);      // thiszone
+  put32le(b, 0);      // sigfigs
+  put32le(b, 65535);  // snaplen
+  put32le(b, file.link_type);
+  for (const auto& r : file.records) {
+    put32le(b, r.ts_sec);
+    put32le(b, r.ts_usec);
+    put32le(b, static_cast<std::uint32_t>(r.frame.size()));  // caplen
+    put32le(b, static_cast<std::uint32_t>(r.frame.size()));  // origlen
+    b.insert(b.end(), r.frame.begin(), r.frame.end());
+  }
+  return b;
+}
+
+PcapFile pcap_from_bytes(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  const std::uint32_t magic = r.u32(false);
+  bool swap = false;
+  if (magic == kMagicLe) {
+    swap = false;
+  } else if (magic == kMagicBe) {
+    swap = true;
+  } else {
+    throw std::runtime_error("pcap: bad magic");
+  }
+  r.u32(swap);  // versions (2 x u16; accept anything)
+  r.u32(swap);  // thiszone
+  r.u32(swap);  // sigfigs
+  r.u32(swap);  // snaplen
+  PcapFile file;
+  file.link_type = r.u32(swap);
+
+  while (!r.done()) {
+    PcapRecord rec;
+    rec.ts_sec = r.u32(swap);
+    rec.ts_usec = r.u32(swap);
+    const std::uint32_t caplen = r.u32(swap);
+    const std::uint32_t origlen = r.u32(swap);
+    if (caplen > origlen || caplen > 256 * 1024) {
+      throw std::runtime_error("pcap: implausible record length");
+    }
+    rec.frame = r.take(caplen);
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+bool save_pcap(const std::string& path, const PcapFile& file) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const auto bytes = pcap_to_bytes(file);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(f);
+}
+
+PcapFile load_pcap(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open pcap file: " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  return pcap_from_bytes(bytes);
+}
+
+}  // namespace rfipc::net

@@ -1,0 +1,38 @@
+// pcap-lite: reading and writing classic libpcap capture files
+// (the 24-byte global header + 16-byte per-record headers, LINKTYPE
+// EN10MB), so traces interoperate with standard tooling. Supports both
+// byte orders on read; writes little-endian microsecond format.
+//
+// Only what a classifier harness needs — no nanosecond variant, no
+// pcapng.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfipc::net {
+
+struct PcapRecord {
+  std::uint32_t ts_sec = 0;
+  std::uint32_t ts_usec = 0;
+  std::vector<std::uint8_t> frame;  // captured bytes (caplen == len here)
+};
+
+struct PcapFile {
+  std::uint32_t link_type = 1;  // LINKTYPE_ETHERNET
+  std::vector<PcapRecord> records;
+};
+
+/// Serializes to the classic little-endian pcap byte stream.
+std::vector<std::uint8_t> pcap_to_bytes(const PcapFile& file);
+
+/// Parses a pcap byte stream (either endianness). Throws
+/// std::runtime_error on malformed input.
+PcapFile pcap_from_bytes(const std::vector<std::uint8_t>& bytes);
+
+/// File wrappers. save returns false on I/O failure; load throws.
+bool save_pcap(const std::string& path, const PcapFile& file);
+PcapFile load_pcap(const std::string& path);
+
+}  // namespace rfipc::net

@@ -1,0 +1,29 @@
+#include "net/port_range.h"
+
+#include "util/str.h"
+
+namespace rfipc::net {
+
+std::string PortRange::to_string() const {
+  if (is_wildcard()) return "*";
+  if (is_exact()) return std::to_string(lo);
+  return std::to_string(lo) + ":" + std::to_string(hi);
+}
+
+std::optional<PortRange> PortRange::parse(std::string_view s) {
+  s = util::trim(s);
+  if (s == "*") return any();
+  std::size_t sep = s.find(':');
+  if (sep == std::string_view::npos) sep = s.find('-');
+  if (sep == std::string_view::npos) {
+    const auto p = util::parse_u64(s, 0xffff);
+    if (!p) return std::nullopt;
+    return exactly(static_cast<std::uint16_t>(*p));
+  }
+  const auto lo = util::parse_u64(util::trim(s.substr(0, sep)), 0xffff);
+  const auto hi = util::parse_u64(util::trim(s.substr(sep + 1)), 0xffff);
+  if (!lo || !hi || *lo > *hi) return std::nullopt;
+  return PortRange{static_cast<std::uint16_t>(*lo), static_cast<std::uint16_t>(*hi)};
+}
+
+}  // namespace rfipc::net

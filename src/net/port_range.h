@@ -1,0 +1,34 @@
+// Transport-layer port ranges with the arbitrary-range semantics the
+// paper calls out: a rule's SP/DP field is a closed interval [lo, hi]
+// that need not be expressible as a single prefix.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rfipc::net {
+
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 0xffff;
+
+  constexpr bool operator==(const PortRange&) const = default;
+
+  constexpr bool matches(std::uint16_t p) const { return p >= lo && p <= hi; }
+  constexpr bool is_wildcard() const { return lo == 0 && hi == 0xffff; }
+  constexpr bool is_exact() const { return lo == hi; }
+  constexpr std::uint32_t width() const { return std::uint32_t{hi} - lo + 1; }
+
+  /// "*" | "p" | "lo:hi" rendering (ClassBench style uses "lo : hi").
+  std::string to_string() const;
+
+  /// Accepts "*", "p", "lo:hi", "lo-hi", and "lo : hi"; requires lo <= hi.
+  static std::optional<PortRange> parse(std::string_view s);
+
+  static constexpr PortRange any() { return {0, 0xffff}; }
+  static constexpr PortRange exactly(std::uint16_t p) { return {p, p}; }
+};
+
+}  // namespace rfipc::net

@@ -1,0 +1,87 @@
+#include "net/protocol.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/str.h"
+
+namespace rfipc::net {
+namespace {
+
+struct Name {
+  std::string_view name;
+  std::uint8_t value;
+};
+
+constexpr std::array<Name, 8> kNames{{
+    {"ICMP", 1},
+    {"TCP", 6},
+    {"UDP", 17},
+    {"GRE", 47},
+    {"ESP", 50},
+    {"AH", 51},
+    {"OSPF", 89},
+    {"SCTP", 132},
+}};
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> parse_hex(std::string_view s) {
+  if (!util::starts_with(s, "0x") && !util::starts_with(s, "0X")) return std::nullopt;
+  s.remove_prefix(2);
+  if (s.empty() || s.size() > 2) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string ProtocolSpec::to_string() const {
+  if (wildcard) return "*";
+  for (const auto& n : kNames) {
+    if (n.value == value) return std::string(n.name);
+  }
+  return std::to_string(value);
+}
+
+std::optional<ProtocolSpec> ProtocolSpec::parse(std::string_view s) {
+  s = util::trim(s);
+  if (s == "*") return any();
+  for (const auto& n : kNames) {
+    if (iequals(s, n.name)) return exactly(n.value);
+  }
+  // ClassBench "0xVV/0xMM" form: mask 0x00 is wildcard, 0xFF exact.
+  const std::size_t slash = s.find('/');
+  if (slash != std::string_view::npos) {
+    const auto v = parse_hex(util::trim(s.substr(0, slash)));
+    const auto m = parse_hex(util::trim(s.substr(slash + 1)));
+    if (!v || !m || (*m != 0x00 && *m != 0xff)) return std::nullopt;
+    return *m == 0 ? any() : exactly(static_cast<std::uint8_t>(*v));
+  }
+  const auto v = util::parse_u64(s, 255);
+  if (!v) return std::nullopt;
+  return exactly(static_cast<std::uint8_t>(*v));
+}
+
+}  // namespace rfipc::net

@@ -1,0 +1,47 @@
+// The 8-bit IP protocol field: exact value or wildcard (the two cases
+// that appear in 5-tuple classifiers; ClassBench encodes this as
+// value/mask with mask 0xFF or 0x00).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rfipc::net {
+
+/// Well-known protocol numbers used by the generators and parsers.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  kGre = 47,
+  kEsp = 50,
+  kAh = 51,
+  kOspf = 89,
+  kSctp = 132,
+};
+
+struct ProtocolSpec {
+  std::uint8_t value = 0;
+  bool wildcard = true;
+
+  constexpr bool operator==(const ProtocolSpec&) const = default;
+
+  constexpr bool matches(std::uint8_t p) const { return wildcard || p == value; }
+
+  /// "*", a symbolic name ("TCP"), or a decimal number.
+  std::string to_string() const;
+
+  /// Accepts "*", decimal, "0xNN/0xMM" (ClassBench), and the symbolic
+  /// names TCP/UDP/ICMP/GRE/ESP/AH/OSPF/SCTP (case-insensitive).
+  static std::optional<ProtocolSpec> parse(std::string_view s);
+
+  static constexpr ProtocolSpec any() { return {0, true}; }
+  static constexpr ProtocolSpec exactly(std::uint8_t p) { return {p, false}; }
+  static constexpr ProtocolSpec exactly(IpProto p) {
+    return {static_cast<std::uint8_t>(p), false};
+  }
+};
+
+}  // namespace rfipc::net

@@ -1,0 +1,105 @@
+#include "ruleset/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "ruleset/range_to_prefix.h"
+#include "ruleset/ternary.h"
+#include "util/prng.h"
+#include "util/str.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+double hist_entropy(const std::array<std::size_t, 33>& hist, std::size_t total) {
+  if (total == 0) return 0;
+  double h = 0;
+  for (const auto c : hist) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+bool is_arbitrary_range(const net::PortRange& r) {
+  return !r.is_wildcard() && !r.is_exact() && !range_is_prefix(r.lo, r.hi, 16);
+}
+
+}  // namespace
+
+RuleSetFeatures analyze(const RuleSet& rs, std::size_t overlap_samples,
+                        std::uint64_t seed) {
+  RuleSetFeatures f;
+  f.size = rs.size();
+  if (rs.empty()) return f;
+
+  std::size_t sip_wild = 0;
+  std::size_t dip_wild = 0;
+  std::size_t sp_wild = 0;
+  std::size_t dp_wild = 0;
+  std::size_t proto_wild = 0;
+  std::size_t arb = 0;
+  for (const auto& r : rs) {
+    f.sip_len_hist[r.src_ip.length]++;
+    f.dip_len_hist[r.dst_ip.length]++;
+    sip_wild += r.src_ip.length == 0 ? 1 : 0;
+    dip_wild += r.dst_ip.length == 0 ? 1 : 0;
+    sp_wild += r.src_port.is_wildcard() ? 1 : 0;
+    dp_wild += r.dst_port.is_wildcard() ? 1 : 0;
+    proto_wild += r.protocol.wildcard ? 1 : 0;
+    arb += (is_arbitrary_range(r.src_port) || is_arbitrary_range(r.dst_port)) ? 1 : 0;
+
+    const std::size_t exp = ternary_expansion(r);
+    f.tcam_entries += exp;
+    f.max_rule_expansion = std::max(f.max_rule_expansion, exp);
+  }
+  const auto n = static_cast<double>(rs.size());
+  f.sip_wildcard = static_cast<double>(sip_wild) / n;
+  f.dip_wildcard = static_cast<double>(dip_wild) / n;
+  f.sp_wildcard = static_cast<double>(sp_wild) / n;
+  f.dp_wildcard = static_cast<double>(dp_wild) / n;
+  f.proto_wildcard = static_cast<double>(proto_wild) / n;
+  f.arbitrary_range_fraction = static_cast<double>(arb) / n;
+  f.tcam_expansion = static_cast<double>(f.tcam_entries) / n;
+  f.sip_len_entropy = hist_entropy(f.sip_len_hist, rs.size());
+  f.dip_len_entropy = hist_entropy(f.dip_len_hist, rs.size());
+
+  util::Xoshiro256 rng(seed);
+  std::size_t total_matches = 0;
+  for (std::size_t s = 0; s < overlap_samples; ++s) {
+    net::FiveTuple t;
+    t.src_ip.value = static_cast<std::uint32_t>(rng());
+    t.dst_ip.value = static_cast<std::uint32_t>(rng());
+    t.src_port = static_cast<std::uint16_t>(rng.below(0x10000));
+    t.dst_port = static_cast<std::uint16_t>(rng.below(0x10000));
+    t.protocol = static_cast<std::uint8_t>(rng.below(256));
+    total_matches += rs.all_matches(t).size();
+  }
+  f.avg_overlap = overlap_samples == 0
+                      ? 0
+                      : static_cast<double>(total_matches) / static_cast<double>(overlap_samples);
+  return f;
+}
+
+std::string RuleSetFeatures::summary() const {
+  std::ostringstream os;
+  os << "rules=" << size << " tcam_entries=" << tcam_entries << " (expansion "
+     << util::fmt_double(tcam_expansion, 2) << "x, max " << max_rule_expansion
+     << "x)\n"
+     << "wildcards: sip=" << util::fmt_double(sip_wildcard * 100, 1)
+     << "% dip=" << util::fmt_double(dip_wildcard * 100, 1)
+     << "% sp=" << util::fmt_double(sp_wildcard * 100, 1)
+     << "% dp=" << util::fmt_double(dp_wildcard * 100, 1)
+     << "% proto=" << util::fmt_double(proto_wildcard * 100, 1) << "%\n"
+     << "arbitrary ranges: " << util::fmt_double(arbitrary_range_fraction * 100, 1)
+     << "% of rules; prefix-length entropy sip="
+     << util::fmt_double(sip_len_entropy, 2)
+     << "b dip=" << util::fmt_double(dip_len_entropy, 2)
+     << "b; avg rules matched per random header="
+     << util::fmt_double(avg_overlap, 2);
+  return os.str();
+}
+
+}  // namespace rfipc::ruleset

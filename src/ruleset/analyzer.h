@@ -1,0 +1,58 @@
+// Ruleset feature analysis.
+//
+// Quantifies the "features" the paper talks about: the structural
+// properties feature-reliant classifiers exploit (prefix length
+// distributions, wildcard density, range usage, overlap degree) and the
+// TCAM expansion cost. Used by the feature-independence bench and the
+// design-explorer example.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ruleset/ruleset.h"
+
+namespace rfipc::ruleset {
+
+struct RuleSetFeatures {
+  std::size_t size = 0;
+
+  /// Prefix-length histograms (index = length 0..32).
+  std::array<std::size_t, 33> sip_len_hist{};
+  std::array<std::size_t, 33> dip_len_hist{};
+
+  /// Field wildcard fractions (0..1).
+  double sip_wildcard = 0;
+  double dip_wildcard = 0;
+  double sp_wildcard = 0;
+  double dp_wildcard = 0;
+  double proto_wildcard = 0;
+
+  /// Fraction of rules whose SP/DP is an arbitrary (non-prefix,
+  /// non-trivial) range.
+  double arbitrary_range_fraction = 0;
+
+  /// TCAM range-expansion: total ternary entries / rules.
+  double tcam_expansion = 1.0;
+  std::size_t tcam_entries = 0;
+  std::size_t max_rule_expansion = 1;
+
+  /// Average number of rules matching a uniformly random header out of
+  /// `overlap_samples` probes (a cheap overlap/"feature" indicator).
+  double avg_overlap = 0;
+
+  /// Shannon entropy (bits) of the SIP/DIP prefix length distributions;
+  /// near-uniform (feature-free) rulesets score high.
+  double sip_len_entropy = 0;
+  double dip_len_entropy = 0;
+
+  std::string summary() const;
+};
+
+/// Analyzes `rs`. `overlap_samples` random headers probe rule overlap;
+/// `seed` makes the probe deterministic.
+RuleSetFeatures analyze(const RuleSet& rs, std::size_t overlap_samples = 1000,
+                        std::uint64_t seed = 7);
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,165 @@
+#include "ruleset/generator.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+using util::Xoshiro256;
+
+constexpr std::array<std::uint16_t, 12> kServicePorts{21, 22, 23, 25,  53,  80,
+                                                      110, 123, 143, 443, 993, 8080};
+
+net::Ipv4Prefix random_prefix(Xoshiro256& rng, unsigned min_len, unsigned max_len) {
+  const auto len = static_cast<std::uint8_t>(rng.in_range(min_len, max_len));
+  const auto addr = static_cast<std::uint32_t>(rng());
+  return net::Ipv4Prefix{{addr}, len}.canonical();
+}
+
+net::PortRange random_range(Xoshiro256& rng) {
+  const auto a = static_cast<std::uint16_t>(rng.below(0x10000));
+  const auto b = static_cast<std::uint16_t>(rng.below(0x10000));
+  return a <= b ? net::PortRange{a, b} : net::PortRange{b, a};
+}
+
+net::PortRange firewall_port(Xoshiro256& rng, double range_fraction) {
+  const double roll = rng.uniform01();
+  if (roll < range_fraction) {
+    // Service-style ranges: ephemeral block or a short span.
+    switch (rng.below(3)) {
+      case 0:
+        return {1024, 0xffff};
+      case 1:
+        return {0, 1023};
+      default: {
+        const auto lo = static_cast<std::uint16_t>(rng.below(0xf000));
+        const auto span = static_cast<std::uint16_t>(rng.in_range(1, 2000));
+        return {lo, static_cast<std::uint16_t>(lo + span)};
+      }
+    }
+  }
+  if (roll < range_fraction + 0.45) {
+    return net::PortRange::exactly(kServicePorts[rng.below(kServicePorts.size())]);
+  }
+  return net::PortRange::any();
+}
+
+net::ProtocolSpec firewall_proto(Xoshiro256& rng) {
+  const double roll = rng.uniform01();
+  if (roll < 0.55) return net::ProtocolSpec::exactly(net::IpProto::kTcp);
+  if (roll < 0.80) return net::ProtocolSpec::exactly(net::IpProto::kUdp);
+  if (roll < 0.88) return net::ProtocolSpec::exactly(net::IpProto::kIcmp);
+  return net::ProtocolSpec::any();
+}
+
+Action random_action(Xoshiro256& rng) {
+  if (rng.chance(1, 4)) return Action::drop();
+  return Action::forward(static_cast<std::uint16_t>(rng.below(16)));
+}
+
+Rule firewall_rule(Xoshiro256& rng, double range_fraction) {
+  Rule r;
+  // Firewalls mostly constrain one side tightly (the protected network)
+  // and the other loosely.
+  if (rng.chance(1, 2)) {
+    r.src_ip = random_prefix(rng, 16, 28);
+    r.dst_ip = rng.chance(1, 3) ? net::Ipv4Prefix::any() : random_prefix(rng, 8, 24);
+  } else {
+    r.src_ip = rng.chance(1, 3) ? net::Ipv4Prefix::any() : random_prefix(rng, 8, 24);
+    r.dst_ip = random_prefix(rng, 16, 28);
+  }
+  r.src_port = rng.chance(2, 3) ? net::PortRange::any() : firewall_port(rng, range_fraction);
+  r.dst_port = firewall_port(rng, range_fraction);
+  r.protocol = firewall_proto(rng);
+  r.action = random_action(rng);
+  return r;
+}
+
+Rule acl_rule(Xoshiro256& rng, double range_fraction) {
+  Rule r;
+  r.src_ip = random_prefix(rng, 24, 32);
+  r.dst_ip = random_prefix(rng, 24, 32);
+  r.src_port = rng.chance(1, 2) ? net::PortRange::any() : firewall_port(rng, range_fraction);
+  r.dst_port = rng.chance(3, 4)
+                   ? net::PortRange::exactly(kServicePorts[rng.below(kServicePorts.size())])
+                   : firewall_port(rng, range_fraction);
+  r.protocol = firewall_proto(rng);
+  r.action = random_action(rng);
+  return r;
+}
+
+Rule feature_free_rule(Xoshiro256& rng, double range_fraction) {
+  Rule r;
+  r.src_ip = random_prefix(rng, 0, 32);
+  r.dst_ip = random_prefix(rng, 0, 32);
+  r.src_port = rng.uniform01() < range_fraction ? random_range(rng)
+               : rng.chance(1, 2) ? net::PortRange::any()
+                                  : net::PortRange::exactly(
+                                        static_cast<std::uint16_t>(rng.below(0x10000)));
+  r.dst_port = rng.uniform01() < range_fraction ? random_range(rng)
+               : rng.chance(1, 2) ? net::PortRange::any()
+                                  : net::PortRange::exactly(
+                                        static_cast<std::uint16_t>(rng.below(0x10000)));
+  r.protocol = rng.chance(1, 3) ? net::ProtocolSpec::any()
+                                : net::ProtocolSpec::exactly(
+                                      static_cast<std::uint8_t>(rng.below(256)));
+  r.action = random_action(rng);
+  return r;
+}
+
+}  // namespace
+
+RuleSet generate(const GeneratorConfig& config) {
+  if (config.size == 0) throw std::invalid_argument("generate: size must be > 0");
+  if (config.range_fraction < 0.0 || config.range_fraction > 1.0) {
+    throw std::invalid_argument("generate: range_fraction out of [0,1]");
+  }
+  Xoshiro256 rng(config.seed ^ (static_cast<std::uint64_t>(config.mode) << 56) ^
+                 (static_cast<std::uint64_t>(config.size) << 32));
+  RuleSet rs;
+  const std::size_t body = config.default_rule ? config.size - 1 : config.size;
+  for (std::size_t i = 0; i < body; ++i) {
+    switch (config.mode) {
+      case GeneratorMode::kFirewall:
+        rs.add(firewall_rule(rng, config.range_fraction));
+        break;
+      case GeneratorMode::kAcl:
+        rs.add(acl_rule(rng, config.range_fraction));
+        break;
+      case GeneratorMode::kFeatureFree:
+        rs.add(feature_free_rule(rng, config.range_fraction));
+        break;
+    }
+  }
+  if (config.default_rule) {
+    Rule def = Rule::any();
+    def.action = Action::drop();
+    rs.add(def);
+  }
+  return rs;
+}
+
+RuleSet generate_firewall(std::size_t size, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.mode = GeneratorMode::kFirewall;
+  cfg.size = size;
+  cfg.seed = seed;
+  return generate(cfg);
+}
+
+const char* mode_name(GeneratorMode m) {
+  switch (m) {
+    case GeneratorMode::kFirewall:
+      return "firewall";
+    case GeneratorMode::kAcl:
+      return "acl";
+    case GeneratorMode::kFeatureFree:
+      return "feature-free";
+  }
+  return "?";
+}
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,46 @@
+// Seeded synthetic ruleset generation.
+//
+// The paper targets firewall rulesets of 32..2048 rules and deliberately
+// picks engines whose behaviour does not depend on ruleset *features*
+// (prefix-length distributions, field overlap structure, ...). The
+// generator therefore offers:
+//   * kFirewall  — ClassBench-FW flavoured: mostly /16../28 prefixes,
+//     well-known service ports, TCP/UDP heavy, a trailing default rule.
+//   * kAcl       — ACL flavoured: longer, more specific prefixes, many
+//     exact ports.
+//   * kFeatureFree — adversarial: uniformly random prefixes and arbitrary
+//     ranges with no exploitable structure. Feature-reliant schemes (see
+//     engines/baselines/hicuts_lite) degrade here; TCAM and StrideBV do
+//     not — the paper's motivating claim.
+// All modes are deterministic in (mode, size, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "ruleset/ruleset.h"
+
+namespace rfipc::ruleset {
+
+enum class GeneratorMode { kFirewall, kAcl, kFeatureFree };
+
+struct GeneratorConfig {
+  GeneratorMode mode = GeneratorMode::kFirewall;
+  std::size_t size = 512;
+  std::uint64_t seed = 1;
+  /// Fraction (0..1) of rules whose port fields are arbitrary ranges
+  /// rather than exact/wildcard — drives TCAM expansion.
+  double range_fraction = 0.2;
+  /// Append a match-all default rule as the lowest priority entry.
+  bool default_rule = true;
+};
+
+/// Generates a ruleset of exactly `config.size` rules.
+RuleSet generate(const GeneratorConfig& config);
+
+/// Convenience wrapper used throughout the benches: firewall-mode
+/// ruleset of `size` rules with the canonical bench seed.
+RuleSet generate_firewall(std::size_t size, std::uint64_t seed = 2013);
+
+const char* mode_name(GeneratorMode m);
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,120 @@
+#include "ruleset/optimizer.h"
+
+#include <vector>
+
+namespace rfipc::ruleset {
+namespace {
+
+bool prefix_covers(const net::Ipv4Prefix& outer, const net::Ipv4Prefix& inner) {
+  // outer ⊇ inner iff outer is no longer and inner's network lies in it.
+  return outer.length <= inner.length && outer.matches(inner.addr);
+}
+
+bool range_covers(const net::PortRange& outer, const net::PortRange& inner) {
+  return outer.lo <= inner.lo && outer.hi >= inner.hi;
+}
+
+bool proto_covers(const net::ProtocolSpec& outer, const net::ProtocolSpec& inner) {
+  if (outer.wildcard) return true;
+  return !inner.wildcard && inner.value == outer.value;
+}
+
+/// Ranges that can merge into one interval: overlapping or adjacent.
+bool ranges_mergeable(const net::PortRange& a, const net::PortRange& b) {
+  const std::uint32_t lo = std::max(a.lo, b.lo);
+  const std::uint32_t hi = std::min(a.hi, b.hi);
+  if (lo <= hi) return true;                                  // overlap
+  return std::max(a.lo, b.lo) == std::min(a.hi, b.hi) + 1;    // adjacency
+}
+
+net::PortRange merge_ranges(const net::PortRange& a, const net::PortRange& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+}  // namespace
+
+bool covers(const Rule& outer, const Rule& inner) {
+  return prefix_covers(outer.src_ip, inner.src_ip) &&
+         prefix_covers(outer.dst_ip, inner.dst_ip) &&
+         range_covers(outer.src_port, inner.src_port) &&
+         range_covers(outer.dst_port, inner.dst_port) &&
+         proto_covers(outer.protocol, inner.protocol);
+}
+
+OptimizeStats remove_shadowed(RuleSet& rs) {
+  OptimizeStats stats;
+  stats.before = rs.size();
+  std::vector<Rule> kept;
+  kept.reserve(rs.size());
+  for (const auto& candidate : rs) {
+    bool shadowed = false;
+    for (const auto& higher : kept) {
+      if (covers(higher, candidate)) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (shadowed) {
+      ++stats.shadowed_removed;
+    } else {
+      kept.push_back(candidate);
+    }
+  }
+  rs = RuleSet(std::move(kept));
+  stats.after = rs.size();
+  return stats;
+}
+
+OptimizeStats merge_adjacent(RuleSet& rs) {
+  OptimizeStats stats;
+  stats.before = rs.size();
+  std::vector<Rule> kept;
+  kept.reserve(rs.size());
+  for (const auto& rule : rs) {
+    if (!kept.empty()) {
+      Rule& prev = kept.back();
+      const bool same_except_sp =
+          prev.action == rule.action && prev.src_ip == rule.src_ip &&
+          prev.dst_ip == rule.dst_ip && prev.dst_port == rule.dst_port &&
+          prev.protocol == rule.protocol &&
+          ranges_mergeable(prev.src_port, rule.src_port);
+      const bool same_except_dp =
+          prev.action == rule.action && prev.src_ip == rule.src_ip &&
+          prev.dst_ip == rule.dst_ip && prev.src_port == rule.src_port &&
+          prev.protocol == rule.protocol &&
+          ranges_mergeable(prev.dst_port, rule.dst_port);
+      // Merging is only safe when no rule between the two could fire in
+      // the gap — adjacent priorities guarantee that.
+      if (same_except_sp) {
+        prev.src_port = merge_ranges(prev.src_port, rule.src_port);
+        ++stats.merged;
+        continue;
+      }
+      if (same_except_dp) {
+        prev.dst_port = merge_ranges(prev.dst_port, rule.dst_port);
+        ++stats.merged;
+        continue;
+      }
+    }
+    kept.push_back(rule);
+  }
+  rs = RuleSet(std::move(kept));
+  stats.after = rs.size();
+  return stats;
+}
+
+OptimizeStats optimize(RuleSet& rs) {
+  OptimizeStats total;
+  total.before = rs.size();
+  while (true) {
+    const auto s1 = remove_shadowed(rs);
+    const auto s2 = merge_adjacent(rs);
+    total.shadowed_removed += s1.shadowed_removed;
+    total.merged += s2.merged;
+    if (s1.shadowed_removed == 0 && s2.merged == 0) break;
+  }
+  total.after = rs.size();
+  return total;
+}
+
+}  // namespace rfipc::ruleset

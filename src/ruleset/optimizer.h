@@ -1,0 +1,44 @@
+// Ruleset optimization: redundancy elimination before engine build.
+//
+// TCAM entries are the scarce resource (and every entry burns match
+// power — Section III-B), so deployments prune rules that can never
+// fire before programming the device. Two classic safe reductions are
+// implemented:
+//   * shadowed rules — rule j is removed when some single
+//     higher-priority rule i covers it field-wise (j can never be the
+//     first match; its action is irrelevant).
+//   * adjacent-mergeable rules — consecutive-priority rules with the
+//     same action that differ only in one port field whose ranges are
+//     adjacent/overlapping merge into one rule.
+// Both preserve first-match semantics exactly (property-tested: the
+// optimized ruleset classifies identically for the FIRST match; the
+// multi-match set may legitimately shrink).
+#pragma once
+
+#include <cstddef>
+
+#include "ruleset/ruleset.h"
+
+namespace rfipc::ruleset {
+
+struct OptimizeStats {
+  std::size_t shadowed_removed = 0;
+  std::size_t merged = 0;
+  std::size_t before = 0;
+  std::size_t after = 0;
+};
+
+/// True when `outer` matches every header `inner` matches (field-wise
+/// superset).
+bool covers(const Rule& outer, const Rule& inner);
+
+/// Removes rules covered by any single higher-priority rule.
+OptimizeStats remove_shadowed(RuleSet& rs);
+
+/// Merges adjacent same-action rules differing only in one port range.
+OptimizeStats merge_adjacent(RuleSet& rs);
+
+/// Runs both passes to a fixed point; returns accumulated stats.
+OptimizeStats optimize(RuleSet& rs);
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,103 @@
+#include "ruleset/parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/str.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+bool is_skippable(std::string_view line) {
+  const auto t = util::trim(line);
+  return t.empty() || t.front() == '#';
+}
+
+char hex_digit(unsigned v) { return v < 10 ? static_cast<char>('0' + v) : static_cast<char>('a' + v - 10); }
+
+std::string hex_byte(std::uint8_t b) {
+  return std::string{"0x"} + hex_digit(b >> 4) + hex_digit(b & 0xf);
+}
+
+}  // namespace
+
+RuleSet parse_native(std::string_view text) {
+  RuleSet rs;
+  std::size_t line_no = 0;
+  for (const auto line : util::split(text, '\n')) {
+    ++line_no;
+    if (is_skippable(line)) continue;
+    const auto r = Rule::parse(line);
+    if (!r) throw ParseError(line_no, "malformed rule: '" + std::string(util::trim(line)) + "'");
+    rs.add(*r);
+  }
+  return rs;
+}
+
+RuleSet parse_classbench(std::string_view text) {
+  RuleSet rs;
+  std::size_t line_no = 0;
+  for (const auto raw : util::split(text, '\n')) {
+    ++line_no;
+    if (is_skippable(raw)) continue;
+    auto line = util::trim(raw);
+    if (line.front() != '@') throw ParseError(line_no, "ClassBench rule must start with '@'");
+    line.remove_prefix(1);
+    const auto tok = util::split_ws(line);
+    // sip dip splo : sphi dplo : dphi proto/mask [flags/extra -- ignored]
+    if (tok.size() < 9) throw ParseError(line_no, "too few fields");
+    const auto sip = net::Ipv4Prefix::parse(tok[0]);
+    const auto dip = net::Ipv4Prefix::parse(tok[1]);
+    if (!sip || !dip) throw ParseError(line_no, "bad IP prefix");
+    if (tok[3] != ":" || tok[6] != ":") throw ParseError(line_no, "expected 'lo : hi' port ranges");
+    const auto splo = util::parse_u64(tok[2], 0xffff);
+    const auto sphi = util::parse_u64(tok[4], 0xffff);
+    const auto dplo = util::parse_u64(tok[5], 0xffff);
+    const auto dphi = util::parse_u64(tok[7], 0xffff);
+    if (!splo || !sphi || !dplo || !dphi || *splo > *sphi || *dplo > *dphi) {
+      throw ParseError(line_no, "bad port range");
+    }
+    const auto proto = net::ProtocolSpec::parse(tok[8]);
+    if (!proto) throw ParseError(line_no, "bad protocol spec");
+    Rule r;
+    r.src_ip = *sip;
+    r.dst_ip = *dip;
+    r.src_port = {static_cast<std::uint16_t>(*splo), static_cast<std::uint16_t>(*sphi)};
+    r.dst_port = {static_cast<std::uint16_t>(*dplo), static_cast<std::uint16_t>(*dphi)};
+    r.protocol = *proto;
+    r.action = Action::forward(0);
+    rs.add(r);
+  }
+  return rs;
+}
+
+RuleSet parse_auto(std::string_view text) {
+  for (const auto line : util::split(text, '\n')) {
+    if (is_skippable(line)) continue;
+    return util::trim(line).front() == '@' ? parse_classbench(text) : parse_native(text);
+  }
+  return RuleSet{};
+}
+
+RuleSet load_ruleset(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open ruleset file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse_auto(buf.str());
+}
+
+std::string to_classbench(const RuleSet& rs) {
+  std::ostringstream os;
+  for (const auto& r : rs) {
+    os << '@' << r.src_ip.to_string() << '\t' << r.dst_ip.to_string() << '\t'
+       << r.src_port.lo << " : " << r.src_port.hi << '\t' << r.dst_port.lo << " : "
+       << r.dst_port.hi << '\t'
+       << (r.protocol.wildcard ? std::string("0x00/0x00")
+                               : hex_byte(r.protocol.value) + "/0xff")
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,49 @@
+// Ruleset file parsers.
+//
+// Two formats are supported:
+//   * Native: one rule per line in Rule::to_string() syntax, '#' comments
+//     and blank lines ignored.
+//   * ClassBench filter format: lines like
+//       @192.128.0.0/11  10.0.0.0/8  0 : 65535  1521 : 1521  0x06/0xFF  ...
+//     (the de-facto standard for packet classification benchmarks).
+// Parse errors carry the 1-based line number.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ruleset/ruleset.h"
+
+namespace rfipc::ruleset {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what), line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses the native format. Throws ParseError.
+RuleSet parse_native(std::string_view text);
+
+/// Parses ClassBench filter format. Throws ParseError.
+RuleSet parse_classbench(std::string_view text);
+
+/// Auto-detects the format ('@' prefix on the first rule line means
+/// ClassBench) and parses. Throws ParseError.
+RuleSet parse_auto(std::string_view text);
+
+/// Loads and parses a file with parse_auto. Throws std::runtime_error on
+/// I/O failure and ParseError on syntax errors.
+RuleSet load_ruleset(const std::string& path);
+
+/// Serializes in ClassBench format (round-trips through
+/// parse_classbench).
+std::string to_classbench(const RuleSet& rs);
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,37 @@
+// Arbitrary range -> prefix set conversion.
+//
+// TCAM entries are ternary strings, so a range field must be split into
+// prefixes before it can be stored. A w-bit range splits into at most
+// 2(w-1) maximal prefix blocks (the paper's worst case); with two port
+// fields one rule can expand into up to 4(w-1)^2 entries — the memory
+// blow-up the paper cites as a TCAM drawback (Section II-A). This module
+// implements the classic maximal-block decomposition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rfipc::ruleset {
+
+/// One prefix block: the top `length` bits of `value` are significant.
+/// Width is carried by the caller (16 for ports).
+struct PrefixBlock {
+  std::uint32_t value = 0;
+  std::uint8_t length = 0;
+
+  bool operator==(const PrefixBlock&) const = default;
+};
+
+/// Decomposes the closed interval [lo, hi] over w-bit values into the
+/// minimal set of maximal prefix blocks, in ascending order.
+/// Requires lo <= hi < 2^w and w <= 32.
+std::vector<PrefixBlock> range_to_prefixes(std::uint32_t lo, std::uint32_t hi,
+                                           unsigned w);
+
+/// Worst-case block count for a w-bit range: 2(w-1).
+constexpr unsigned worst_case_prefixes(unsigned w) { return w <= 1 ? 1 : 2 * (w - 1); }
+
+/// True when [lo, hi] is exactly one prefix block.
+bool range_is_prefix(std::uint32_t lo, std::uint32_t hi, unsigned w);
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,51 @@
+#include "ruleset/rule.h"
+
+#include "util/str.h"
+
+namespace rfipc::ruleset {
+
+std::string Action::to_string() const {
+  switch (kind) {
+    case Kind::kForward:
+      return "PORT " + std::to_string(port);
+    case Kind::kDrop:
+      return "DROP";
+  }
+  return "DROP";
+}
+
+std::optional<Action> Action::parse(std::string_view s) {
+  s = util::trim(s);
+  if (s == "DROP" || s == "drop") return drop();
+  const auto parts = util::split_ws(s);
+  if (parts.size() == 2 && (parts[0] == "PORT" || parts[0] == "port")) {
+    const auto p = util::parse_u64(parts[1], 0xffff);
+    if (p) return forward(static_cast<std::uint16_t>(*p));
+  }
+  return std::nullopt;
+}
+
+std::string Rule::to_string() const {
+  return src_ip.to_string() + " " + dst_ip.to_string() + " " + src_port.to_string() +
+         " " + dst_port.to_string() + " " + protocol.to_string() + " " +
+         action.to_string();
+}
+
+std::optional<Rule> Rule::parse(std::string_view line) {
+  const auto tok = util::split_ws(line);
+  // 5 fields + action; the action may be "DROP" (1 token) or "PORT n" (2).
+  if (tok.size() != 6 && tok.size() != 7) return std::nullopt;
+  const auto sip = net::Ipv4Prefix::parse(tok[0] == "*" ? "0.0.0.0/0" : tok[0]);
+  const auto dip = net::Ipv4Prefix::parse(tok[1] == "*" ? "0.0.0.0/0" : tok[1]);
+  const auto sp = net::PortRange::parse(tok[2]);
+  const auto dp = net::PortRange::parse(tok[3]);
+  const auto prt = net::ProtocolSpec::parse(tok[4]);
+  if (!sip || !dip || !sp || !dp || !prt) return std::nullopt;
+  std::string action_text(tok[5]);
+  if (tok.size() == 7) action_text += std::string(" ") + std::string(tok[6]);
+  const auto action = Action::parse(action_text);
+  if (!action) return std::nullopt;
+  return Rule{*sip, *dip, *sp, *dp, *prt, *action};
+}
+
+}  // namespace rfipc::ruleset

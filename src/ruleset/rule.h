@@ -1,0 +1,65 @@
+// The 5-field classification rule and its matching semantics.
+//
+// Field matching follows the paper's Table I: SIP/DIP use prefix match,
+// SP/DP use arbitrary range match, PRT uses exact-or-wildcard match.
+// Rules are prioritized by storage order — index 0 is the highest
+// priority — and a packet's forwarding decision comes from the highest
+// priority rule matching in ALL five fields.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/header.h"
+#include "net/ipv4.h"
+#include "net/port_range.h"
+#include "net/protocol.h"
+
+namespace rfipc::ruleset {
+
+/// The action a matching rule applies (Table I: "PORT n" or "DROP").
+struct Action {
+  enum class Kind : std::uint8_t { kForward, kDrop };
+
+  Kind kind = Kind::kDrop;
+  std::uint16_t port = 0;  // egress port, meaningful for kForward
+
+  constexpr bool operator==(const Action&) const = default;
+
+  std::string to_string() const;
+  static std::optional<Action> parse(std::string_view s);
+
+  static constexpr Action forward(std::uint16_t p) { return {Kind::kForward, p}; }
+  static constexpr Action drop() { return {Kind::kDrop, 0}; }
+};
+
+struct Rule {
+  net::Ipv4Prefix src_ip = net::Ipv4Prefix::any();
+  net::Ipv4Prefix dst_ip = net::Ipv4Prefix::any();
+  net::PortRange src_port = net::PortRange::any();
+  net::PortRange dst_port = net::PortRange::any();
+  net::ProtocolSpec protocol = net::ProtocolSpec::any();
+  Action action = Action::drop();
+
+  bool operator==(const Rule&) const = default;
+
+  /// All-field match against a decoded header.
+  bool matches(const net::FiveTuple& t) const {
+    return src_ip.matches(t.src_ip) && dst_ip.matches(t.dst_ip) &&
+           src_port.matches(t.src_port) && dst_port.matches(t.dst_port) &&
+           protocol.matches(t.protocol);
+  }
+
+  /// The rule that matches every packet.
+  static Rule any() { return Rule{}; }
+
+  /// Native single-line format:
+  ///   <sip> <dip> <sp> <dp> <proto> <action>
+  /// e.g. "175.77.88.0/24 119.106.158.0/24 * 0:1023 TCP PORT 1".
+  std::string to_string() const;
+  static std::optional<Rule> parse(std::string_view line);
+};
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,58 @@
+#include "ruleset/ruleset.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rfipc::ruleset {
+
+void RuleSet::insert(std::size_t index, Rule r) {
+  if (index > rules_.size()) throw std::out_of_range("RuleSet::insert");
+  rules_.insert(rules_.begin() + static_cast<std::ptrdiff_t>(index), std::move(r));
+}
+
+void RuleSet::erase(std::size_t index) {
+  if (index >= rules_.size()) throw std::out_of_range("RuleSet::erase");
+  rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+std::optional<std::size_t> RuleSet::first_match(const net::FiveTuple& t) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].matches(t)) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> RuleSet::all_matches(const net::FiveTuple& t) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].matches(t)) out.push_back(i);
+  }
+  return out;
+}
+
+std::string RuleSet::to_text() const {
+  std::ostringstream os;
+  os << "# rfipc ruleset, " << rules_.size() << " rules, priority = line order\n";
+  for (const auto& r : rules_) os << r.to_string() << '\n';
+  return os.str();
+}
+
+RuleSet RuleSet::table1_example() {
+  // The example classifier from Table I of the paper (values chosen to
+  // exercise every field kind: prefix, arbitrary range, exact, wildcard).
+  auto rule = [](const char* text) {
+    const auto r = Rule::parse(text);
+    if (!r) throw std::logic_error("table1_example: bad embedded rule");
+    return *r;
+  };
+  RuleSet rs;
+  rs.add(rule("175.77.88.0/24 192.168.0.0/24 * 23 UDP PORT 1"));
+  rs.add(rule("10.22.0.0/16 35.69.216.0/24 1000:1024 80 TCP PORT 2"));
+  rs.add(rule("95.105.143.0/25 172.16.10.0/28 50:2000 100:200 * DROP"));
+  rs.add(rule("119.106.158.0/24 64.38.85.0/24 * 0:1023 * PORT 1"));
+  rs.add(rule("36.174.239.0/26 82.103.96.0/24 5000:6000 * ICMP PORT 4"));
+  rs.add(rule("0.0.0.0/0 0.0.0.0/0 * * * PORT 3"));
+  return rs;
+}
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,53 @@
+// A prioritized classifier (ruleset): an ordered list of rules where
+// index == priority (0 is highest, matching the paper's convention that
+// the topmost rule wins).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ruleset/rule.h"
+
+namespace rfipc::ruleset {
+
+class RuleSet {
+ public:
+  RuleSet() = default;
+  explicit RuleSet(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+  std::size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  const Rule& operator[](std::size_t i) const { return rules_[i]; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  void add(Rule r) { rules_.push_back(std::move(r)); }
+  /// Inserts at priority `index`, shifting lower-priority rules down.
+  void insert(std::size_t index, Rule r);
+  /// Removes the rule at priority `index`.
+  void erase(std::size_t index);
+  void clear() { rules_.clear(); }
+
+  /// Reference matching semantics: linear scan, first (highest-priority)
+  /// match wins. Every engine is verified against this.
+  std::optional<std::size_t> first_match(const net::FiveTuple& t) const;
+
+  /// All matching rule indices, ascending (multi-match, IDS-style).
+  std::vector<std::size_t> all_matches(const net::FiveTuple& t) const;
+
+  /// Native multi-line text rendering (one rule per line, '#' comments).
+  std::string to_text() const;
+
+  /// The 6-rule example classifier of the paper's Table I.
+  static RuleSet table1_example();
+
+  auto begin() const { return rules_.begin(); }
+  auto end() const { return rules_.end(); }
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace rfipc::ruleset

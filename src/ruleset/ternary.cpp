@@ -1,0 +1,73 @@
+#include "ruleset/ternary.h"
+
+#include "ruleset/range_to_prefix.h"
+
+namespace rfipc::ruleset {
+
+void TernaryWord::set_prefix_field(unsigned offset, unsigned w, std::uint32_t value,
+                                   unsigned prefix_len) {
+  for (unsigned i = 0; i < w; ++i) {
+    if (i < prefix_len) {
+      set_bit(offset + i, (value >> (w - 1 - i)) & 1u);
+    } else {
+      set_dont_care(offset + i);
+    }
+  }
+}
+
+bool TernaryWord::matches(const net::HeaderBits& h) const {
+  // Byte-wise: (header ^ value) & mask must be zero everywhere.
+  const auto& hb = h.bytes();
+  for (unsigned b = 0; b < hb.size(); ++b) {
+    if (((hb[b] ^ value_[b]) & mask_[b]) != 0) return false;
+  }
+  return true;
+}
+
+unsigned TernaryWord::care_count() const {
+  unsigned n = 0;
+  for (unsigned i = 0; i < net::kHeaderBits; ++i) n += care_bit(i) ? 1u : 0u;
+  return n;
+}
+
+std::string TernaryWord::to_string() const {
+  std::string s(net::kHeaderBits, '*');
+  for (unsigned i = 0; i < net::kHeaderBits; ++i) {
+    if (care_bit(i)) s[i] = value_bit(i) ? '1' : '0';
+  }
+  return s;
+}
+
+std::vector<TernaryWord> rule_to_ternary(const Rule& rule) {
+  const auto sp = range_to_prefixes(rule.src_port.lo, rule.src_port.hi, 16);
+  const auto dp = range_to_prefixes(rule.dst_port.lo, rule.dst_port.hi, 16);
+
+  TernaryWord base;
+  base.set_prefix_field(net::kSipField.offset, 32, rule.src_ip.lo(), rule.src_ip.length);
+  base.set_prefix_field(net::kDipField.offset, 32, rule.dst_ip.lo(), rule.dst_ip.length);
+  if (rule.protocol.wildcard) {
+    base.set_prefix_field(net::kPrtField.offset, 8, 0, 0);
+  } else {
+    base.set_prefix_field(net::kPrtField.offset, 8, rule.protocol.value, 8);
+  }
+
+  std::vector<TernaryWord> out;
+  out.reserve(sp.size() * dp.size());
+  for (const auto& s : sp) {
+    for (const auto& d : dp) {
+      TernaryWord w = base;
+      w.set_prefix_field(net::kSpField.offset, 16, s.value, s.length);
+      w.set_prefix_field(net::kDpField.offset, 16, d.value, d.length);
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+std::size_t ternary_expansion(const Rule& rule) {
+  const auto sp = range_to_prefixes(rule.src_port.lo, rule.src_port.hi, 16);
+  const auto dp = range_to_prefixes(rule.dst_port.lo, rule.dst_port.hi, 16);
+  return sp.size() * dp.size();
+}
+
+}  // namespace rfipc::ruleset

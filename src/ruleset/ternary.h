@@ -1,0 +1,83 @@
+// Ternary (value, mask) encoding of rules over the canonical 104-bit
+// header string. This is the storage format of the TCAM engine and the
+// input format StrideBV's table builder uses for the prefix/exact
+// fields.
+//
+// Mask semantics: mask bit 1 = "care" (header bit must equal value bit),
+// mask bit 0 = "don't care" (the paper's '*'). This matches the
+// SRL16E-based FPGA TCAM where each 2-bit data chunk carries a 2-bit
+// mask (Section IV-B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/header.h"
+#include "ruleset/rule.h"
+
+namespace rfipc::ruleset {
+
+class TernaryWord {
+ public:
+  TernaryWord() = default;  // all bits don't-care
+
+  bool value_bit(unsigned i) const { return get(value_, i); }
+  bool care_bit(unsigned i) const { return get(mask_, i); }
+
+  /// Sets bit i to a cared-for 0/1.
+  void set_bit(unsigned i, bool v) {
+    put(mask_, i, true);
+    put(value_, i, v);
+  }
+  /// Sets bit i to don't-care.
+  void set_dont_care(unsigned i) {
+    put(mask_, i, false);
+    put(value_, i, false);
+  }
+
+  /// Writes bits [offset, offset+prefix_len) from the top prefix_len bits
+  /// of the w-bit `value`; the remaining (w - prefix_len) bits of the
+  /// field are don't-care.
+  void set_prefix_field(unsigned offset, unsigned w, std::uint32_t value,
+                        unsigned prefix_len);
+
+  /// True when `h` agrees with every cared-for bit.
+  bool matches(const net::HeaderBits& h) const;
+
+  /// Number of cared-for bits.
+  unsigned care_count() const;
+
+  /// "01*"-style rendering, canonical bit order.
+  std::string to_string() const;
+
+  bool operator==(const TernaryWord&) const = default;
+
+ private:
+  static bool get(const std::array<std::uint8_t, 13>& a, unsigned i) {
+    return (a[i >> 3] >> (7 - (i & 7))) & 1u;
+  }
+  static void put(std::array<std::uint8_t, 13>& a, unsigned i, bool v) {
+    const std::uint8_t m = static_cast<std::uint8_t>(1u << (7 - (i & 7)));
+    if (v) {
+      a[i >> 3] |= m;
+    } else {
+      a[i >> 3] &= static_cast<std::uint8_t>(~m);
+    }
+  }
+
+  std::array<std::uint8_t, 13> value_{};
+  std::array<std::uint8_t, 13> mask_{};
+};
+
+/// Converts one rule into the ternary entries that represent it exactly.
+/// SIP/DIP/PRT map 1:1; SP and DP ranges are prefix-expanded, so the
+/// result has |prefixes(SP)| * |prefixes(DP)| entries (the expansion the
+/// paper warns about). All entries inherit the rule's priority slot.
+std::vector<TernaryWord> rule_to_ternary(const Rule& rule);
+
+/// Expansion factor |rule_to_ternary(rule)| without building the entries.
+std::size_t ternary_expansion(const Rule& rule);
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,60 @@
+#include "ruleset/trace.h"
+
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+net::FiveTuple random_header(util::Xoshiro256& rng) {
+  net::FiveTuple t;
+  t.src_ip.value = static_cast<std::uint32_t>(rng());
+  t.dst_ip.value = static_cast<std::uint32_t>(rng());
+  t.src_port = static_cast<std::uint16_t>(rng.below(0x10000));
+  t.dst_port = static_cast<std::uint16_t>(rng.below(0x10000));
+  t.protocol = static_cast<std::uint8_t>(rng.below(256));
+  return t;
+}
+
+net::FiveTuple header_matching(const Rule& r, util::Xoshiro256& rng) {
+  net::FiveTuple t;
+  // Prefix fields: fixed top bits, random host bits.
+  t.src_ip.value = r.src_ip.lo() |
+                   (static_cast<std::uint32_t>(rng()) & ~r.src_ip.mask());
+  t.dst_ip.value = r.dst_ip.lo() |
+                   (static_cast<std::uint32_t>(rng()) & ~r.dst_ip.mask());
+  t.src_port = static_cast<std::uint16_t>(rng.in_range(r.src_port.lo, r.src_port.hi));
+  t.dst_port = static_cast<std::uint16_t>(rng.in_range(r.dst_port.lo, r.dst_port.hi));
+  t.protocol = r.protocol.wildcard ? static_cast<std::uint8_t>(rng.below(256))
+                                   : r.protocol.value;
+  return t;
+}
+
+}  // namespace
+
+net::FiveTuple header_for_rule(const Rule& rule, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return header_matching(rule, rng);
+}
+
+std::vector<net::FiveTuple> generate_trace(const RuleSet& rs, const TraceConfig& config) {
+  if (rs.empty()) throw std::invalid_argument("generate_trace: empty ruleset");
+  if (config.match_fraction < 0.0 || config.match_fraction > 1.0) {
+    throw std::invalid_argument("generate_trace: match_fraction out of [0,1]");
+  }
+  util::Xoshiro256 rng(config.seed);
+  std::vector<net::FiveTuple> out;
+  out.reserve(config.size);
+  for (std::size_t i = 0; i < config.size; ++i) {
+    if (rng.uniform01() < config.match_fraction) {
+      const auto idx = rng.below(rs.size());
+      out.push_back(header_matching(rs[idx], rng));
+    } else {
+      out.push_back(random_header(rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,35 @@
+// Synthetic packet trace generation.
+//
+// Substitutes for the line-rate traffic of the paper's testbed: headers
+// are drawn either from the ruleset itself (guaranteed to match a chosen
+// rule, with noise in the don't-care bits) or uniformly at random. The
+// mix is controlled so traces exercise both the match and miss paths of
+// every engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/header.h"
+#include "ruleset/ruleset.h"
+
+namespace rfipc::ruleset {
+
+struct TraceConfig {
+  std::size_t size = 10000;
+  std::uint64_t seed = 42;
+  /// Fraction of headers synthesized to hit a (uniformly chosen) rule;
+  /// the rest are uniform random headers.
+  double match_fraction = 0.7;
+};
+
+/// Generates `config.size` headers for `rs`.
+std::vector<net::FiveTuple> generate_trace(const RuleSet& rs, const TraceConfig& config);
+
+/// Synthesizes one header guaranteed to match rs[rule_index]
+/// (don't-care bits randomized from `seed`). Note a higher-priority rule
+/// may still shadow it — by design, that is what priority resolution is
+/// for.
+net::FiveTuple header_for_rule(const Rule& rule, std::uint64_t seed);
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,65 @@
+#include "ruleset/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/str.h"
+
+namespace rfipc::ruleset {
+
+std::string trace_to_text(const std::vector<net::FiveTuple>& trace) {
+  std::ostringstream os;
+  os << "# rfipc trace, " << trace.size() << " headers: SIP SP DIP DP PRT\n";
+  for (const auto& t : trace) {
+    os << t.src_ip.to_string() << ' ' << t.src_port << ' ' << t.dst_ip.to_string()
+       << ' ' << t.dst_port << ' ' << static_cast<unsigned>(t.protocol) << '\n';
+  }
+  return os.str();
+}
+
+std::vector<net::FiveTuple> trace_from_text(std::string_view text) {
+  std::vector<net::FiveTuple> out;
+  std::size_t line_no = 0;
+  for (const auto raw : util::split(text, '\n')) {
+    ++line_no;
+    const auto line = util::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const auto tok = util::split_ws(line);
+    const auto fail = [&](const char* what) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) + ": " + what);
+    };
+    if (tok.size() != 5) fail("expected 5 fields");
+    const auto sip = net::Ipv4Addr::parse(tok[0]);
+    const auto sp = util::parse_u64(tok[1], 0xffff);
+    const auto dip = net::Ipv4Addr::parse(tok[2]);
+    const auto dp = util::parse_u64(tok[3], 0xffff);
+    const auto prt = util::parse_u64(tok[4], 0xff);
+    if (!sip || !sp || !dip || !dp || !prt) fail("malformed field");
+    net::FiveTuple t;
+    t.src_ip = *sip;
+    t.src_port = static_cast<std::uint16_t>(*sp);
+    t.dst_ip = *dip;
+    t.dst_port = static_cast<std::uint16_t>(*dp);
+    t.protocol = static_cast<std::uint8_t>(*prt);
+    out.push_back(t);
+  }
+  return out;
+}
+
+bool save_trace(const std::string& path, const std::vector<net::FiveTuple>& trace) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << trace_to_text(trace);
+  return static_cast<bool>(f);
+}
+
+std::vector<net::FiveTuple> load_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return trace_from_text(buf.str());
+}
+
+}  // namespace rfipc::ruleset

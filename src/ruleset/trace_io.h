@@ -1,0 +1,27 @@
+// Trace file I/O: a simple text format so traces can be saved,
+// shared, and replayed across runs/tools.
+//
+// Format: one header per line, `SIP SP DIP DP PRT` as decimal fields
+// (dotted-quad IPs), '#' comments. Round-trips exactly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/header.h"
+
+namespace rfipc::ruleset {
+
+/// Serializes a trace (one line per header).
+std::string trace_to_text(const std::vector<net::FiveTuple>& trace);
+
+/// Parses the text form; throws std::runtime_error with a line number
+/// on malformed input.
+std::vector<net::FiveTuple> trace_from_text(std::string_view text);
+
+/// File wrappers.
+bool save_trace(const std::string& path, const std::vector<net::FiveTuple>& trace);
+std::vector<net::FiveTuple> load_trace(const std::string& path);
+
+}  // namespace rfipc::ruleset

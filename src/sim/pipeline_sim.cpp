@@ -1,0 +1,158 @@
+#include "sim/pipeline_sim.h"
+
+#include <optional>
+#include <stdexcept>
+
+#include "util/bitops.h"
+
+namespace rfipc::sim {
+namespace {
+
+using engines::stridebv::StrideBVEngine;
+using util::BitVector;
+
+/// One in-flight packet inside the stride section.
+struct StrideFlit {
+  std::size_t packet_id;
+  BitVector bvp;  // partial match vector entering the next stage
+};
+
+/// One in-flight packet inside the PPE section: the tournament
+/// candidates that remain after the stages it has traversed.
+struct PpeFlit {
+  std::size_t packet_id;
+  std::vector<std::pair<bool, std::size_t>> cands;  // (valid, index)
+};
+
+void ppe_step(PpeFlit& f) {
+  const std::size_t live = f.cands.size();
+  const std::size_t next = (live + 1) / 2;
+  for (std::size_t i = 0; i < next; ++i) {
+    const auto a = f.cands[2 * i];
+    const auto b = (2 * i + 1 < live) ? f.cands[2 * i + 1]
+                                      : std::pair<bool, std::size_t>{false, 0};
+    f.cands[i] = a.first ? a : b;
+  }
+  f.cands.resize(next);
+}
+
+}  // namespace
+
+SimResult simulate_stridebv(const StrideBVEngine& engine,
+                            std::span<const net::HeaderBits> packets,
+                            unsigned issue_width) {
+  if (issue_width == 0) throw std::invalid_argument("simulate_stridebv: issue_width 0");
+  const unsigned stages = engine.num_stages();
+  const unsigned ppe_stages =
+      engine.entry_count() <= 1 ? 1 : util::ceil_log2(engine.entry_count());
+
+  SimResult out;
+  out.best.assign(packets.size(), engines::MatchResult::kNoMatch);
+  out.stats.packets = packets.size();
+  out.stats.latency_cycles = stages + ppe_stages;
+
+  // Per-slot pipeline registers. Each issue slot owns an independent
+  // copy of the pipeline (the dual-port memory serves both ports each
+  // cycle), so we model `issue_width` parallel register files.
+  struct Slot {
+    std::vector<std::optional<StrideFlit>> stride_regs;
+    std::vector<std::optional<PpeFlit>> ppe_regs;
+  };
+  std::vector<Slot> slots(issue_width);
+  for (auto& s : slots) {
+    s.stride_regs.assign(stages, std::nullopt);
+    s.ppe_regs.assign(ppe_stages, std::nullopt);
+  }
+
+  std::size_t next_packet = 0;
+  std::size_t retired = 0;
+  std::uint64_t cycle = 0;
+  const auto& table = engine.table();
+
+  while (retired < packets.size()) {
+    ++cycle;
+    for (unsigned w = 0; w < issue_width; ++w) {
+      Slot& slot = slots[w];
+
+      // Retire from the last PPE register.
+      if (auto& last = slot.ppe_regs[ppe_stages - 1]; last.has_value()) {
+        const auto& winner = last->cands[0];
+        out.best[last->packet_id] = winner.first
+                                        ? engine.entry_rule(winner.second)
+                                        : engines::MatchResult::kNoMatch;
+        ++retired;
+        last.reset();
+      }
+      // Advance PPE stages back-to-front.
+      for (unsigned s = ppe_stages - 1; s > 0; --s) {
+        if (!slot.ppe_regs[s].has_value() && slot.ppe_regs[s - 1].has_value()) {
+          slot.ppe_regs[s] = std::move(slot.ppe_regs[s - 1]);
+          slot.ppe_regs[s - 1].reset();
+          ppe_step(*slot.ppe_regs[s]);
+        }
+      }
+      // Hand off from the last stride stage into PPE stage 0.
+      if (!slot.ppe_regs[0].has_value() && slot.stride_regs[stages - 1].has_value()) {
+        StrideFlit f = std::move(*slot.stride_regs[stages - 1]);
+        slot.stride_regs[stages - 1].reset();
+        PpeFlit p;
+        p.packet_id = f.packet_id;
+        p.cands.resize(engine.entry_count());
+        for (std::size_t i = 0; i < engine.entry_count(); ++i) {
+          p.cands[i] = {f.bvp.test(i), i};
+        }
+        ppe_step(p);
+        slot.ppe_regs[0] = std::move(p);
+      }
+      // Advance stride stages back-to-front; stage s ANDs its memory
+      // word into the incoming BVP.
+      for (unsigned s = stages - 1; s > 0; --s) {
+        if (!slot.stride_regs[s].has_value() && slot.stride_regs[s - 1].has_value()) {
+          StrideFlit f = std::move(*slot.stride_regs[s - 1]);
+          slot.stride_regs[s - 1].reset();
+          f.bvp.and_with(
+              table.bv(s, table.stride_value(packets[f.packet_id], s)));
+          slot.stride_regs[s] = std::move(f);
+        }
+      }
+      // Issue a new packet into stage 0.
+      if (!slot.stride_regs[0].has_value() && next_packet < packets.size()) {
+        StrideFlit f;
+        f.packet_id = next_packet++;
+        f.bvp = BitVector(engine.entry_count(), true);
+        f.bvp.and_with(table.bv(0, table.stride_value(packets[f.packet_id], 0)));
+        slot.stride_regs[0] = std::move(f);
+      }
+    }
+  }
+
+  out.stats.cycles = cycle;
+  out.stats.packets_per_cycle =
+      cycle == 0 ? 0 : static_cast<double>(packets.size()) / static_cast<double>(cycle);
+  return out;
+}
+
+SimResult simulate_tcam(const engines::tcam::TcamEngine& engine,
+                        std::span<const net::HeaderBits> packets) {
+  SimResult out;
+  out.best.assign(packets.size(), engines::MatchResult::kNoMatch);
+  out.stats.packets = packets.size();
+  out.stats.latency_cycles = 2;  // registered match lines + priority encode
+
+  // One lookup per cycle; the two register stages only add fill/drain.
+  std::uint64_t cycle = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    ++cycle;
+    const auto lines = engine.match_lines(packets[i]);
+    const std::size_t e = lines.first_set();
+    out.best[i] =
+        e == util::BitVector::npos ? engines::MatchResult::kNoMatch : engine.entry_rule(e);
+  }
+  cycle += out.stats.latency_cycles;
+  out.stats.cycles = cycle;
+  out.stats.packets_per_cycle =
+      cycle == 0 ? 0 : static_cast<double>(packets.size()) / static_cast<double>(cycle);
+  return out;
+}
+
+}  // namespace rfipc::sim

@@ -1,0 +1,66 @@
+// Low-level bit manipulation helpers shared across the library.
+//
+// All functions are constexpr-friendly and operate on unsigned 64-bit
+// words, the storage unit of rfipc::util::BitVector.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace rfipc::util {
+
+/// Number of bits in one storage word.
+inline constexpr unsigned kWordBits = 64;
+
+/// Returns a word with the lowest `n` bits set. `n` must be <= 64.
+constexpr std::uint64_t low_mask(unsigned n) {
+  return n >= kWordBits ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Population count.
+constexpr int popcount(std::uint64_t w) { return std::popcount(w); }
+
+/// Index of the lowest set bit, or -1 when the word is zero.
+constexpr int lowest_set_bit(std::uint64_t w) {
+  return w == 0 ? -1 : std::countr_zero(w);
+}
+
+/// Index of the highest set bit, or -1 when the word is zero.
+constexpr int highest_set_bit(std::uint64_t w) {
+  return w == 0 ? -1 : 63 - std::countl_zero(w);
+}
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x == 1.
+constexpr unsigned ceil_log2(std::uint64_t x) {
+  return x <= 1 ? 0 : static_cast<unsigned>(64 - std::countl_zero(x - 1));
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr unsigned floor_log2(std::uint64_t x) {
+  return static_cast<unsigned>(63 - std::countl_zero(x | 1));
+}
+
+/// True when x is a power of two (x > 0).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Integer ceiling division for non-negative operands.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Extracts bits [lo, lo+len) of `w` (little-endian bit order), len <= 64.
+constexpr std::uint64_t extract_bits(std::uint64_t w, unsigned lo, unsigned len) {
+  return (w >> lo) & low_mask(len);
+}
+
+/// Reverses the lowest `n` bits of `w`; bits above `n` are cleared.
+constexpr std::uint64_t reverse_bits(std::uint64_t w, unsigned n) {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    r = (r << 1) | ((w >> i) & 1u);
+  }
+  return r;
+}
+
+}  // namespace rfipc::util

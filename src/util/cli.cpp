@@ -1,0 +1,76 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/str.h"
+
+namespace rfipc::util {
+
+CliFlags::CliFlags(int argc, const char* const* argv, std::vector<std::string> allowed) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      // `--flag value` form: consume the next token unless it is a flag.
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (!allowed.empty() &&
+        std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    values_[name] = value;
+  }
+}
+
+std::string CliFlags::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::uint64_t CliFlags::get_u64(const std::string& name, std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const auto v = parse_u64(it->second);
+  if (!v) throw std::invalid_argument("flag --" + name + " expects an unsigned integer");
+  return *v;
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number");
+  }
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean");
+}
+
+}  // namespace rfipc::util

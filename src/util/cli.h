@@ -1,0 +1,37 @@
+// Minimal command-line flag parser for the examples and bench binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`.
+// Unknown flags are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rfipc::util {
+
+class CliFlags {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  /// `allowed` lists the recognized flag names (without leading dashes);
+  /// when non-empty, any other flag is rejected.
+  CliFlags(int argc, const char* const* argv, std::vector<std::string> allowed = {});
+
+  bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rfipc::util

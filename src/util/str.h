@@ -1,0 +1,35 @@
+// Small string helpers used by the parsers and report writers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfipc::util {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits `s` on any run of whitespace, dropping empty fields.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Parses an unsigned decimal integer; rejects trailing garbage and
+/// values above `max`.
+std::optional<std::uint64_t> parse_u64(std::string_view s,
+                                       std::uint64_t max = ~std::uint64_t{0});
+
+/// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `digits` significant decimal places (fixed).
+std::string fmt_double(double v, int digits);
+
+/// Thousands-separated integer, e.g. 1234567 -> "1,234,567".
+std::string fmt_group(std::uint64_t v);
+
+}  // namespace rfipc::util

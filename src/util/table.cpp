@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rfipc::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::add_row: column count mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render(int indent) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << pad;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      if (c + 1 != row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  os << pad;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c], '-');
+    if (c + 1 != header_.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::string cell = row[c];
+      std::replace(cell.begin(), cell.end(), ',', ';');
+      os << cell;
+      if (c + 1 != row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << content;
+  return static_cast<bool>(f);
+}
+
+}  // namespace rfipc::util

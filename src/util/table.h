@@ -1,0 +1,35 @@
+// Plain-text table / CSV emitters used by the benchmark harness to print
+// the rows and series of each paper table and figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rfipc::util {
+
+/// Column-aligned ASCII table with an optional title. Cells are strings;
+/// numeric formatting is the caller's job (see str.h helpers).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column padding; `indent` spaces prefix every line.
+  std::string render(int indent = 0) const;
+  /// Renders as RFC-4180-ish CSV (no quoting of separators needed for our
+  /// numeric content; commas in cells are replaced by ';').
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `content` to `path`, creating parent directories is NOT done —
+/// benches write into the current directory. Returns false on failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace rfipc::util

@@ -1,0 +1,48 @@
+// Fixed-size worker pool for batch classification.
+//
+// The engines themselves are single-threaded (they model hardware
+// pipelines); the pool parallelizes *across packets* in examples and
+// benches, following the explicit-parallelism style of the HPC guides:
+// work is partitioned up front into contiguous index ranges, one per
+// task, so there is no fine-grained synchronization on the hot path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rfipc::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(begin, end) over [0, n) split into roughly equal contiguous
+  /// chunks (one per worker) and blocks until all chunks complete.
+  /// Exceptions thrown by fn are rethrown (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace rfipc::util

@@ -1,0 +1,108 @@
+#include "engines/bv/abv.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/common/linear_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::engines::bv {
+namespace {
+
+TEST(Abv, ConfigValidation) {
+  const auto rs = ruleset::RuleSet::table1_example();
+  EXPECT_THROW(AbvEngine(rs, {1}), std::invalid_argument);
+  EXPECT_THROW(AbvEngine(rs, {5000}), std::invalid_argument);
+  const AbvEngine ok(rs, {32});
+  EXPECT_EQ(ok.name(), "ABV(A=32)");
+  EXPECT_EQ(ok.rule_count(), 6u);
+}
+
+TEST(Abv, AgreesWithGoldenAndPlainBv) {
+  const auto rules = ruleset::generate_firewall(200, 9);
+  const AbvEngine abv(rules, {16});
+  const BvDecompositionEngine plain(rules);
+  const LinearSearchEngine golden(rules);
+  ruleset::TraceConfig cfg;
+  cfg.size = 1500;
+  for (const auto& t : ruleset::generate_trace(rules, cfg)) {
+    const auto want = golden.classify_tuple(t);
+    const auto got = abv.classify_tuple(t);
+    ASSERT_EQ(got.best, want.best) << t.to_string();
+    ASSERT_EQ(got.multi, want.multi);
+    ASSERT_EQ(plain.classify_tuple(t).best, want.best);
+  }
+}
+
+TEST(Abv, AggregationSkipsEmptyChunks) {
+  // Specific ACL rules: a random header matches few rules, so most
+  // chunks have zero aggregate and are never fetched.
+  ruleset::GeneratorConfig cfg;
+  cfg.mode = ruleset::GeneratorMode::kAcl;
+  cfg.size = 512;
+  cfg.seed = 3;
+  cfg.default_rule = false;
+  const auto rules = ruleset::generate(cfg);
+  const AbvEngine abv(rules, {32});
+  ruleset::TraceConfig tcfg;
+  tcfg.size = 500;
+  tcfg.match_fraction = 0.3;
+  for (const auto& t : ruleset::generate_trace(rules, tcfg)) {
+    (void)abv.classify_tuple(t);
+  }
+  EXPECT_GT(abv.stats().chunks_total, 0u);
+  EXPECT_LT(abv.stats().touch_fraction(), 0.5)
+      << "aggregation should skip most chunks on sparse matches";
+}
+
+TEST(Abv, WildcardHeavyRulesetTouchesMoreChunks) {
+  // The classic ABV caveat: dense match vectors defeat aggregation.
+  ruleset::GeneratorConfig dense_cfg;
+  dense_cfg.mode = ruleset::GeneratorMode::kFirewall;  // wildcard heavy
+  dense_cfg.size = 256;
+  dense_cfg.seed = 3;
+  const auto dense_rules = ruleset::generate(dense_cfg);
+  dense_cfg.mode = ruleset::GeneratorMode::kAcl;
+  dense_cfg.default_rule = false;
+  const auto sparse_rules = ruleset::generate(dense_cfg);
+
+  const AbvEngine dense(dense_rules, {32});
+  const AbvEngine sparse(sparse_rules, {32});
+  ruleset::TraceConfig tcfg;
+  tcfg.size = 400;
+  for (const auto& t : ruleset::generate_trace(dense_rules, tcfg)) {
+    (void)dense.classify_tuple(t);
+  }
+  for (const auto& t : ruleset::generate_trace(sparse_rules, tcfg)) {
+    (void)sparse.classify_tuple(t);
+  }
+  EXPECT_GT(dense.stats().touch_fraction(), sparse.stats().touch_fraction());
+}
+
+TEST(Abv, MemoryIncludesAggregateOverhead) {
+  const auto rules = ruleset::generate_firewall(128, 4);
+  const BvDecompositionEngine plain(rules);
+  const AbvEngine abv(rules, {64});
+  EXPECT_GT(abv.memory_bits(), plain.memory_bits());
+  // Overhead is ~1/A of the base vectors.
+  const double overhead = static_cast<double>(abv.memory_bits() - plain.memory_bits()) /
+                          static_cast<double>(plain.memory_bits());
+  EXPECT_LT(overhead, 0.05);
+}
+
+TEST(Abv, SmallerChunksTouchFewerBitsButCostMoreMemory) {
+  const auto rules = ruleset::generate_firewall(256, 5);
+  const AbvEngine fine(rules, {8});
+  const AbvEngine coarse(rules, {128});
+  EXPECT_GT(fine.memory_bits(), coarse.memory_bits());
+  ruleset::TraceConfig tcfg;
+  tcfg.size = 300;
+  for (const auto& t : ruleset::generate_trace(rules, tcfg)) {
+    (void)fine.classify_tuple(t);
+    (void)coarse.classify_tuple(t);
+  }
+  EXPECT_LE(fine.stats().touch_fraction(), coarse.stats().touch_fraction() + 1e-9);
+}
+
+}  // namespace
+}  // namespace rfipc::engines::bv

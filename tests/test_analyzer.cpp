@@ -1,0 +1,94 @@
+#include "ruleset/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "ruleset/generator.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+TEST(Analyzer, EmptyRuleset) {
+  const auto f = analyze(RuleSet{});
+  EXPECT_EQ(f.size, 0u);
+  EXPECT_EQ(f.tcam_entries, 0u);
+}
+
+TEST(Analyzer, WildcardFractions) {
+  RuleSet rs;
+  rs.add(*Rule::parse("* * * * * DROP"));
+  rs.add(*Rule::parse("10.0.0.0/8 * 80 * TCP PORT 1"));
+  const auto f = analyze(rs, 0);
+  EXPECT_DOUBLE_EQ(f.sip_wildcard, 0.5);
+  EXPECT_DOUBLE_EQ(f.dip_wildcard, 1.0);
+  EXPECT_DOUBLE_EQ(f.sp_wildcard, 0.5);
+  EXPECT_DOUBLE_EQ(f.dp_wildcard, 1.0);
+  EXPECT_DOUBLE_EQ(f.proto_wildcard, 0.5);
+}
+
+TEST(Analyzer, PrefixHistogram) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * DROP"));
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * DROP"));
+  rs.add(*Rule::parse("1.2.3.4/32 * * * * DROP"));
+  const auto f = analyze(rs, 0);
+  EXPECT_EQ(f.sip_len_hist[8], 2u);
+  EXPECT_EQ(f.sip_len_hist[32], 1u);
+  EXPECT_EQ(f.sip_len_hist[16], 0u);
+}
+
+TEST(Analyzer, EntropyZeroWhenUniformLength) {
+  RuleSet rs;
+  for (int i = 0; i < 8; ++i) rs.add(*Rule::parse("10.0.0.0/8 * * * * DROP"));
+  const auto f = analyze(rs, 0);
+  EXPECT_DOUBLE_EQ(f.sip_len_entropy, 0.0);
+}
+
+TEST(Analyzer, TcamExpansionAccounting) {
+  RuleSet rs;
+  auto r = Rule::any();
+  r.src_port = {1, 65534};  // 30 prefixes
+  rs.add(r);
+  rs.add(Rule::any());
+  const auto f = analyze(rs, 0);
+  EXPECT_EQ(f.tcam_entries, 31u);
+  EXPECT_EQ(f.max_rule_expansion, 30u);
+  EXPECT_DOUBLE_EQ(f.tcam_expansion, 15.5);
+}
+
+TEST(Analyzer, ArbitraryRangeDetection) {
+  RuleSet rs;
+  auto r = Rule::any();
+  r.dst_port = {100, 200};  // not a prefix
+  rs.add(r);
+  r.dst_port = {1024, 2047};  // a prefix block
+  rs.add(r);
+  r.dst_port = net::PortRange::exactly(80);
+  rs.add(r);
+  const auto f = analyze(rs, 0);
+  EXPECT_NEAR(f.arbitrary_range_fraction, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Analyzer, OverlapCountsDefaultRule) {
+  RuleSet rs;
+  rs.add(Rule::any());
+  const auto f = analyze(rs, 100, 1);
+  EXPECT_DOUBLE_EQ(f.avg_overlap, 1.0);  // every probe matches the catch-all
+}
+
+TEST(Analyzer, OverlapDeterministicInSeed) {
+  const auto rs = generate_firewall(128);
+  const auto a = analyze(rs, 500, 9);
+  const auto b = analyze(rs, 500, 9);
+  EXPECT_DOUBLE_EQ(a.avg_overlap, b.avg_overlap);
+}
+
+TEST(Analyzer, SummaryMentionsKeyNumbers) {
+  const auto f = analyze(generate_firewall(64));
+  const auto s = f.summary();
+  EXPECT_NE(s.find("rules=64"), std::string::npos);
+  EXPECT_NE(s.find("tcam_entries="), std::string::npos);
+  EXPECT_NE(s.find("entropy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfipc::ruleset

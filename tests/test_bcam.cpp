@@ -1,0 +1,76 @@
+#include "engines/tcam/bcam.h"
+
+#include <gtest/gtest.h>
+
+#include "ruleset/generator.h"
+
+namespace rfipc::engines::tcam {
+namespace {
+
+net::HeaderBits key(const char* sip, std::uint16_t sp) {
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse(sip);
+  t.src_port = sp;
+  return net::HeaderBits(t);
+}
+
+TEST(Bcam, InsertAndLookup) {
+  BcamTable t;
+  const auto i0 = t.insert(key("1.2.3.4", 80));
+  const auto i1 = t.insert(key("5.6.7.8", 443));
+  EXPECT_EQ(i0, 0u);
+  EXPECT_EQ(i1, 1u);
+  EXPECT_EQ(t.lookup(key("1.2.3.4", 80)), 0u);
+  EXPECT_EQ(t.lookup(key("5.6.7.8", 443)), 1u);
+  EXPECT_FALSE(t.lookup(key("9.9.9.9", 80)));
+}
+
+TEST(Bcam, DuplicateKeepsFirstIndex) {
+  BcamTable t;
+  t.insert(key("1.1.1.1", 1));
+  const auto again = t.insert(key("1.1.1.1", 1));
+  EXPECT_EQ(again, 0u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Bcam, MemoryIsOneBitPerKeyBit) {
+  BcamTable t;
+  t.insert(key("1.1.1.1", 1));
+  t.insert(key("2.2.2.2", 2));
+  EXPECT_EQ(t.memory_bits(), 2u * 104u);  // half a TCAM's 2 bits/bit
+}
+
+TEST(Bcam, FromRulesetRequiresFullyExactRules) {
+  // Wildcards need ternary storage: the conversion must refuse.
+  EXPECT_FALSE(BcamTable::from_ruleset(ruleset::RuleSet::table1_example()));
+
+  ruleset::RuleSet exact;
+  exact.add(*ruleset::Rule::parse("1.2.3.4/32 5.6.7.8/32 100 200 TCP PORT 1"));
+  exact.add(*ruleset::Rule::parse("9.9.9.9/32 8.8.8.8/32 53 53 UDP DROP"));
+  const auto t = BcamTable::from_ruleset(exact);
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->size(), 2u);
+
+  net::FiveTuple probe;
+  probe.src_ip = *net::Ipv4Addr::parse("9.9.9.9");
+  probe.dst_ip = *net::Ipv4Addr::parse("8.8.8.8");
+  probe.src_port = 53;
+  probe.dst_port = 53;
+  probe.protocol = 17;
+  EXPECT_EQ(t->lookup(net::HeaderBits(probe)), 1u);
+}
+
+TEST(Bcam, RefusalCases) {
+  ruleset::RuleSet rs;
+  rs.add(*ruleset::Rule::parse("1.2.3.0/24 5.6.7.8/32 1 2 TCP DROP"));  // prefix
+  EXPECT_FALSE(BcamTable::from_ruleset(rs));
+  rs.clear();
+  rs.add(*ruleset::Rule::parse("1.2.3.4/32 5.6.7.8/32 1:9 2 TCP DROP"));  // range
+  EXPECT_FALSE(BcamTable::from_ruleset(rs));
+  rs.clear();
+  rs.add(*ruleset::Rule::parse("1.2.3.4/32 5.6.7.8/32 1 2 * DROP"));  // proto *
+  EXPECT_FALSE(BcamTable::from_ruleset(rs));
+}
+
+}  // namespace
+}  // namespace rfipc::engines::tcam

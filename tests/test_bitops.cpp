@@ -1,0 +1,94 @@
+#include "util/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace rfipc::util {
+namespace {
+
+TEST(BitOps, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xffu);
+  EXPECT_EQ(low_mask(63), 0x7fffffffffffffffull);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+  EXPECT_EQ(low_mask(100), ~std::uint64_t{0});
+}
+
+TEST(BitOps, Popcount) {
+  EXPECT_EQ(popcount(0), 0);
+  EXPECT_EQ(popcount(1), 1);
+  EXPECT_EQ(popcount(0xff), 8);
+  EXPECT_EQ(popcount(~std::uint64_t{0}), 64);
+}
+
+TEST(BitOps, LowestSetBit) {
+  EXPECT_EQ(lowest_set_bit(0), -1);
+  EXPECT_EQ(lowest_set_bit(1), 0);
+  EXPECT_EQ(lowest_set_bit(0x80), 7);
+  EXPECT_EQ(lowest_set_bit(0x8000000000000000ull), 63);
+  EXPECT_EQ(lowest_set_bit(0b1100), 2);
+}
+
+TEST(BitOps, HighestSetBit) {
+  EXPECT_EQ(highest_set_bit(0), -1);
+  EXPECT_EQ(highest_set_bit(1), 0);
+  EXPECT_EQ(highest_set_bit(0b1100), 3);
+  EXPECT_EQ(highest_set_bit(~std::uint64_t{0}), 63);
+}
+
+TEST(BitOps, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(BitOps, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1 << 20), 20u);
+}
+
+TEST(BitOps, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(BitOps, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(ceil_div(5, 5), 1u);
+  EXPECT_EQ(ceil_div(6, 5), 2u);
+  EXPECT_EQ(ceil_div(104, 3), 35u);  // StrideBV stage count at k=3
+  EXPECT_EQ(ceil_div(104, 4), 26u);  // ... and k=4
+}
+
+TEST(BitOps, ExtractBits) {
+  EXPECT_EQ(extract_bits(0xABCD, 0, 4), 0xDu);
+  EXPECT_EQ(extract_bits(0xABCD, 4, 4), 0xCu);
+  EXPECT_EQ(extract_bits(0xABCD, 8, 8), 0xABu);
+  EXPECT_EQ(extract_bits(~std::uint64_t{0}, 10, 64), low_mask(54));
+}
+
+TEST(BitOps, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0xff, 8), 0xffu);
+  EXPECT_EQ(reverse_bits(0x1, 1), 0x1u);
+  // Round trip.
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 6), 6), v);
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::util

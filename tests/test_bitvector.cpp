@@ -1,0 +1,219 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace rfipc::util {
+namespace {
+
+TEST(BitVector, EmptyByDefault) {
+  BitVector bv;
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_TRUE(bv.empty());
+  EXPECT_TRUE(bv.none());
+  EXPECT_EQ(bv.first_set(), BitVector::npos);
+}
+
+TEST(BitVector, ConstructAllZeros) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_EQ(bv.word_count(), 3u);
+  EXPECT_TRUE(bv.none());
+  EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVector, ConstructAllOnes) {
+  BitVector bv(130, true);
+  EXPECT_EQ(bv.count(), 130u);
+  EXPECT_TRUE(bv.any());
+  // Tail bits beyond size must be clear so count() is exact.
+  EXPECT_EQ(bv.words()[2] >> 2, 0u);
+}
+
+TEST(BitVector, SetResetTest) {
+  BitVector bv(100);
+  bv.set(0);
+  bv.set(63);
+  bv.set(64);
+  bv.set(99);
+  EXPECT_TRUE(bv.test(0));
+  EXPECT_TRUE(bv.test(63));
+  EXPECT_TRUE(bv.test(64));
+  EXPECT_TRUE(bv.test(99));
+  EXPECT_FALSE(bv.test(1));
+  EXPECT_EQ(bv.count(), 4u);
+  bv.reset(63);
+  EXPECT_FALSE(bv.test(63));
+  EXPECT_EQ(bv.count(), 3u);
+}
+
+TEST(BitVector, AssignBit) {
+  BitVector bv(10);
+  bv.assign_bit(3, true);
+  EXPECT_TRUE(bv.test(3));
+  bv.assign_bit(3, false);
+  EXPECT_FALSE(bv.test(3));
+}
+
+TEST(BitVector, SetAllResetAll) {
+  BitVector bv(77);
+  bv.set_all();
+  EXPECT_EQ(bv.count(), 77u);
+  bv.reset_all();
+  EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVector, AndOrXor) {
+  BitVector a(70);
+  BitVector b(70);
+  a.set(1);
+  a.set(65);
+  b.set(1);
+  b.set(2);
+  BitVector anded = bv_and(a, b);
+  EXPECT_TRUE(anded.test(1));
+  EXPECT_FALSE(anded.test(2));
+  EXPECT_FALSE(anded.test(65));
+  BitVector ored = bv_or(a, b);
+  EXPECT_EQ(ored.count(), 3u);
+  a.xor_with(b);
+  EXPECT_FALSE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_TRUE(a.test(65));
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(10);
+  BitVector b(11);
+  EXPECT_THROW(a.and_with(b), std::invalid_argument);
+  EXPECT_THROW(a.or_with(b), std::invalid_argument);
+  EXPECT_THROW(a.xor_with(b), std::invalid_argument);
+}
+
+TEST(BitVector, FlipKeepsTailClear) {
+  BitVector bv(67);
+  bv.set(0);
+  bv.flip();
+  EXPECT_FALSE(bv.test(0));
+  EXPECT_EQ(bv.count(), 66u);
+  // Flipping twice restores.
+  bv.flip();
+  EXPECT_EQ(bv.count(), 1u);
+  EXPECT_TRUE(bv.test(0));
+}
+
+TEST(BitVector, FirstSetAcrossWords) {
+  BitVector bv(200);
+  EXPECT_EQ(bv.first_set(), BitVector::npos);
+  bv.set(150);
+  EXPECT_EQ(bv.first_set(), 150u);
+  bv.set(64);
+  EXPECT_EQ(bv.first_set(), 64u);
+  bv.set(0);
+  EXPECT_EQ(bv.first_set(), 0u);
+}
+
+TEST(BitVector, NextSetIteration) {
+  BitVector bv(300);
+  const std::size_t idx[] = {0, 1, 63, 64, 127, 128, 299};
+  for (const auto i : idx) bv.set(i);
+  std::vector<std::size_t> seen;
+  for (std::size_t i = bv.first_set(); i != BitVector::npos; i = bv.next_set(i + 1)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, std::vector<std::size_t>(std::begin(idx), std::end(idx)));
+}
+
+TEST(BitVector, NextSetFromBeyondEnd) {
+  BitVector bv(10);
+  bv.set(9);
+  EXPECT_EQ(bv.next_set(10), BitVector::npos);
+  EXPECT_EQ(bv.next_set(9), 9u);
+}
+
+TEST(BitVector, LastSet) {
+  BitVector bv(200);
+  EXPECT_EQ(bv.last_set(), BitVector::npos);
+  bv.set(5);
+  EXPECT_EQ(bv.last_set(), 5u);
+  bv.set(199);
+  EXPECT_EQ(bv.last_set(), 199u);
+}
+
+TEST(BitVector, SetBitsList) {
+  BitVector bv(70);
+  bv.set(2);
+  bv.set(69);
+  EXPECT_EQ(bv.set_bits(), (std::vector<std::size_t>{2, 69}));
+}
+
+TEST(BitVector, Resize) {
+  BitVector bv(10, true);
+  bv.resize(100);
+  EXPECT_EQ(bv.size(), 100u);
+  EXPECT_EQ(bv.count(), 10u);  // new bits zero
+  bv.resize(5);
+  EXPECT_EQ(bv.count(), 5u);
+  // Growing again must not resurrect old bits.
+  bv.resize(10);
+  EXPECT_EQ(bv.count(), 5u);
+}
+
+TEST(BitVector, ToString) {
+  BitVector bv(5);
+  bv.set(1);
+  bv.set(4);
+  EXPECT_EQ(bv.to_string(), "01001");
+}
+
+TEST(BitVector, Equality) {
+  BitVector a(65);
+  BitVector b(65);
+  EXPECT_EQ(a, b);
+  a.set(64);
+  EXPECT_NE(a, b);
+  b.set(64);
+  EXPECT_EQ(a, b);
+}
+
+// Property: first_set equals the minimum of set_bits on random vectors.
+TEST(BitVectorProperty, FirstSetMatchesSetBits) {
+  Xoshiro256 rng(123);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 1 + rng.below(500);
+    BitVector bv(n);
+    const std::size_t sets = rng.below(20);
+    for (std::size_t s = 0; s < sets; ++s) bv.set(rng.below(n));
+    const auto bits = bv.set_bits();
+    if (bits.empty()) {
+      EXPECT_EQ(bv.first_set(), BitVector::npos);
+      EXPECT_EQ(bv.last_set(), BitVector::npos);
+    } else {
+      EXPECT_EQ(bv.first_set(), bits.front());
+      EXPECT_EQ(bv.last_set(), bits.back());
+      EXPECT_EQ(bv.count(), bits.size());
+    }
+  }
+}
+
+// Property: AND is intersection of set_bits.
+TEST(BitVectorProperty, AndIsIntersection) {
+  Xoshiro256 rng(77);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = 1 + rng.below(300);
+    BitVector a(n);
+    BitVector b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(1, 3)) a.set(i);
+      if (rng.chance(1, 3)) b.set(i);
+    }
+    const BitVector c = bv_and(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(c.test(i), a.test(i) && b.test(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::util

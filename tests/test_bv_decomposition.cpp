@@ -1,0 +1,129 @@
+#include "engines/bv/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/common/linear_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::engines::bv {
+namespace {
+
+using ruleset::Rule;
+using ruleset::RuleSet;
+
+TEST(FieldAxis, SingleFullInterval) {
+  const FieldAxis axis({{0, 255}}, 255);
+  EXPECT_EQ(axis.interval_count(), 1u);
+  EXPECT_TRUE(axis.match(0).test(0));
+  EXPECT_TRUE(axis.match(255).test(0));
+}
+
+TEST(FieldAxis, ElementaryIntervalBoundaries) {
+  // One rule interval [10, 20] over [0, 255]: elementary intervals
+  // [0,10), [10,21), [21,256) -> 3 vectors.
+  const FieldAxis axis({{10, 20}}, 255);
+  EXPECT_EQ(axis.interval_count(), 3u);
+  EXPECT_FALSE(axis.match(9).test(0));
+  EXPECT_TRUE(axis.match(10).test(0));
+  EXPECT_TRUE(axis.match(20).test(0));
+  EXPECT_FALSE(axis.match(21).test(0));
+}
+
+TEST(FieldAxis, OverlappingIntervals) {
+  const FieldAxis axis({{0, 100}, {50, 150}, {200, 200}}, 0xffff);
+  EXPECT_EQ(axis.match(75).count(), 2u);
+  EXPECT_EQ(axis.match(25).count(), 1u);
+  EXPECT_EQ(axis.match(125).count(), 1u);
+  EXPECT_TRUE(axis.match(200).test(2));
+  EXPECT_TRUE(axis.match(160).none());
+}
+
+TEST(FieldAxis, IntervalCountBoundedBy2NPlus1) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+  for (std::uint32_t i = 0; i < 50; ++i) intervals.push_back({i * 7 + 1, i * 7 + 3});
+  const FieldAxis axis(intervals, 0xffff);
+  EXPECT_LE(axis.interval_count(), 2 * intervals.size() + 1);
+  EXPECT_EQ(axis.memory_bits(), axis.interval_count() * intervals.size());
+}
+
+TEST(FieldAxis, BadIntervalRejected) {
+  EXPECT_THROW(FieldAxis({{5, 4}}, 255), std::invalid_argument);
+  EXPECT_THROW(FieldAxis({{0, 300}}, 255), std::invalid_argument);
+}
+
+TEST(BvDecomposition, BasicsAndRejection) {
+  const BvDecompositionEngine e(RuleSet::table1_example());
+  EXPECT_EQ(e.name(), "BV-Decomposition");
+  EXPECT_EQ(e.rule_count(), 6u);
+  EXPECT_EQ(e.interval_counts().size(), 5u);
+  EXPECT_THROW(BvDecompositionEngine(RuleSet{}), std::invalid_argument);
+}
+
+TEST(BvDecomposition, AgreesWithGolden) {
+  for (const auto mode : {ruleset::GeneratorMode::kFirewall,
+                          ruleset::GeneratorMode::kFeatureFree}) {
+    ruleset::GeneratorConfig cfg;
+    cfg.mode = mode;
+    cfg.size = 96;
+    cfg.seed = 12;
+    cfg.range_fraction = 0.5;
+    const auto rules = ruleset::generate(cfg);
+    const BvDecompositionEngine e(rules);
+    const LinearSearchEngine golden(rules);
+    ruleset::TraceConfig tcfg;
+    tcfg.size = 1200;
+    for (const auto& t : ruleset::generate_trace(rules, tcfg)) {
+      const auto want = golden.classify_tuple(t);
+      const auto got = e.classify_tuple(t);
+      ASSERT_EQ(got.best, want.best) << t.to_string();
+      ASSERT_EQ(got.multi, want.multi);
+    }
+  }
+}
+
+TEST(BvDecomposition, MemoryIsFeatureDependent) {
+  // Unlike StrideBV's fixed S*2^k*N, the decomposition BV's memory
+  // tracks field overlap structure — the Section III-A-1 scheme's
+  // scaling weakness. Distinct field values -> more elementary
+  // intervals -> more memory at the same N.
+  ruleset::GeneratorConfig cfg;
+  cfg.size = 256;
+  cfg.seed = 6;
+  cfg.mode = ruleset::GeneratorMode::kFirewall;  // repeated service ports
+  const BvDecompositionEngine fw(ruleset::generate(cfg));
+  cfg.mode = ruleset::GeneratorMode::kFeatureFree;  // near-unique values
+  const BvDecompositionEngine ff(ruleset::generate(cfg));
+  EXPECT_NE(fw.memory_bits(), ff.memory_bits());
+  EXPECT_GT(ff.memory_bits(), fw.memory_bits());
+}
+
+TEST(BvDecomposition, QuadraticWorstCaseVisible) {
+  // N distinct exact ports -> ~2N+1 intervals x N bits on that axis.
+  RuleSet rs;
+  for (std::uint16_t i = 0; i < 64; ++i) {
+    auto r = Rule::any();
+    r.dst_port = net::PortRange::exactly(static_cast<std::uint16_t>(1000 + 2 * i));
+    rs.add(r);
+  }
+  const BvDecompositionEngine e(rs);
+  const auto counts = e.interval_counts();
+  EXPECT_GE(counts[3], 2u * 64);  // DP axis
+  EXPECT_EQ(counts[0], 1u);       // SIP all-wildcard: one interval
+}
+
+TEST(BvDecomposition, PriorityResolution) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));
+  rs.add(*Rule::parse("10.0.0.0/8 * * 80 * PORT 2"));
+  const BvDecompositionEngine e(rs);
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("10.1.1.1");
+  t.dst_port = 80;
+  const auto r = e.classify_tuple(t);
+  EXPECT_EQ(r.best, 0u);
+  EXPECT_EQ(r.multi.count(), 2u);
+}
+
+}  // namespace
+}  // namespace rfipc::engines::bv

@@ -1,0 +1,155 @@
+// Edge cases across the whole stack: degenerate rulesets, extreme
+// headers, boundary widths — the inputs that break off-by-ones.
+#include <gtest/gtest.h>
+
+#include "engines/common/factory.h"
+#include "engines/common/linear_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc {
+namespace {
+
+using engines::make_engine;
+using ruleset::Rule;
+using ruleset::RuleSet;
+
+net::FiveTuple all_zero() { return {}; }
+
+net::FiveTuple all_ones() {
+  net::FiveTuple t;
+  t.src_ip.value = 0xffffffffu;
+  t.dst_ip.value = 0xffffffffu;
+  t.src_port = 0xffff;
+  t.dst_port = 0xffff;
+  t.protocol = 0xff;
+  return t;
+}
+
+TEST(EdgeCases, SingleRuleRuleset) {
+  RuleSet rs;
+  rs.add(*Rule::parse("1.2.3.4/32 5.6.7.8/32 100 200 TCP PORT 1"));
+  for (const auto& spec : engines::known_engine_specs()) {
+    const auto e = make_engine(spec, rs);
+    net::FiveTuple hit;
+    hit.src_ip = *net::Ipv4Addr::parse("1.2.3.4");
+    hit.dst_ip = *net::Ipv4Addr::parse("5.6.7.8");
+    hit.src_port = 100;
+    hit.dst_port = 200;
+    hit.protocol = 6;
+    EXPECT_EQ(e->classify_tuple(hit).best, 0u) << spec;
+    EXPECT_FALSE(e->classify_tuple(all_zero()).has_match()) << spec;
+  }
+}
+
+TEST(EdgeCases, DuplicateRulesKeepTopPriority) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 2"));  // identical match set
+  for (const auto& spec : engines::known_engine_specs()) {
+    const auto e = make_engine(spec, rs);
+    net::FiveTuple t;
+    t.src_ip = *net::Ipv4Addr::parse("10.9.9.9");
+    const auto r = e->classify_tuple(t);
+    EXPECT_EQ(r.best, 0u) << spec;
+    if (e->supports_multi_match()) {
+      EXPECT_EQ(r.multi.count(), 2u) << spec;
+    }
+  }
+}
+
+TEST(EdgeCases, ExtremeHeadersAgainstCatchAll) {
+  RuleSet rs;
+  rs.add(Rule::any());
+  for (const auto& spec : engines::known_engine_specs()) {
+    const auto e = make_engine(spec, rs);
+    EXPECT_EQ(e->classify_tuple(all_zero()).best, 0u) << spec;
+    EXPECT_EQ(e->classify_tuple(all_ones()).best, 0u) << spec;
+  }
+}
+
+TEST(EdgeCases, BoundaryPortsAndPrefixLengths) {
+  RuleSet rs;
+  rs.add(*Rule::parse("0.0.0.0/1 * 0 65535 * PORT 1"));        // lowest half
+  rs.add(*Rule::parse("128.0.0.0/1 * 65535 0 * PORT 2"));      // highest half
+  rs.add(*Rule::parse("255.255.255.255/32 * * * 255 PORT 3")); // extreme exacts
+  const engines::LinearSearchEngine golden(rs);
+  for (const auto& spec : engines::known_engine_specs()) {
+    const auto e = make_engine(spec, rs);
+    net::FiveTuple a;
+    a.src_port = 0;
+    a.dst_port = 65535;
+    net::FiveTuple b = all_ones();
+    b.src_port = 65535;
+    b.dst_port = 0;
+    for (const auto& t : {a, b, all_zero(), all_ones()}) {
+      EXPECT_EQ(e->classify_tuple(t).best, golden.classify_tuple(t).best)
+          << spec << " " << t.to_string();
+    }
+  }
+}
+
+TEST(EdgeCases, AdjacentRangesDoNotBleed) {
+  RuleSet rs;
+  auto r1 = Rule::any();
+  r1.dst_port = {0, 1023};
+  auto r2 = Rule::any();
+  r2.dst_port = {1024, 65535};
+  rs.add(r1);
+  rs.add(r2);
+  for (const auto& spec : engines::known_engine_specs()) {
+    const auto e = make_engine(spec, rs);
+    net::FiveTuple t;
+    t.dst_port = 1023;
+    EXPECT_EQ(e->classify_tuple(t).best, 0u) << spec;
+    t.dst_port = 1024;
+    EXPECT_EQ(e->classify_tuple(t).best, 1u) << spec;
+  }
+}
+
+TEST(EdgeCases, RuleMatchingNothingUsefulStillSafe) {
+  // A /32-vs-/32 rule shadowed by an identical higher-priority rule:
+  // the shadowed rule can never be the best match, and engines must not
+  // misreport it.
+  RuleSet rs;
+  rs.add(*Rule::parse("9.9.9.9/32 * * * * PORT 1"));
+  rs.add(*Rule::parse("9.9.9.9/32 * * * * DROP"));  // fully shadowed
+  for (const auto& spec : engines::known_engine_specs()) {
+    const auto e = make_engine(spec, rs);
+    net::FiveTuple t;
+    t.src_ip = *net::Ipv4Addr::parse("9.9.9.9");
+    EXPECT_EQ(e->classify_tuple(t).best, 0u) << spec;
+  }
+}
+
+TEST(EdgeCases, ProtocolZeroExactIsNotWildcard) {
+  RuleSet rs;
+  auto r = Rule::any();
+  r.protocol = net::ProtocolSpec::exactly(0);  // HOPOPT, a real protocol
+  rs.add(r);
+  for (const auto& spec : engines::known_engine_specs()) {
+    const auto e = make_engine(spec, rs);
+    net::FiveTuple t;
+    t.protocol = 0;
+    EXPECT_TRUE(e->classify_tuple(t).has_match()) << spec;
+    t.protocol = 6;
+    EXPECT_FALSE(e->classify_tuple(t).has_match()) << spec;
+  }
+}
+
+TEST(EdgeCases, LargeRulesetSmokesAllEngines) {
+  const auto rules = ruleset::generate_firewall(1024, 5);
+  const engines::LinearSearchEngine golden(rules);
+  ruleset::TraceConfig cfg;
+  cfg.size = 60;
+  const auto trace = ruleset::generate_trace(rules, cfg);
+  for (const auto& spec : engines::known_engine_specs()) {
+    const auto e = make_engine(spec, rules);
+    for (const auto& t : trace) {
+      ASSERT_EQ(e->classify_tuple(t).best, golden.classify_tuple(t).best) << spec;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfipc

@@ -1,0 +1,131 @@
+// Interface-contract conformance: invariants every ClassifierEngine
+// implementation must honour, swept over all registered specs, plus a
+// seed-fuzz pass pitting every engine against the golden reference.
+#include <gtest/gtest.h>
+
+#include "engines/common/factory.h"
+#include "engines/common/linear_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::engines {
+namespace {
+
+std::string sanitize(std::string s) {
+  for (auto& c : s) {
+    if (c == ':' || c == '-') c = '_';
+  }
+  return s;
+}
+
+class EngineContract : public testing::TestWithParam<std::string> {
+ protected:
+  ruleset::RuleSet rules_ = ruleset::generate_firewall(48, 77);
+  EnginePtr engine_ = make_engine(GetParam(), rules_);
+};
+
+TEST_P(EngineContract, ReportsRuleCount) {
+  EXPECT_EQ(engine_->rule_count(), rules_.size());
+}
+
+TEST_P(EngineContract, NameIsNonEmptyAndStable) {
+  EXPECT_FALSE(engine_->name().empty());
+  EXPECT_EQ(engine_->name(), engine_->name());
+}
+
+TEST_P(EngineContract, BestIsAlwaysInMulti) {
+  ruleset::TraceConfig cfg;
+  cfg.size = 300;
+  for (const auto& t : ruleset::generate_trace(rules_, cfg)) {
+    const auto r = engine_->classify_tuple(t);
+    if (!engine_->supports_multi_match()) continue;
+    if (r.has_match()) {
+      ASSERT_LT(r.best, r.multi.size());
+      EXPECT_TRUE(r.multi.test(r.best)) << GetParam();
+      // best is the LOWEST set bit (highest priority).
+      EXPECT_EQ(r.multi.first_set(), r.best) << GetParam();
+    } else {
+      EXPECT_TRUE(r.multi.none()) << GetParam();
+    }
+  }
+}
+
+TEST_P(EngineContract, ClassifyIsDeterministic) {
+  const auto t = ruleset::header_for_rule(rules_[3], 9);
+  const auto a = engine_->classify_tuple(t);
+  const auto b = engine_->classify_tuple(t);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.multi, b.multi);
+}
+
+TEST_P(EngineContract, ClassifyIsConstOnRepeat) {
+  // Hammer the same engine with 1000 mixed headers twice; the second
+  // pass must reproduce the first exactly (no hidden state).
+  ruleset::TraceConfig cfg;
+  cfg.size = 1000;
+  const auto trace = ruleset::generate_trace(rules_, cfg);
+  std::vector<std::size_t> first;
+  first.reserve(trace.size());
+  for (const auto& t : trace) first.push_back(engine_->classify_tuple(t).best);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(engine_->classify_tuple(trace[i]).best, first[i]) << GetParam();
+  }
+}
+
+TEST_P(EngineContract, MatchAllRuleMakesEveryHeaderMatch) {
+  ruleset::RuleSet with_default = rules_;  // generator appends one already
+  const auto t = ruleset::header_for_rule(ruleset::Rule::any(), 1);
+  EXPECT_TRUE(engine_->classify_tuple(t).has_match()) << GetParam();
+  (void)with_default;
+}
+
+TEST_P(EngineContract, UpdateSupportIsTruthful) {
+  // insert_rule/erase_rule must return false iff unsupported.
+  const bool claims = engine_->supports_update();
+  const bool did = engine_->insert_rule(0, ruleset::Rule::any());
+  EXPECT_EQ(did, claims) << GetParam();
+  if (did) {
+    EXPECT_TRUE(engine_->erase_rule(0));
+    EXPECT_EQ(engine_->rule_count(), rules_.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, EngineContract,
+                         testing::ValuesIn(known_engine_specs()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return sanitize(info.param);
+                         });
+
+// Seed fuzz: many (ruleset, trace) seeds, all engines vs golden.
+class EngineFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, AllEnginesMatchGolden) {
+  const std::uint64_t seed = GetParam();
+  ruleset::GeneratorConfig gcfg;
+  gcfg.mode = static_cast<ruleset::GeneratorMode>(seed % 3);
+  gcfg.size = 24 + (seed * 7) % 80;
+  gcfg.seed = seed * 1000 + 17;
+  gcfg.range_fraction = static_cast<double>(seed % 5) / 5.0;
+  const auto rules = ruleset::generate(gcfg);
+  const LinearSearchEngine golden(rules);
+
+  std::vector<EnginePtr> engines;
+  for (const auto& spec : known_engine_specs()) {
+    engines.push_back(make_engine(spec, rules));
+  }
+  ruleset::TraceConfig tcfg;
+  tcfg.size = 250;
+  tcfg.seed = seed;
+  for (const auto& t : ruleset::generate_trace(rules, tcfg)) {
+    const auto want = golden.classify_tuple(t).best;
+    for (const auto& e : engines) {
+      ASSERT_EQ(e->classify_tuple(t).best, want)
+          << e->name() << " seed=" << seed << " " << t.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace rfipc::engines

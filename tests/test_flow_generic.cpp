@@ -1,0 +1,203 @@
+#include "flow/generic.h"
+
+#include <gtest/gtest.h>
+
+#include "net/header.h"
+#include "util/prng.h"
+
+namespace rfipc::flow {
+namespace {
+
+TEST(Schema, FiveTupleLayoutMatchesCore) {
+  const auto s = Schema::five_tuple();
+  EXPECT_EQ(s.total_bits(), net::kHeaderBits);
+  EXPECT_EQ(s.field_count(), 5u);
+  EXPECT_EQ(s.offset(0), net::kSipField.offset);
+  EXPECT_EQ(s.offset(2), net::kSpField.offset);
+  EXPECT_EQ(s.offset(4), net::kPrtField.offset);
+}
+
+TEST(Schema, OpenFlowIs12Fields253Bits) {
+  const auto s = Schema::openflow10();
+  EXPECT_EQ(s.field_count(), 12u);
+  EXPECT_EQ(s.total_bits(), 253u);
+  EXPECT_NE(s.to_string().find("eth_src/48p"), std::string::npos);
+}
+
+TEST(Schema, Validation) {
+  EXPECT_THROW(Schema({}), std::invalid_argument);
+  EXPECT_THROW(Schema({{"x", FieldKind::kExact, 0}}), std::invalid_argument);
+  EXPECT_THROW(Schema({{"x", FieldKind::kExact, 65}}), std::invalid_argument);
+}
+
+TEST(Schema, FieldMax) {
+  const auto s = Schema::openflow10();
+  EXPECT_EQ(s.field_max(4), 0xfffu);   // vlan_id/12
+  EXPECT_EQ(s.field_max(5), 0x7u);     // vlan_pcp/3
+  EXPECT_EQ(s.field_max(6), 0xffffffffu);
+}
+
+TEST(GenericHeader, BitLayoutMsbFirst) {
+  const Schema s({{"a", FieldKind::kExact, 4}, {"b", FieldKind::kExact, 4}});
+  const GenericHeader h(s, {0b1010, 0b0011});
+  EXPECT_TRUE(h.bit(0));
+  EXPECT_FALSE(h.bit(1));
+  EXPECT_TRUE(h.bit(2));
+  EXPECT_FALSE(h.bit(3));
+  EXPECT_EQ(h.stride(0, 4), 0b1010u);
+  EXPECT_EQ(h.stride(4, 4), 0b0011u);
+  EXPECT_EQ(h.stride(6, 4), 0b1100u);  // straddles into padding (zeros)
+}
+
+TEST(GenericHeader, Validation) {
+  const Schema s({{"a", FieldKind::kExact, 4}});
+  EXPECT_THROW(GenericHeader(s, {}), std::invalid_argument);
+  EXPECT_THROW(GenericHeader(s, {16}), std::invalid_argument);  // > 4 bits
+}
+
+TEST(GenericRule, MatchSemanticsPerKind) {
+  const Schema s({{"p", FieldKind::kPrefix, 8},
+                  {"r", FieldKind::kRange, 8},
+                  {"e", FieldKind::kExact, 8}});
+  const GenericRule rule(s, {FieldMatch::prefix(0xA0, 4), FieldMatch::range(10, 20),
+                             FieldMatch::exact(7)});
+  EXPECT_TRUE(rule.matches(GenericHeader(s, {0xAF, 15, 7})));
+  EXPECT_FALSE(rule.matches(GenericHeader(s, {0xBF, 15, 7})));  // prefix miss
+  EXPECT_FALSE(rule.matches(GenericHeader(s, {0xAF, 21, 7})));  // range miss
+  EXPECT_FALSE(rule.matches(GenericHeader(s, {0xAF, 15, 8})));  // exact miss
+  EXPECT_TRUE(GenericRule::match_all(s).matches(GenericHeader(s, {1, 2, 3})));
+}
+
+TEST(GenericRule, Validation) {
+  const Schema s({{"p", FieldKind::kPrefix, 8}});
+  EXPECT_THROW(GenericRule(s, {}), std::invalid_argument);
+  EXPECT_THROW(GenericRule(s, {FieldMatch::prefix(0, 9)}), std::invalid_argument);
+  const Schema r({{"r", FieldKind::kRange, 8}});
+  EXPECT_THROW(GenericRule(r, {FieldMatch::range(5, 4)}), std::invalid_argument);
+  EXPECT_THROW(GenericRule(r, {FieldMatch::range(0, 300)}), std::invalid_argument);
+}
+
+TEST(GenericTernary, LoweringExactness) {
+  const Schema s({{"r", FieldKind::kRange, 4}});
+  const GenericRule rule(s, {FieldMatch::range(1, 14)});
+  const auto entries = lower_rule(rule);
+  EXPECT_EQ(entries.size(), 6u);  // 2(w-1) for [1, 2^w-2]
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    const GenericHeader h(s, {v});
+    bool any = false;
+    for (const auto& e : entries) any = any || e.matches(h);
+    EXPECT_EQ(any, v >= 1 && v <= 14) << v;
+  }
+}
+
+TEST(GenericTernary, CrossProductAcrossRangeFields) {
+  const Schema s({{"a", FieldKind::kRange, 4}, {"b", FieldKind::kRange, 4}});
+  const GenericRule rule(s, {FieldMatch::range(1, 14), FieldMatch::range(1, 14)});
+  EXPECT_EQ(lower_rule(rule).size(), 36u);  // 6 x 6
+}
+
+TEST(GenericEngines, MatchAllAndMiss) {
+  const auto s = Schema::openflow10();
+  std::vector<GenericRule> rules{GenericRule::match_all(s)};
+  const GenericStrideBVEngine sbv(s, rules, 4);
+  const GenericTcamEngine tcam(s, rules);
+  util::Xoshiro256 rng(3);
+  const auto h = random_header(s, rng);
+  EXPECT_EQ(sbv.classify(h).best, 0u);
+  EXPECT_EQ(tcam.classify(h).best, 0u);
+}
+
+TEST(GenericEngines, StageCountAndMemory) {
+  const auto s = Schema::openflow10();
+  std::vector<GenericRule> rules{GenericRule::match_all(s)};
+  const GenericStrideBVEngine sbv(s, rules, 4);
+  EXPECT_EQ(sbv.num_stages(), 64u);  // ceil(253/4)
+  EXPECT_EQ(sbv.memory_bits(), 64ull * 16 * 1);
+  const GenericTcamEngine tcam(s, rules);
+  EXPECT_EQ(tcam.memory_bits(), 2ull * 253);
+}
+
+TEST(GenericEngines, RejectBadInput) {
+  const auto s = Schema::five_tuple();
+  EXPECT_THROW(GenericStrideBVEngine(s, {}, 4), std::invalid_argument);
+  EXPECT_THROW(GenericTcamEngine(s, {}), std::invalid_argument);
+  std::vector<GenericRule> one{GenericRule::match_all(s)};
+  EXPECT_THROW(GenericStrideBVEngine(s, one, 0), std::invalid_argument);
+  EXPECT_THROW(GenericStrideBVEngine(s, one, 9), std::invalid_argument);
+}
+
+// Property: generic StrideBV and TCAM agree with the generic linear
+// search over random rules/headers on both schemas and several strides.
+TEST(GenericEnginesProperty, AgreeWithLinear) {
+  util::Xoshiro256 rng(99);
+  for (const auto* which : {"five", "of"}) {
+    const Schema s = which == std::string("five") ? Schema::five_tuple()
+                                                  : Schema::openflow10();
+    std::vector<GenericRule> rules;
+    for (int i = 0; i < 48; ++i) rules.push_back(random_rule(s, rng, 0.5));
+    rules.push_back(GenericRule::match_all(s));
+    const GenericLinearEngine golden(s, rules);
+    const GenericTcamEngine tcam(s, rules);
+    for (const unsigned k : {3u, 4u, 7u}) {
+      const GenericStrideBVEngine sbv(s, rules, k);
+      for (int probe = 0; probe < 400; ++probe) {
+        const auto h = probe % 2 == 0
+                           ? random_header(s, rng)
+                           : header_for_rule(rules[rng.below(rules.size())], rng);
+        const auto want = golden.classify(h);
+        ASSERT_EQ(sbv.classify(h).best, want.best) << which << " k=" << k;
+        ASSERT_EQ(sbv.classify(h).multi, want.multi) << which << " k=" << k;
+        if (k == 3) {
+          ASSERT_EQ(tcam.classify(h).best, want.best) << which;
+          ASSERT_EQ(tcam.classify(h).multi, want.multi) << which;
+        }
+      }
+    }
+  }
+}
+
+TEST(GenericEngines, SixtyFourBitFieldsWork) {
+  // Full-width 64-bit fields exercise the shift-boundary paths.
+  const Schema s({{"wide", FieldKind::kPrefix, 64}, {"exact64", FieldKind::kExact, 64}});
+  EXPECT_EQ(s.field_max(0), ~std::uint64_t{0});
+  const std::uint64_t base = 0xDEADBEEFCAFE0000ull;
+  std::vector<GenericRule> rules{
+      GenericRule(s, {FieldMatch::prefix(base, 48), FieldMatch::any()}),
+      GenericRule(s, {FieldMatch::any(), FieldMatch::exact(42)}),
+  };
+  const GenericStrideBVEngine sbv(s, rules, 4);
+  const GenericTcamEngine tcam(s, rules);
+  const GenericLinearEngine golden(s, rules);
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t w = rng();
+    if (rng.chance(1, 2)) w = base | (w & 0xffff);  // hit the prefix half the time
+    const std::uint64_t e = rng.chance(1, 2) ? 42 : rng();
+    const GenericHeader h(s, {w, e});
+    const auto want = golden.classify(h);
+    ASSERT_EQ(sbv.classify(h).best, want.best) << i;
+    ASSERT_EQ(tcam.classify(h).best, want.best) << i;
+  }
+}
+
+TEST(GenericEngines, WideRangeFieldsRejectedInLowering) {
+  const Schema s({{"r", FieldKind::kRange, 48}});
+  const GenericRule rule(s, {FieldMatch::range(1, 100)});
+  EXPECT_THROW(lower_rule(rule), std::invalid_argument);
+  // Wildcard wide ranges are fine (no expansion needed).
+  const GenericRule wild(s, {FieldMatch::any()});
+  EXPECT_EQ(lower_rule(wild).size(), 1u);
+}
+
+TEST(GenericEnginesProperty, HeaderForRuleAlwaysMatches) {
+  util::Xoshiro256 rng(123);
+  const auto s = Schema::openflow10();
+  for (int i = 0; i < 100; ++i) {
+    const auto rule = random_rule(s, rng, 0.3);
+    const auto h = header_for_rule(rule, rng);
+    EXPECT_TRUE(rule.matches(h)) << "iter " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::flow

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "fpga/asic_tcam.h"
+#include "fpga/calibration.h"
+#include "fpga/report.h"
+
+namespace rfipc::fpga {
+namespace {
+
+TEST(Device, Xc7vx1140tDatasheetNumbers) {
+  const auto d = virtex7_xc7vx1140t();
+  EXPECT_EQ(d.slices, 178'000u);
+  EXPECT_EQ(d.luts, 4 * d.slices);
+  EXPECT_EQ(d.bram36, 1'880u);
+  EXPECT_EQ(d.bram_kbits, 36 * d.bram36);
+  EXPECT_EQ(d.iobs, 1'100u);
+  EXPECT_GT(d.distram_luts(), 200'000u);
+}
+
+TEST(Device, SmallerPartIsSmaller) {
+  const auto big = virtex7_xc7vx1140t();
+  const auto small = virtex7_xc7vx485t();
+  EXPECT_LT(small.slices, big.slices);
+  EXPECT_LT(small.bram36, big.bram36);
+}
+
+TEST(Resource, StrideBvStages) {
+  EXPECT_EQ(stridebv_stages(3), 35u);
+  EXPECT_EQ(stridebv_stages(4), 26u);
+  EXPECT_EQ(stridebv_stages(1), 104u);
+  EXPECT_THROW(stridebv_stages(0), std::invalid_argument);
+  EXPECT_THROW(stridebv_stages(9), std::invalid_argument);
+}
+
+TEST(Resource, BramBlocksPerStage) {
+  EXPECT_EQ(bram_blocks_per_stage(36, true), 1u);
+  EXPECT_EQ(bram_blocks_per_stage(37, true), 2u);
+  EXPECT_EQ(bram_blocks_per_stage(2048, true), 57u);
+  // Single-issue could use the x72 shape.
+  EXPECT_EQ(bram_blocks_per_stage(72, false), 1u);
+}
+
+TEST(Resource, MemoryBitsFormulas) {
+  const DesignPoint s3{EngineKind::kStrideBVDistRam, 512, 3, true, true};
+  const DesignPoint s4{EngineKind::kStrideBVBlockRam, 512, 4, true, true};
+  const DesignPoint cam{EngineKind::kTcamFpga, 512, 4, false, true};
+  EXPECT_EQ(estimate_resources(s3).memory_bits, 35ull * 8 * 512);
+  EXPECT_EQ(estimate_resources(s4).memory_bits, 26ull * 16 * 512);
+  EXPECT_EQ(estimate_resources(cam).memory_bits, 512ull * 208);
+}
+
+TEST(Resource, BramTotalsAndWorstCase) {
+  const DesignPoint wc{EngineKind::kStrideBVBlockRam, 2048, 3, true, true};
+  const auto u = estimate_resources(wc);
+  EXPECT_EQ(u.bram36, 35ull * 57);  // 1995 > 1880: the paper's saturation point
+  EXPECT_FALSE(fits_device(u, virtex7_xc7vx1140t()));
+  const DesignPoint ok{EngineKind::kStrideBVBlockRam, 2048, 4, true, true};
+  EXPECT_TRUE(fits_device(estimate_resources(ok), virtex7_xc7vx1140t()));
+}
+
+TEST(Resource, TcamUsesSrl16Luts) {
+  const DesignPoint cam{EngineKind::kTcamFpga, 100, 4, false, true};
+  const auto u = estimate_resources(cam);
+  EXPECT_EQ(u.luts_memory, 5200u);  // 52 per entry
+  EXPECT_GT(u.luts_logic, 0u);
+  EXPECT_EQ(u.bram36, 0u);
+}
+
+TEST(Resource, MonotoneInEntries) {
+  for (const auto kind : {EngineKind::kStrideBVDistRam, EngineKind::kStrideBVBlockRam,
+                          EngineKind::kTcamFpga}) {
+    std::uint64_t prev_slices = 0;
+    for (const auto n : paper_sizes()) {
+      const auto u = estimate_resources({kind, n, 4, true, true});
+      EXPECT_GE(u.slices, prev_slices) << engine_kind_name(kind) << " N=" << n;
+      prev_slices = u.slices;
+    }
+  }
+}
+
+TEST(Resource, ZeroEntriesRejected) {
+  EXPECT_THROW(estimate_resources({EngineKind::kTcamFpga, 0, 4, false, true}),
+               std::invalid_argument);
+}
+
+TEST(Timing, ThroughputFollowsClockAndIssueRate) {
+  const DesignPoint dual{EngineKind::kStrideBVDistRam, 512, 4, true, true};
+  const auto t = estimate_timing(dual);
+  EXPECT_DOUBLE_EQ(t.issue_rate, 2.0);
+  EXPECT_NEAR(t.throughput_gbps, 2 * t.clock_mhz * 320e-3, 1e-9);
+
+  DesignPoint single = dual;
+  single.dual_port = false;
+  const auto ts = estimate_timing(single);
+  EXPECT_DOUBLE_EQ(ts.issue_rate, 1.0);
+  EXPECT_NEAR(ts.throughput_gbps, t.throughput_gbps / 2, 1e-9);
+}
+
+TEST(Timing, TcamSingleIssue) {
+  const auto t = estimate_timing({EngineKind::kTcamFpga, 512, 4, false, true});
+  EXPECT_DOUBLE_EQ(t.issue_rate, 1.0);
+}
+
+TEST(Timing, FloorplanningHelps) {
+  for (const auto kind : {EngineKind::kStrideBVDistRam, EngineKind::kStrideBVBlockRam}) {
+    DesignPoint p{kind, 1024, 4, true, true};
+    const auto with = estimate_timing(p);
+    p.floorplanned = false;
+    const auto without = estimate_timing(p);
+    EXPECT_GT(with.clock_mhz, without.clock_mhz) << engine_kind_name(kind);
+  }
+}
+
+TEST(Timing, ClockDegradesWithN) {
+  for (const auto kind : {EngineKind::kStrideBVDistRam, EngineKind::kStrideBVBlockRam,
+                          EngineKind::kTcamFpga}) {
+    double prev = 1e18;
+    for (const auto n : paper_sizes()) {
+      const auto t = estimate_timing({kind, n, 3, true, true});
+      EXPECT_LE(t.clock_mhz, prev + 1e-9) << engine_kind_name(kind) << " N=" << n;
+      prev = t.clock_mhz;
+    }
+  }
+}
+
+TEST(Timing, LatencyCycles) {
+  EXPECT_EQ(pipeline_latency_cycles({EngineKind::kStrideBVDistRam, 1024, 4, true, true}),
+            26u + 10u);
+  EXPECT_EQ(pipeline_latency_cycles({EngineKind::kStrideBVDistRam, 1024, 3, true, true}),
+            35u + 10u);
+  EXPECT_EQ(pipeline_latency_cycles({EngineKind::kTcamFpga, 1024, 4, false, true}), 2u);
+}
+
+TEST(Power, ComponentsAddUp) {
+  const DesignPoint p{EngineKind::kStrideBVBlockRam, 512, 3, true, true};
+  const auto pe = estimate_power(p);
+  EXPECT_GT(pe.static_w, 0.0);
+  EXPECT_GT(pe.dynamic_w, 0.0);
+  EXPECT_DOUBLE_EQ(pe.total_w, pe.static_w + pe.dynamic_w);
+  EXPECT_NEAR(pe.uw_per_gbps, pe.mw_per_gbps * 1000, 1e-6);
+}
+
+TEST(Power, BramCostsMoreThanDistRam) {
+  const auto dist = estimate_power({EngineKind::kStrideBVDistRam, 512, 3, true, true});
+  const auto bram = estimate_power({EngineKind::kStrideBVBlockRam, 512, 3, true, true});
+  EXPECT_GT(bram.total_w, dist.total_w);
+  EXPECT_GT(bram.mw_per_gbps, dist.mw_per_gbps);
+}
+
+TEST(Power, TcamWorstEfficiencyAmongDistConfigs) {
+  const auto dist = estimate_power({EngineKind::kStrideBVDistRam, 512, 4, true, true});
+  const auto cam = estimate_power({EngineKind::kTcamFpga, 512, 4, false, true});
+  EXPECT_GT(cam.mw_per_gbps, 3.0 * dist.mw_per_gbps);
+}
+
+TEST(AsicTcam, PaperFormula) {
+  const auto empty = estimate_asic_tcam(1);
+  EXPECT_NEAR(empty.power_w, cal::kAsicTcamStaticW, 0.01);
+  const auto full = estimate_asic_tcam(1'000'000);  // beyond capacity -> clamp
+  EXPECT_DOUBLE_EQ(full.occupancy, 1.0);
+  EXPECT_DOUBLE_EQ(full.power_w, cal::kAsicTcamTotalW);
+  EXPECT_DOUBLE_EQ(full.clock_mhz, 250.0);
+  EXPECT_NEAR(full.throughput_gbps, 80.0, 1e-9);
+}
+
+TEST(Report, AnalyzeCombinesModels) {
+  const auto device = virtex7_xc7vx1140t();
+  const DesignPoint p{EngineKind::kStrideBVDistRam, 512, 4, true, true};
+  const auto r = analyze(p, device);
+  EXPECT_TRUE(r.fits);
+  EXPECT_NEAR(r.memory_kbits(), 26.0 * 16 * 512 / 1024, 1e-9);
+  EXPECT_NEAR(r.memory_bytes_per_rule(), 52.0, 1e-9);
+  EXPECT_NE(r.one_line().find("StrideBV"), std::string::npos);
+}
+
+TEST(Report, SweepPointsCoverPaperConfigs) {
+  const auto pts = paper_sweep_points(256);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_EQ(pts[0].kind, EngineKind::kStrideBVDistRam);
+  EXPECT_EQ(pts[0].stride, 3u);
+  EXPECT_EQ(pts[4].kind, EngineKind::kTcamFpga);
+  EXPECT_EQ(paper_sizes().front(), 32u);
+  EXPECT_EQ(paper_sizes().back(), 2048u);
+}
+
+TEST(Report, Labels) {
+  EXPECT_EQ((DesignPoint{EngineKind::kStrideBVDistRam, 1, 3, true, true}).label(),
+            "StrideBV(k=3) distRAM");
+  EXPECT_EQ((DesignPoint{EngineKind::kTcamFpga, 1, 3, true, true}).label(),
+            "TCAM on FPGA");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kStrideBVBlockRam), "stridebv-bram");
+}
+
+}  // namespace
+}  // namespace rfipc::fpga

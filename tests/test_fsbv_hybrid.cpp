@@ -1,0 +1,118 @@
+#include "engines/hybrid/fsbv_hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/common/linear_engine.h"
+#include "engines/tcam/tcam_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::engines::hybrid {
+namespace {
+
+using ruleset::Rule;
+using ruleset::RuleSet;
+
+TEST(FsbvPlane, WildcardFieldMatchesEverything) {
+  const FsbvFieldPlane plane({net::PortRange::any()}, 1);
+  EXPECT_EQ(plane.alternative_count(), 1u);
+  for (const std::uint16_t v : {0u, 80u, 65535u}) {
+    EXPECT_TRUE(plane.match(static_cast<std::uint16_t>(v)).test(0));
+  }
+}
+
+TEST(FsbvPlane, ExactPort) {
+  const FsbvFieldPlane plane({net::PortRange::exactly(80)}, 1);
+  EXPECT_TRUE(plane.match(80).test(0));
+  EXPECT_FALSE(plane.match(81).test(0));
+  EXPECT_FALSE(plane.match(0).test(0));
+}
+
+TEST(FsbvPlane, ArbitraryRangeViaAlternatives) {
+  const FsbvFieldPlane plane({net::PortRange{100, 200}}, 1);
+  EXPECT_GT(plane.alternative_count(), 1u);  // not a single prefix
+  for (unsigned v = 90; v <= 210; ++v) {
+    EXPECT_EQ(plane.match(static_cast<std::uint16_t>(v)).test(0),
+              v >= 100 && v <= 200)
+        << v;
+  }
+}
+
+TEST(FsbvPlane, AlternativesFoldPerRule) {
+  // Two rules; rule 0 has a multi-block range. Folding must be per
+  // rule, never mixing alternatives across rules.
+  const FsbvFieldPlane plane({net::PortRange{1, 6}, net::PortRange::exactly(9)}, 2);
+  const auto m4 = plane.match(4);
+  EXPECT_TRUE(m4.test(0));
+  EXPECT_FALSE(m4.test(1));
+  const auto m9 = plane.match(9);
+  EXPECT_FALSE(m9.test(0));
+  EXPECT_TRUE(m9.test(1));
+}
+
+TEST(FsbvPlane, MemoryScalesWithAlternatives) {
+  const FsbvFieldPlane small({net::PortRange::exactly(80)}, 1);
+  const FsbvFieldPlane big({net::PortRange{1, 65534}}, 1);
+  EXPECT_EQ(small.memory_bits(), 32u);
+  EXPECT_EQ(big.memory_bits(), 32u * 30);  // 30 alternatives
+}
+
+TEST(FsbvHybrid, BasicsAndRejection) {
+  const FsbvHybridEngine e(RuleSet::table1_example());
+  EXPECT_EQ(e.name(), "FSBV-Hybrid");
+  EXPECT_EQ(e.rule_count(), 6u);
+  EXPECT_TRUE(e.supports_multi_match());
+  EXPECT_THROW(FsbvHybridEngine(RuleSet{}), std::invalid_argument);
+}
+
+TEST(FsbvHybrid, PerFieldExpansionIsAdditiveNotMultiplicative) {
+  // The hybrid's selling point (Section III-A-2): a rule with ranges
+  // in BOTH port fields costs sp_alts + dp_alts, not sp_alts * dp_alts.
+  RuleSet rs;
+  auto r = Rule::any();
+  r.src_port = {1, 65534};  // 30 blocks
+  r.dst_port = {1, 65534};  // 30 blocks
+  rs.add(r);
+  const FsbvHybridEngine hybrid(rs);
+  const tcam::TcamEngine full_tcam(rs);
+  EXPECT_EQ(hybrid.sp_alternatives(), 30u);
+  EXPECT_EQ(hybrid.dp_alternatives(), 30u);
+  EXPECT_EQ(full_tcam.entry_count(), 900u);  // the cross-product blow-up
+  EXPECT_LT(hybrid.memory_bits(), full_tcam.memory_bits());
+}
+
+TEST(FsbvHybrid, AgreesWithGolden) {
+  for (const double frac : {0.0, 0.5, 0.9}) {
+    ruleset::GeneratorConfig cfg;
+    cfg.size = 96;
+    cfg.seed = 8;
+    cfg.range_fraction = frac;
+    const auto rules = ruleset::generate(cfg);
+    const FsbvHybridEngine e(rules);
+    const LinearSearchEngine golden(rules);
+    ruleset::TraceConfig tcfg;
+    tcfg.size = 1200;
+    for (const auto& t : ruleset::generate_trace(rules, tcfg)) {
+      const auto want = golden.classify_tuple(t);
+      const auto got = e.classify_tuple(t);
+      ASSERT_EQ(got.best, want.best) << "frac=" << frac << " " << t.to_string();
+      ASSERT_EQ(got.multi, want.multi) << "frac=" << frac;
+    }
+  }
+}
+
+TEST(FsbvHybrid, PriorityAcrossHybridSlices) {
+  RuleSet rs;
+  rs.add(*Rule::parse("* * * 100:200 * DROP"));
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));
+  const FsbvHybridEngine e(rs);
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("10.1.1.1");
+  t.dst_port = 150;  // both match -> rule 0 wins
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);
+  t.dst_port = 99;  // only rule 1
+  EXPECT_EQ(e.classify_tuple(t).best, 1u);
+}
+
+}  // namespace
+}  // namespace rfipc::engines::hybrid

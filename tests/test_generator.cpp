@@ -1,0 +1,107 @@
+#include "ruleset/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "ruleset/analyzer.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+TEST(Generator, ExactSize) {
+  for (const std::size_t n : {1u, 32u, 100u, 512u}) {
+    EXPECT_EQ(generate_firewall(n).size(), n);
+  }
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const auto a = generate_firewall(64, 5);
+  const auto b = generate_firewall(64, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Generator, SeedsDiffer) {
+  const auto a = generate_firewall(64, 1);
+  const auto b = generate_firewall(64, 2);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) same += a[i] == b[i] ? 1 : 0;
+  EXPECT_LT(same, a.size() / 4);
+}
+
+TEST(Generator, DefaultRuleAppendedLast) {
+  const auto rs = generate_firewall(128);
+  const auto& last = rs[rs.size() - 1];
+  EXPECT_EQ(last.src_ip, net::Ipv4Prefix::any());
+  EXPECT_EQ(last.dst_ip, net::Ipv4Prefix::any());
+  EXPECT_TRUE(last.src_port.is_wildcard());
+  EXPECT_TRUE(last.dst_port.is_wildcard());
+  EXPECT_TRUE(last.protocol.wildcard);
+}
+
+TEST(Generator, NoDefaultRuleWhenDisabled) {
+  GeneratorConfig cfg;
+  cfg.size = 64;
+  cfg.default_rule = false;
+  const auto rs = generate(cfg);
+  EXPECT_EQ(rs.size(), 64u);
+  EXPECT_NE(rs[63].src_ip.length + rs[63].dst_ip.length, 0);
+}
+
+TEST(Generator, ModesProduceDistinctStructure) {
+  GeneratorConfig cfg;
+  cfg.size = 512;
+  cfg.seed = 3;
+  cfg.mode = GeneratorMode::kAcl;
+  const auto acl = analyze(generate(cfg));
+  cfg.mode = GeneratorMode::kFeatureFree;
+  const auto ff = analyze(generate(cfg));
+  // ACL prefixes are long and low-entropy; feature-free is near-uniform.
+  EXPECT_LT(acl.sip_len_entropy, ff.sip_len_entropy);
+  EXPECT_LT(acl.sip_wildcard, 0.01);
+}
+
+TEST(Generator, RangeFractionZeroMeansNoExpansion) {
+  GeneratorConfig cfg;
+  cfg.size = 256;
+  cfg.range_fraction = 0.0;
+  const auto f = analyze(generate(cfg));
+  // Exact/wildcard/ephemeral-free ports -> every rule is 1 TCAM entry...
+  // ephemeral blocks only appear under range_fraction, so expansion is 1.
+  EXPECT_DOUBLE_EQ(f.tcam_expansion, 1.0);
+}
+
+TEST(Generator, RangeFractionDrivesExpansion) {
+  GeneratorConfig cfg;
+  cfg.size = 256;
+  cfg.range_fraction = 0.8;
+  const auto f = analyze(generate(cfg));
+  EXPECT_GT(f.tcam_expansion, 1.5);
+}
+
+TEST(Generator, RejectsBadConfig) {
+  GeneratorConfig cfg;
+  cfg.size = 0;
+  EXPECT_THROW(generate(cfg), std::invalid_argument);
+  cfg.size = 10;
+  cfg.range_fraction = 1.5;
+  EXPECT_THROW(generate(cfg), std::invalid_argument);
+}
+
+TEST(Generator, PrefixesAreCanonical) {
+  const auto rs = generate_firewall(256);
+  for (const auto& r : rs) {
+    EXPECT_EQ(r.src_ip, r.src_ip.canonical());
+    EXPECT_EQ(r.dst_ip, r.dst_ip.canonical());
+    EXPECT_LE(r.src_port.lo, r.src_port.hi);
+    EXPECT_LE(r.dst_port.lo, r.dst_port.hi);
+  }
+}
+
+TEST(Generator, ModeNames) {
+  EXPECT_STREQ(mode_name(GeneratorMode::kFirewall), "firewall");
+  EXPECT_STREQ(mode_name(GeneratorMode::kAcl), "acl");
+  EXPECT_STREQ(mode_name(GeneratorMode::kFeatureFree), "feature-free");
+}
+
+}  // namespace
+}  // namespace rfipc::ruleset

@@ -1,0 +1,132 @@
+#include "engines/baselines/hicuts_lite.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/common/linear_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::engines::baselines {
+namespace {
+
+using ruleset::Rule;
+using ruleset::RuleSet;
+
+TEST(HiCuts, RejectsBadConfig) {
+  EXPECT_THROW(HiCutsLiteEngine(RuleSet{}, {}), std::invalid_argument);
+  HiCutsConfig cfg;
+  cfg.cuts = 3;  // not a power of two
+  EXPECT_THROW(HiCutsLiteEngine(RuleSet::table1_example(), cfg), std::invalid_argument);
+  cfg.cuts = 1;
+  EXPECT_THROW(HiCutsLiteEngine(RuleSet::table1_example(), cfg), std::invalid_argument);
+}
+
+TEST(HiCuts, TinyRulesetIsOneLeaf) {
+  RuleSet rs;
+  rs.add(Rule::any());
+  const HiCutsLiteEngine e(rs);
+  EXPECT_EQ(e.stats().node_count, 1u);
+  EXPECT_EQ(e.stats().leaf_count, 1u);
+  EXPECT_EQ(e.stats().max_depth, 0u);
+}
+
+TEST(HiCuts, AllWildcardRulesCannotBeCut) {
+  RuleSet rs;
+  for (int i = 0; i < 50; ++i) rs.add(Rule::any());
+  HiCutsConfig cfg;
+  cfg.binth = 4;
+  const HiCutsLiteEngine e(rs, cfg);
+  // No dimension separates identical wildcards: one fat leaf.
+  EXPECT_EQ(e.stats().leaf_count, 1u);
+  EXPECT_EQ(e.stats().max_leaf_size, 50u);
+}
+
+TEST(HiCuts, SeparableRulesProduceSmallLeaves) {
+  ruleset::GeneratorConfig cfg;
+  cfg.mode = ruleset::GeneratorMode::kAcl;  // long prefixes separate well
+  cfg.size = 256;
+  cfg.seed = 5;
+  const auto rs = ruleset::generate(cfg);
+  HiCutsConfig hcfg;
+  hcfg.binth = 8;
+  const HiCutsLiteEngine e(rs, hcfg);
+  EXPECT_GT(e.stats().leaf_count, 10u);
+  EXPECT_LT(e.stats().replication, 3.0);
+}
+
+TEST(HiCuts, StatsAreConsistent) {
+  const auto rs = ruleset::generate_firewall(128);
+  const HiCutsLiteEngine e(rs);
+  const auto& s = e.stats();
+  EXPECT_GE(s.node_count, s.leaf_count);
+  EXPECT_GE(s.leaf_rule_refs, s.max_leaf_size);
+  EXPECT_GT(s.memory_bytes, 0u);
+  EXPECT_DOUBLE_EQ(s.replication,
+                   static_cast<double>(s.leaf_rule_refs) / static_cast<double>(rs.size()));
+}
+
+TEST(HiCuts, AgreesWithGoldenFirewall) {
+  const auto rs = ruleset::generate_firewall(128);
+  const HiCutsLiteEngine e(rs);
+  const LinearSearchEngine golden(rs);
+  ruleset::TraceConfig cfg;
+  cfg.size = 2000;
+  for (const auto& t : ruleset::generate_trace(rs, cfg)) {
+    const auto want = golden.classify_tuple(t);
+    const auto got = e.classify_tuple(t);
+    EXPECT_EQ(got.best, want.best) << t.to_string();
+    EXPECT_EQ(got.multi, want.multi);
+  }
+}
+
+TEST(HiCuts, AgreesWithGoldenFeatureFree) {
+  ruleset::GeneratorConfig cfg;
+  cfg.mode = ruleset::GeneratorMode::kFeatureFree;
+  cfg.size = 96;
+  cfg.seed = 17;
+  const auto rs = ruleset::generate(cfg);
+  const HiCutsLiteEngine e(rs);
+  const LinearSearchEngine golden(rs);
+  ruleset::TraceConfig tcfg;
+  tcfg.size = 1500;
+  for (const auto& t : ruleset::generate_trace(rs, tcfg)) {
+    EXPECT_EQ(e.classify_tuple(t).best, golden.classify_tuple(t).best) << t.to_string();
+  }
+}
+
+TEST(HiCuts, GuardCapsReplication) {
+  ruleset::GeneratorConfig gcfg;
+  gcfg.mode = ruleset::GeneratorMode::kFirewall;  // wildcard heavy -> replication
+  gcfg.size = 256;
+  gcfg.seed = 4;
+  const auto rs = ruleset::generate(gcfg);
+  HiCutsConfig free_cfg;
+  const HiCutsLiteEngine unguarded(rs, free_cfg);
+  HiCutsConfig guarded_cfg;
+  guarded_cfg.guard_factor = 2;
+  const HiCutsLiteEngine guarded(rs, guarded_cfg);
+  EXPECT_LE(guarded.stats().leaf_rule_refs, unguarded.stats().leaf_rule_refs);
+  // The guard preserves correctness.
+  ruleset::TraceConfig tcfg;
+  tcfg.size = 500;
+  const LinearSearchEngine golden(rs);
+  for (const auto& t : ruleset::generate_trace(rs, tcfg)) {
+    EXPECT_EQ(guarded.classify_tuple(t).best, golden.classify_tuple(t).best);
+  }
+}
+
+TEST(HiCuts, ReplicationTracksStructure) {
+  // The paper's motivating effect in miniature: wildcard-heavy rules
+  // replicate across children; specific prefixes do not.
+  ruleset::GeneratorConfig cfg;
+  cfg.size = 256;
+  cfg.seed = 10;
+  cfg.mode = ruleset::GeneratorMode::kAcl;
+  const HiCutsLiteEngine acl(ruleset::generate(cfg));
+  cfg.mode = ruleset::GeneratorMode::kFirewall;
+  const HiCutsLiteEngine fw(ruleset::generate(cfg));
+  EXPECT_GT(fw.stats().replication, acl.stats().replication);
+}
+
+}  // namespace
+}  // namespace rfipc::engines::baselines

@@ -1,0 +1,96 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace rfipc::net {
+namespace {
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  const auto a = Ipv4Addr::parse("192.168.0.1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->value, 0xC0A80001u);
+  EXPECT_EQ(a->to_string(), "192.168.0.1");
+}
+
+TEST(Ipv4Addr, ParseEdges) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->value, 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->value, 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Addr, ParseRejects) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..3.4"));
+}
+
+TEST(Ipv4Prefix, ParseCidr) {
+  const auto p = Ipv4Prefix::parse("10.1.0.0/16");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length, 16);
+  EXPECT_EQ(p->to_string(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Prefix, BareAddressIsSlash32) {
+  const auto p = Ipv4Prefix::parse("1.2.3.4");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length, 32);
+}
+
+TEST(Ipv4Prefix, ParseCanonicalizesHostBits) {
+  const auto p = Ipv4Prefix::parse("10.1.2.3/16");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->addr.to_string(), "10.1.0.0");
+}
+
+TEST(Ipv4Prefix, ParseRejects) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0/8"));
+  EXPECT_FALSE(Ipv4Prefix::parse("/8"));
+}
+
+TEST(Ipv4Prefix, MatchSemantics) {
+  const auto p = *Ipv4Prefix::parse("192.168.0.0/24");
+  EXPECT_TRUE(p.matches(*Ipv4Addr::parse("192.168.0.1")));
+  EXPECT_TRUE(p.matches(*Ipv4Addr::parse("192.168.0.255")));
+  EXPECT_FALSE(p.matches(*Ipv4Addr::parse("192.168.1.0")));
+}
+
+TEST(Ipv4Prefix, WildcardMatchesAll) {
+  const auto any = Ipv4Prefix::any();
+  EXPECT_TRUE(any.matches({0}));
+  EXPECT_TRUE(any.matches({0xFFFFFFFFu}));
+  EXPECT_EQ(any.mask(), 0u);
+}
+
+TEST(Ipv4Prefix, Slash32MatchesExactly) {
+  const auto p = *Ipv4Prefix::parse("1.2.3.4/32");
+  EXPECT_TRUE(p.matches(*Ipv4Addr::parse("1.2.3.4")));
+  EXPECT_FALSE(p.matches(*Ipv4Addr::parse("1.2.3.5")));
+  EXPECT_EQ(p.mask(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Prefix, LoHiBounds) {
+  const auto p = *Ipv4Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(p.lo(), 0x0A000000u);
+  EXPECT_EQ(p.hi(), 0x0AFFFFFFu);
+  const auto any = Ipv4Prefix::any();
+  EXPECT_EQ(any.lo(), 0u);
+  EXPECT_EQ(any.hi(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Prefix, MatchesIffInLoHiRange) {
+  const auto p = *Ipv4Prefix::parse("172.16.8.0/21");
+  const std::uint64_t probes[] = {static_cast<std::uint64_t>(p.lo()) - 1, p.lo(),
+                                  p.hi(), static_cast<std::uint64_t>(p.hi()) + 1};
+  for (const std::uint64_t v : probes) {
+    const bool inside = v >= p.lo() && v <= p.hi();
+    EXPECT_EQ(p.matches({static_cast<std::uint32_t>(v)}), inside);
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::net

@@ -1,0 +1,91 @@
+#include "engines/common/linear_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "ruleset/trace.h"
+
+namespace rfipc::engines {
+namespace {
+
+using ruleset::Rule;
+using ruleset::RuleSet;
+
+TEST(LinearEngine, BasicClassification) {
+  const LinearSearchEngine e(RuleSet::table1_example());
+  EXPECT_EQ(e.rule_count(), 6u);
+  EXPECT_EQ(e.name(), "LinearSearch");
+  EXPECT_TRUE(e.supports_multi_match());
+
+  const auto t = ruleset::header_for_rule(e.rules()[0], 1);
+  const auto r = e.classify_tuple(t);
+  ASSERT_TRUE(r.has_match());
+  EXPECT_EQ(r.best, 0u);
+  EXPECT_TRUE(r.multi.test(0));
+  EXPECT_TRUE(r.multi.test(5));  // catch-all also matches
+}
+
+TEST(LinearEngine, MissWithoutDefaultRule) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));
+  const LinearSearchEngine e(rs);
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("11.0.0.1");
+  const auto r = e.classify_tuple(t);
+  EXPECT_FALSE(r.has_match());
+  EXPECT_FALSE(r.best_or_nullopt().has_value());
+  EXPECT_TRUE(r.multi.none());
+}
+
+TEST(LinearEngine, MultiMatchReportsAll) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));
+  rs.add(*Rule::parse("10.1.0.0/16 * * * * PORT 2"));
+  rs.add(*Rule::parse("* * * * * DROP"));
+  const LinearSearchEngine e(rs);
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("10.1.9.9");
+  const auto r = e.classify_tuple(t);
+  EXPECT_EQ(r.best, 0u);
+  EXPECT_EQ(r.multi.set_bits(), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(LinearEngine, UpdateInsertAffectsResult) {
+  RuleSet rs;
+  rs.add(*Rule::parse("* * * * * PORT 1"));
+  LinearSearchEngine e(rs);
+  EXPECT_TRUE(e.supports_update());
+
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("10.0.0.1");
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);
+
+  ASSERT_TRUE(e.insert_rule(0, *Rule::parse("10.0.0.0/8 * * * * DROP")));
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);
+  EXPECT_EQ(e.rules()[0].action, ruleset::Action::drop());
+  EXPECT_EQ(e.rule_count(), 2u);
+
+  ASSERT_TRUE(e.erase_rule(0));
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);
+  EXPECT_EQ(e.rules()[0].action, ruleset::Action::forward(1));
+}
+
+TEST(LinearEngine, UpdateBoundsRejected) {
+  LinearSearchEngine e(RuleSet::table1_example());
+  EXPECT_FALSE(e.insert_rule(99, Rule::any()));
+  EXPECT_FALSE(e.erase_rule(99));
+}
+
+TEST(LinearEngine, AgreesWithRuleSetReference) {
+  const auto rs = RuleSet::table1_example();
+  const LinearSearchEngine e(rs);
+  ruleset::TraceConfig cfg;
+  cfg.size = 500;
+  for (const auto& t : ruleset::generate_trace(rs, cfg)) {
+    const auto want = rs.first_match(t);
+    const auto got = e.classify_tuple(t);
+    EXPECT_EQ(got.best_or_nullopt(), want);
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::engines

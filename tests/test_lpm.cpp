@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "lpm/route_table.h"
+#include "lpm/tcam_lpm.h"
+#include "lpm/trie_lpm.h"
+#include "util/prng.h"
+
+namespace rfipc::lpm {
+namespace {
+
+Route route(const char* cidr, std::uint32_t hop) {
+  return {*net::Ipv4Prefix::parse(cidr), hop};
+}
+
+TEST(RouteTable, ReferenceLookupLongestWins) {
+  RouteTable t;
+  t.add(route("10.0.0.0/8", 1));
+  t.add(route("10.1.0.0/16", 2));
+  t.add(route("10.1.2.0/24", 3));
+  EXPECT_EQ(t.lookup(*net::Ipv4Addr::parse("10.1.2.3"))->next_hop, 3u);
+  EXPECT_EQ(t.lookup(*net::Ipv4Addr::parse("10.1.9.9"))->next_hop, 2u);
+  EXPECT_EQ(t.lookup(*net::Ipv4Addr::parse("10.200.0.1"))->next_hop, 1u);
+  EXPECT_FALSE(t.lookup(*net::Ipv4Addr::parse("11.0.0.1")));
+}
+
+TEST(RouteTable, DefaultRouteCatches) {
+  RouteTable t;
+  t.add(route("0.0.0.0/0", 9));
+  EXPECT_EQ(t.lookup(*net::Ipv4Addr::parse("200.1.2.3"))->next_hop, 9u);
+}
+
+TEST(RouteTable, SyntheticIsDeterministicAndDeduped) {
+  const auto a = RouteTable::synthetic(2000, 7);
+  const auto b = RouteTable::synthetic(2000, 7);
+  ASSERT_EQ(a.size(), 2000u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.routes()[i], b.routes()[i]);
+  // No duplicate prefixes.
+  std::set<std::pair<std::uint32_t, int>> seen;
+  for (const auto& r : a) {
+    EXPECT_TRUE(seen.insert({r.prefix.lo(), r.prefix.length}).second);
+  }
+}
+
+TEST(TcamLpm, LengthOrderedAfterBuild) {
+  const TcamLpm t(RouteTable::synthetic(500, 3));
+  EXPECT_TRUE(t.length_ordered());
+  EXPECT_EQ(t.entry_count(), 500u);
+  EXPECT_EQ(t.memory_bits(), 500ull * 64);
+}
+
+TEST(TcamLpm, FirstMatchIsLongestMatch) {
+  RouteTable rt;
+  rt.add(route("10.0.0.0/8", 1));
+  rt.add(route("10.1.0.0/16", 2));
+  const TcamLpm t(rt);
+  const auto r = t.lookup(*net::Ipv4Addr::parse("10.1.0.5"));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->next_hop, 2u);
+  // Match lines: both entries match; the /16 one must come first.
+  const auto lines = t.match_lines(*net::Ipv4Addr::parse("10.1.0.5"));
+  EXPECT_EQ(lines.count(), 2u);
+  EXPECT_EQ(lines.first_set(), 0u);
+}
+
+TEST(TcamLpm, InsertPreservesOrderingAndPriority) {
+  RouteTable rt;
+  rt.add(route("10.0.0.0/8", 1));
+  TcamLpm t(rt);
+  t.insert(route("10.1.0.0/16", 2));
+  t.insert(route("10.1.2.0/24", 3));
+  t.insert(route("0.0.0.0/0", 0));
+  EXPECT_TRUE(t.length_ordered());
+  EXPECT_EQ(t.lookup(*net::Ipv4Addr::parse("10.1.2.3"))->next_hop, 3u);
+  EXPECT_EQ(t.lookup(*net::Ipv4Addr::parse("99.9.9.9"))->next_hop, 0u);
+}
+
+TEST(TcamLpm, Erase) {
+  RouteTable rt;
+  rt.add(route("10.0.0.0/8", 1));
+  rt.add(route("10.1.0.0/16", 2));
+  TcamLpm t(rt);
+  EXPECT_TRUE(t.erase(*net::Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(t.lookup(*net::Ipv4Addr::parse("10.1.0.5"))->next_hop, 1u);
+  EXPECT_FALSE(t.erase(*net::Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_TRUE(t.length_ordered());
+}
+
+TEST(TrieLpm, NodeAccounting) {
+  RouteTable rt;
+  rt.add(route("128.0.0.0/1", 1));  // one child off the root
+  const TrieLpm t(rt);
+  EXPECT_EQ(t.node_count(), 2u);
+  const auto hist = t.level_histogram();
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_GT(t.memory_bits(), 0u);
+}
+
+TEST(TrieLpm, DefaultRouteAtRoot) {
+  RouteTable rt;
+  rt.add(route("0.0.0.0/0", 42));
+  const TrieLpm t(rt);
+  EXPECT_EQ(t.lookup(*net::Ipv4Addr::parse("1.2.3.4"))->next_hop, 42u);
+}
+
+TEST(TrieLpm, EraseKeepsStructure) {
+  RouteTable rt;
+  rt.add(route("10.0.0.0/8", 1));
+  rt.add(route("10.1.0.0/16", 2));
+  TrieLpm t(rt);
+  EXPECT_TRUE(t.erase(*net::Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(t.lookup(*net::Ipv4Addr::parse("10.1.0.5"))->next_hop, 1u);
+  EXPECT_FALSE(t.erase(*net::Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_FALSE(t.erase(*net::Ipv4Prefix::parse("12.0.0.0/8")));
+}
+
+// Property: TCAM and trie equal the linear reference on random tables.
+TEST(LpmProperty, AllThreeAgree) {
+  util::Xoshiro256 rng(2718);
+  for (int iter = 0; iter < 5; ++iter) {
+    const auto table = RouteTable::synthetic(800, 100 + iter);
+    const TcamLpm tcam(table);
+    const TrieLpm trie(table);
+    for (int probe = 0; probe < 2000; ++probe) {
+      // Half pure random, half biased to route prefixes so matches occur.
+      net::Ipv4Addr a;
+      if (probe % 2 == 0) {
+        a.value = static_cast<std::uint32_t>(rng());
+      } else {
+        const auto& r = table.routes()[rng.below(table.size())];
+        a.value = r.prefix.lo() | (static_cast<std::uint32_t>(rng()) & ~r.prefix.mask());
+      }
+      const auto want = table.lookup(a);
+      const auto via_tcam = tcam.lookup(a);
+      const auto via_trie = trie.lookup(a);
+      ASSERT_EQ(want.has_value(), via_tcam.has_value()) << a.to_string();
+      ASSERT_EQ(want.has_value(), via_trie.has_value()) << a.to_string();
+      if (want) {
+        EXPECT_EQ(via_tcam->next_hop, want->next_hop) << a.to_string();
+        EXPECT_EQ(via_trie->next_hop, want->next_hop) << a.to_string();
+        EXPECT_EQ(via_tcam->prefix.length, want->prefix.length);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::lpm

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "fpga/multipipeline.h"
+#include "fpga/update_model.h"
+
+namespace rfipc::fpga {
+namespace {
+
+TEST(MultiPipeline, RejectsBadConfig) {
+  const auto d = virtex7_xc7vx1140t();
+  MultiPipelineConfig cfg;
+  cfg.entries = 0;
+  EXPECT_THROW(plan_multipipeline(cfg, d), std::invalid_argument);
+  cfg.entries = 64;
+  cfg.utilization_ceiling = 0;
+  EXPECT_THROW(plan_multipipeline(cfg, d), std::invalid_argument);
+  cfg.utilization_ceiling = 1.5;
+  EXPECT_THROW(plan_multipipeline(cfg, d), std::invalid_argument);
+}
+
+TEST(MultiPipeline, PacksAtLeastOnePipeline) {
+  MultiPipelineConfig cfg;
+  cfg.entries = 512;
+  const auto plan = plan_multipipeline(cfg, virtex7_xc7vx1140t());
+  EXPECT_GE(plan.pipeline_count(), 1u);
+  EXPECT_GT(plan.dist_pipelines, 0u);
+  EXPECT_GT(plan.aggregate_gbps, 0.0);
+  EXPECT_GT(plan.total_power_w, 0.0);
+}
+
+TEST(MultiPipeline, AggregateExceedsSinglePipeline) {
+  MultiPipelineConfig cfg;
+  cfg.entries = 512;
+  cfg.stride = 4;
+  const auto plan = plan_multipipeline(cfg, virtex7_xc7vx1140t());
+  const auto single = estimate_timing(
+      {EngineKind::kStrideBVDistRam, 512, 4, true, true});
+  EXPECT_GT(plan.aggregate_gbps, 2.0 * single.throughput_gbps);
+}
+
+TEST(MultiPipeline, ReachesPaper400GClaim) {
+  MultiPipelineConfig cfg;
+  cfg.entries = 512;
+  cfg.stride = 4;
+  const auto plan = plan_multipipeline(cfg, virtex7_xc7vx1140t());
+  EXPECT_GE(plan.aggregate_gbps, 400.0);
+}
+
+TEST(MultiPipeline, MaxPipelinesCapRespected) {
+  MultiPipelineConfig cfg;
+  cfg.entries = 256;
+  cfg.max_pipelines = 3;
+  const auto plan = plan_multipipeline(cfg, virtex7_xc7vx1140t());
+  EXPECT_EQ(plan.pipeline_count(), 3u);
+}
+
+TEST(MultiPipeline, MemoryIsPerPipelineMultiple) {
+  MultiPipelineConfig cfg;
+  cfg.entries = 512;
+  cfg.stride = 4;
+  cfg.max_pipelines = 4;
+  const auto plan = plan_multipipeline(cfg, virtex7_xc7vx1140t());
+  EXPECT_EQ(plan.total.memory_bits, 4ull * 26 * 16 * 512);
+}
+
+TEST(MultiPipeline, SmallerDevicePacksFewer) {
+  MultiPipelineConfig cfg;
+  cfg.entries = 1024;
+  const auto big = plan_multipipeline(cfg, virtex7_xc7vx1140t());
+  const auto small = plan_multipipeline(cfg, virtex7_xc7vx485t());
+  EXPECT_LT(small.pipeline_count(), big.pipeline_count());
+}
+
+TEST(MultiPipeline, LargerRulesetsPackFewerPipelines) {
+  MultiPipelineConfig cfg;
+  cfg.entries = 128;
+  const auto small_n = plan_multipipeline(cfg, virtex7_xc7vx1140t());
+  cfg.entries = 2048;
+  const auto big_n = plan_multipipeline(cfg, virtex7_xc7vx1140t());
+  EXPECT_GT(small_n.pipeline_count(), big_n.pipeline_count());
+}
+
+TEST(MultiPipeline, SummaryMentionsAggregate) {
+  MultiPipelineConfig cfg;
+  cfg.entries = 256;
+  cfg.max_pipelines = 2;
+  const auto plan = plan_multipipeline(cfg, virtex7_xc7vx1140t());
+  EXPECT_NE(plan.summary().find("Gbps aggregate"), std::string::npos);
+}
+
+TEST(UpdateModel, TcamSixteenCycles) {
+  const DesignPoint cam{EngineKind::kTcamFpga, 512, 4, false, true};
+  const auto u = estimate_updates(cam, 0);
+  EXPECT_EQ(u.cycles_per_update, 16u);
+  EXPECT_GT(u.updates_per_sec, 1e6);
+  // Zero update rate -> no throughput loss.
+  EXPECT_NEAR(u.sustained_gbps, estimate_timing(cam).throughput_gbps, 1e-9);
+}
+
+TEST(UpdateModel, StrideBvCyclesAreTwoToTheK) {
+  for (const unsigned k : {3u, 4u, 6u}) {
+    const DesignPoint p{EngineKind::kStrideBVDistRam, 512, k, true, true};
+    EXPECT_EQ(estimate_updates(p, 0).cycles_per_update, 1ull << k);
+  }
+}
+
+TEST(UpdateModel, ThroughputDegradesWithRate) {
+  const DesignPoint p{EngineKind::kStrideBVDistRam, 512, 4, true, true};
+  const auto slow = estimate_updates(p, 1e4);
+  const auto fast = estimate_updates(p, 1e7);
+  EXPECT_GT(slow.sustained_gbps, fast.sustained_gbps);
+  EXPECT_GE(fast.sustained_gbps, 0.0);
+}
+
+TEST(UpdateModel, SaturationClampsToZero) {
+  const DesignPoint cam{EngineKind::kTcamFpga, 512, 4, false, true};
+  const auto u = estimate_updates(cam, 1e12);  // absurd rate
+  EXPECT_DOUBLE_EQ(u.sustained_gbps, 0.0);
+}
+
+TEST(UpdateModel, NegativeRateRejected) {
+  const DesignPoint cam{EngineKind::kTcamFpga, 512, 4, false, true};
+  EXPECT_THROW(estimate_updates(cam, -1.0), std::invalid_argument);
+}
+
+TEST(UpdateModel, DualPortHalvesDisruption) {
+  DesignPoint p{EngineKind::kStrideBVDistRam, 512, 4, true, true};
+  const auto dual = estimate_updates(p, 0);
+  p.dual_port = false;
+  const auto single = estimate_updates(p, 0);
+  EXPECT_DOUBLE_EQ(dual.lookup_slots_lost_per_update,
+                   0.5 * single.lookup_slots_lost_per_update / 1.0);
+}
+
+}  // namespace
+}  // namespace rfipc::fpga

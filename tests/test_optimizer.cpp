@@ -1,0 +1,135 @@
+#include "ruleset/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/common/linear_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+TEST(Covers, FieldwiseSuperset) {
+  const auto broad = *Rule::parse("10.0.0.0/8 * * * * PORT 1");
+  const auto narrow = *Rule::parse("10.1.0.0/16 * 80 0:1023 TCP DROP");
+  EXPECT_TRUE(covers(broad, narrow));
+  EXPECT_FALSE(covers(narrow, broad));
+  EXPECT_TRUE(covers(Rule::any(), broad));
+  EXPECT_TRUE(covers(broad, broad));
+}
+
+TEST(Covers, DisjointPrefixesDoNotCover) {
+  const auto a = *Rule::parse("10.0.0.0/8 * * * * DROP");
+  const auto b = *Rule::parse("11.0.0.0/8 * * * * DROP");
+  EXPECT_FALSE(covers(a, b));
+  EXPECT_FALSE(covers(b, a));
+}
+
+TEST(Covers, ProtocolSemantics) {
+  auto wild = Rule::any();
+  auto tcp = Rule::any();
+  tcp.protocol = net::ProtocolSpec::exactly(net::IpProto::kTcp);
+  EXPECT_TRUE(covers(wild, tcp));
+  EXPECT_FALSE(covers(tcp, wild));
+}
+
+TEST(RemoveShadowed, DropsCoveredRules) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));
+  rs.add(*Rule::parse("10.1.0.0/16 * * * * PORT 2"));   // shadowed by rule 0
+  rs.add(*Rule::parse("11.0.0.0/8 * * * * PORT 3"));    // kept
+  rs.add(*Rule::parse("* * * * * DROP"));               // kept (covers others,
+                                                        // but lower priority)
+  const auto stats = remove_shadowed(rs);
+  EXPECT_EQ(stats.shadowed_removed, 1u);
+  EXPECT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs[1].action, Action::forward(3));
+}
+
+TEST(RemoveShadowed, PreservesFirstMatchWinner) {
+  auto rules = generate_firewall(256, 13);
+  RuleSet optimized = rules;
+  remove_shadowed(optimized);
+  ASSERT_LE(optimized.size(), rules.size());
+  TraceConfig cfg;
+  cfg.size = 3000;
+  for (const auto& t : generate_trace(rules, cfg)) {
+    const auto before = rules.first_match(t);
+    const auto after = optimized.first_match(t);
+    ASSERT_EQ(before.has_value(), after.has_value());
+    if (before) {
+      // Winners are the same RULE (compare content; indices shift).
+      EXPECT_EQ(rules[*before], optimized[*after]) << t.to_string();
+    }
+  }
+}
+
+TEST(MergeAdjacent, JoinsPortRanges) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * 0:1023 TCP PORT 1"));
+  rs.add(*Rule::parse("10.0.0.0/8 * * 1024:2047 TCP PORT 1"));
+  const auto stats = merge_adjacent(rs);
+  EXPECT_EQ(stats.merged, 1u);
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].dst_port, (net::PortRange{0, 2047}));
+}
+
+TEST(MergeAdjacent, RefusesDifferentActionsOrGaps) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * 0:1023 TCP PORT 1"));
+  rs.add(*Rule::parse("10.0.0.0/8 * * 1024:2047 TCP DROP"));      // action differs
+  rs.add(*Rule::parse("10.0.0.0/8 * * 5000:6000 TCP DROP"));      // gap
+  EXPECT_EQ(merge_adjacent(rs).merged, 0u);
+  EXPECT_EQ(rs.size(), 3u);
+}
+
+TEST(MergeAdjacent, OnlyOneFieldMayDiffer) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * 0:10 0:1023 TCP PORT 1"));
+  rs.add(*Rule::parse("10.0.0.0/8 * 11:20 1024:2047 TCP PORT 1"));  // both ports differ
+  EXPECT_EQ(merge_adjacent(rs).merged, 0u);
+}
+
+TEST(Optimize, ActionEquivalentToOriginal) {
+  // The combined pass must preserve the classified ACTION for every
+  // header (rule identity may change through merges).
+  for (const std::uint64_t seed : {3ull, 17ull, 23ull}) {
+    GeneratorConfig gcfg;
+    gcfg.size = 200;
+    gcfg.seed = seed;
+    gcfg.range_fraction = 0.5;
+    const auto rules = generate(gcfg);
+    RuleSet optimized = rules;
+    const auto stats = optimize(optimized);
+    EXPECT_EQ(stats.after, optimized.size());
+    EXPECT_LE(stats.after, stats.before);
+
+    TraceConfig tcfg;
+    tcfg.size = 2000;
+    tcfg.seed = seed;
+    for (const auto& t : generate_trace(rules, tcfg)) {
+      const auto before = rules.first_match(t);
+      const auto after = optimized.first_match(t);
+      ASSERT_EQ(before.has_value(), after.has_value()) << t.to_string();
+      if (before) {
+        EXPECT_EQ(rules[*before].action, optimized[*after].action)
+            << "seed " << seed << " " << t.to_string();
+      }
+    }
+  }
+}
+
+TEST(Optimize, ShrinksEngineFootprint) {
+  // The point of the pass: fewer rules -> fewer TCAM entries/BV bits.
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));
+  for (int i = 0; i < 20; ++i) {
+    rs.add(*Rule::parse(("10." + std::to_string(i) + ".0.0/16 * * * * DROP").c_str()));
+  }
+  const auto stats = optimize(rs);
+  EXPECT_EQ(stats.shadowed_removed, 20u);
+  EXPECT_EQ(rs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rfipc::ruleset

@@ -1,0 +1,146 @@
+#include "net/packet_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace rfipc::net {
+namespace {
+
+FiveTuple sample_tcp() {
+  FiveTuple t;
+  t.src_ip = *Ipv4Addr::parse("10.1.2.3");
+  t.dst_ip = *Ipv4Addr::parse("192.168.9.8");
+  t.src_port = 12345;
+  t.dst_port = 443;
+  t.protocol = 6;
+  return t;
+}
+
+TEST(PacketParser, TcpRoundTrip) {
+  const auto t = sample_tcp();
+  const auto frame = build_packet(t);
+  const auto p = parse_packet(frame);
+  ASSERT_TRUE(p.ok()) << parse_status_name(p.status);
+  EXPECT_EQ(p.tuple, t);
+  EXPECT_FALSE(p.fragment);
+  EXPECT_EQ(p.payload_offset, 14u + 20u);
+}
+
+TEST(PacketParser, UdpRoundTrip) {
+  auto t = sample_tcp();
+  t.protocol = 17;
+  const auto p = parse_packet(build_packet(t));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.tuple, t);
+}
+
+TEST(PacketParser, IcmpHasZeroPorts) {
+  auto t = sample_tcp();
+  t.protocol = 1;
+  t.src_port = 0;
+  t.dst_port = 0;
+  const auto p = parse_packet(build_packet(t));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.tuple.src_port, 0);
+  EXPECT_EQ(p.tuple.dst_port, 0);
+  EXPECT_EQ(p.tuple.protocol, 1);
+}
+
+TEST(PacketParser, VlanTagHandled) {
+  const auto t = sample_tcp();
+  BuildOptions opt;
+  opt.vlan = true;
+  opt.vlan_id = 42;
+  const auto p = parse_packet(build_packet(t, opt));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.tuple, t);
+  EXPECT_EQ(p.payload_offset, 14u + 4u + 20u);
+}
+
+TEST(PacketParser, FragmentSkipsTransport) {
+  auto t = sample_tcp();
+  BuildOptions opt;
+  opt.fragment = true;
+  const auto p = parse_packet(build_packet(t, opt));
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.fragment);
+  EXPECT_EQ(p.tuple.src_port, 0);   // no L4 header on later fragments
+  EXPECT_EQ(p.tuple.dst_port, 0);
+  EXPECT_EQ(p.tuple.src_ip, t.src_ip);
+  EXPECT_EQ(p.tuple.protocol, 6);
+}
+
+TEST(PacketParser, TruncationStatuses) {
+  const auto full = build_packet(sample_tcp());
+  // Sweep every truncation length: each must fail cleanly with a
+  // sensible status, never crash.
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const auto p =
+        parse_packet(std::span<const std::uint8_t>(full.data(), len));
+    if (len < 14) {
+      EXPECT_EQ(p.status, ParseStatus::kTruncatedEthernet) << len;
+    } else {
+      EXPECT_FALSE(p.ok()) << len;
+    }
+  }
+  EXPECT_TRUE(parse_packet(full).ok());
+}
+
+TEST(PacketParser, RejectsNonIpv4) {
+  auto frame = build_packet(sample_tcp());
+  frame[12] = 0x86;  // EtherType -> IPv6
+  frame[13] = 0xDD;
+  EXPECT_EQ(parse_packet(frame).status, ParseStatus::kUnsupportedEtherType);
+}
+
+TEST(PacketParser, RejectsBadVersionAndIhl) {
+  auto frame = build_packet(sample_tcp());
+  frame[14] = 0x65;  // version 6
+  EXPECT_EQ(parse_packet(frame).status, ParseStatus::kBadIpVersion);
+  frame[14] = 0x44;  // version 4, IHL 4 (< 5)
+  EXPECT_EQ(parse_packet(frame).status, ParseStatus::kBadIpHeaderLength);
+}
+
+TEST(PacketParser, RejectsBadTotalLength) {
+  auto frame = build_packet(sample_tcp());
+  frame[16] = 0xff;  // total length way beyond the buffer
+  frame[17] = 0xff;
+  EXPECT_EQ(parse_packet(frame).status, ParseStatus::kBadIpTotalLength);
+}
+
+TEST(PacketParser, RandomizedRoundTrip) {
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 300; ++i) {
+    FiveTuple t;
+    t.src_ip.value = static_cast<std::uint32_t>(rng());
+    t.dst_ip.value = static_cast<std::uint32_t>(rng());
+    t.protocol = rng.chance(1, 2) ? 6 : 17;
+    t.src_port = static_cast<std::uint16_t>(rng.below(0x10000));
+    t.dst_port = static_cast<std::uint16_t>(rng.below(0x10000));
+    BuildOptions opt;
+    opt.payload_len = rng.below(64);
+    opt.vlan = rng.chance(1, 4);
+    const auto p = parse_packet(build_packet(t, opt));
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p.tuple, t);
+  }
+}
+
+TEST(PacketParser, FuzzRandomBytesNeverCrash) {
+  util::Xoshiro256 rng(1234);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> junk(rng.below(120));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    (void)parse_packet(junk);  // any status, no crash
+  }
+}
+
+TEST(PacketParser, StatusNames) {
+  EXPECT_STREQ(parse_status_name(ParseStatus::kOk), "ok");
+  EXPECT_STREQ(parse_status_name(ParseStatus::kTruncatedTransport),
+               "truncated-transport");
+}
+
+}  // namespace
+}  // namespace rfipc::net

@@ -1,0 +1,158 @@
+// Reproduction regression suite: the paper's headline claims asserted
+// directly against the models, so `ctest` alone (without running the
+// bench binaries) guards the reproduction. Each test cites the paper
+// section it pins down; EXPERIMENTS.md carries the narrative version.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fpga/asic_tcam.h"
+#include "fpga/report.h"
+
+namespace rfipc::fpga {
+namespace {
+
+struct SweepAverages {
+  double dist = 0;   // distRAM k=3,4 mean
+  double bram = 0;   // BRAM k=3,4 mean
+  double tcam = 0;
+  double bram3 = 0;
+  double bram4 = 0;
+};
+
+SweepAverages throughput_averages() {
+  const auto device = virtex7_xc7vx1140t();
+  SweepAverages a;
+  int n_points = 0;
+  for (const auto n : paper_sizes()) {
+    const auto pts = paper_sweep_points(n);
+    const double d3 = analyze(pts[0], device).timing.throughput_gbps;
+    const double d4 = analyze(pts[1], device).timing.throughput_gbps;
+    const double b3 = analyze(pts[2], device).timing.throughput_gbps;
+    const double b4 = analyze(pts[3], device).timing.throughput_gbps;
+    const double tc = analyze(pts[4], device).timing.throughput_gbps;
+    a.dist += (d3 + d4) / 2;
+    a.bram += (b3 + b4) / 2;
+    a.tcam += tc;
+    ++n_points;
+  }
+  a.dist /= n_points;
+  a.bram /= n_points;
+  a.tcam /= n_points;
+  return a;
+}
+
+SweepAverages power_eff_averages() {
+  const auto device = virtex7_xc7vx1140t();
+  SweepAverages a;
+  int n_points = 0;
+  for (const auto n : paper_sizes()) {
+    const auto pts = paper_sweep_points(n);
+    a.dist += (analyze(pts[0], device).power.mw_per_gbps +
+               analyze(pts[1], device).power.mw_per_gbps) /
+              2;
+    a.bram3 += analyze(pts[2], device).power.mw_per_gbps;
+    a.bram4 += analyze(pts[3], device).power.mw_per_gbps;
+    a.tcam += analyze(pts[4], device).power.mw_per_gbps;
+    ++n_points;
+  }
+  a.dist /= n_points;
+  a.bram3 /= n_points;
+  a.bram4 /= n_points;
+  a.tcam /= n_points;
+  return a;
+}
+
+// Abstract / Section V-A: StrideBV throughput ~6x (distRAM) and ~4x
+// (BRAM) over the FPGA TCAM; distRAM ~1.3x BRAM.
+TEST(PaperClaims, ThroughputRatios) {
+  const auto a = throughput_averages();
+  EXPECT_GT(a.dist / a.tcam, 4.5);
+  EXPECT_LT(a.dist / a.tcam, 8.0);
+  EXPECT_GT(a.bram / a.tcam, 3.0);
+  EXPECT_LT(a.bram / a.tcam, 5.5);
+  EXPECT_GT(a.dist / a.bram, 1.1);
+  EXPECT_LT(a.dist / a.bram, 1.6);
+}
+
+// Figure 5 text: ~100 -> ~150 Gbps at N=1024 from PlanAhead mapping.
+TEST(PaperClaims, FloorplanningAnchor) {
+  DesignPoint p{EngineKind::kStrideBVDistRam, 1024, 4, true, false};
+  const double without = estimate_timing(p).throughput_gbps;
+  p.floorplanned = true;
+  const double with = estimate_timing(p).throughput_gbps;
+  EXPECT_NEAR(without, 100.0, 20.0);
+  EXPECT_NEAR(with, 150.0, 20.0);
+}
+
+// Figure 7: exact architectural memory; worst case < 900 Kbit.
+TEST(PaperClaims, MemoryFormulas) {
+  const DesignPoint k4{EngineKind::kStrideBVDistRam, 2048, 4, true, true};
+  EXPECT_EQ(estimate_resources(k4).memory_bits, 832ull * 1024);
+  const DesignPoint k3{EngineKind::kStrideBVDistRam, 2048, 3, true, true};
+  EXPECT_EQ(estimate_resources(k3).memory_bits, 560ull * 1024);
+  const DesignPoint cam{EngineKind::kTcamFpga, 2048, 4, false, true};
+  EXPECT_EQ(estimate_resources(cam).memory_bits, 416ull * 1024);
+  // Bytes/rule as in Table II.
+  EXPECT_EQ(estimate_resources(cam).memory_bits / 8 / 2048, 26u);
+}
+
+// Figure 9: BRAM saturation at k=3, N=2048; k=4 fits.
+TEST(PaperClaims, BramSaturation) {
+  const auto device = virtex7_xc7vx1140t();
+  const DesignPoint k3{EngineKind::kStrideBVBlockRam, 2048, 3, true, true};
+  EXPECT_GT(estimate_resources(k3).bram_percent(device), 100.0);
+  const DesignPoint k4{EngineKind::kStrideBVBlockRam, 2048, 4, true, true};
+  EXPECT_LT(estimate_resources(k4).bram_percent(device), 95.0);
+}
+
+// Section V-D power ratios.
+TEST(PaperClaims, PowerEfficiencyRatios) {
+  const auto a = power_eff_averages();
+  EXPECT_GT(a.tcam / a.dist, 3.5);   // distRAM ~4.5x better than TCAM
+  EXPECT_LT(a.tcam / a.dist, 6.0);
+  EXPECT_GT(a.bram3 / a.dist, 3.0);  // BRAM k=3 ~4.5x worse than distRAM
+  EXPECT_GT(a.bram4 / a.dist, 2.4);  // BRAM k=4 ~3.5x worse
+  EXPECT_GT(a.bram3 / a.bram4, 1.1); // k=4 ~1.3x better than k=3
+  EXPECT_LT(a.bram3 / a.bram4, 1.6);
+}
+
+// Section IV-C ASIC model.
+TEST(PaperClaims, AsicTcamFormula) {
+  EXPECT_NEAR(estimate_asic_tcam(1).power_w, 0.8, 0.01);
+  EXPECT_DOUBLE_EQ(estimate_asic_tcam(1 << 20).power_w, 5.0);
+  const auto mid = estimate_asic_tcam(512);
+  EXPECT_NEAR(mid.power_w, 0.8 + 4.2 * (512.0 * 208 / (8 << 20)), 1e-9);
+}
+
+// Section V-A: the paper keeps one pipeline for fairness, noting more
+// reach 400G+; the packing model must honour both sides.
+TEST(PaperClaims, SinglePipelineLeavesHeadroomFor400G) {
+  const DesignPoint one{EngineKind::kStrideBVDistRam, 512, 4, true, true};
+  const auto single = estimate_timing(one).throughput_gbps;
+  EXPECT_LT(single, 400.0);  // one pipeline is NOT enough
+}
+
+// Section V-C: resource % similar across configs at small N, BRAM
+// pulls ahead after N=1024.
+TEST(PaperClaims, ResourceCrossover) {
+  const auto device = virtex7_xc7vx1140t();
+  auto pct = [&](EngineKind kind, std::uint64_t n, unsigned k) {
+    return analyze({kind, n, k, kind != EngineKind::kTcamFpga, true}, device)
+        .resources.slice_percent(device);
+  };
+  // Small N: within a ~3x band.
+  const double small[3] = {pct(EngineKind::kStrideBVDistRam, 128, 3),
+                           pct(EngineKind::kStrideBVBlockRam, 128, 3),
+                           pct(EngineKind::kTcamFpga, 128, 4)};
+  const double lo = std::min({small[0], small[1], small[2]});
+  const double hi = std::max({small[0], small[1], small[2]});
+  EXPECT_LT(hi / lo, 3.0);
+  // Large N: BRAM k=3 tops everything.
+  const double big_bram = pct(EngineKind::kStrideBVBlockRam, 2048, 3);
+  EXPECT_GT(big_bram, pct(EngineKind::kStrideBVDistRam, 2048, 3));
+  EXPECT_GT(big_bram, pct(EngineKind::kTcamFpga, 2048, 4));
+}
+
+}  // namespace
+}  // namespace rfipc::fpga

@@ -1,0 +1,102 @@
+#include "ruleset/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "ruleset/generator.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+TEST(ParserNative, ParsesCommentsAndBlanks) {
+  const auto rs = parse_native(
+      "# header comment\n"
+      "\n"
+      "10.0.0.0/8 * * 80 TCP PORT 1\n"
+      "   \n"
+      "* * * * * DROP\n");
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0].dst_port, net::PortRange::exactly(80));
+  EXPECT_EQ(rs[1].action, Action::drop());
+}
+
+TEST(ParserNative, ErrorCarriesLineNumber) {
+  try {
+    parse_native("# ok\n* * * * * DROP\nbogus line here\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(ParserClassBench, ParsesStandardLine) {
+  const auto rs = parse_classbench(
+      "@192.128.0.0/11\t10.0.0.0/8\t0 : 65535\t1521 : 1521\t0x06/0xFF\t0x0000/0x0000\n");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].src_ip.length, 11);
+  EXPECT_TRUE(rs[0].src_port.is_wildcard());
+  EXPECT_EQ(rs[0].dst_port, net::PortRange::exactly(1521));
+  EXPECT_EQ(rs[0].protocol, net::ProtocolSpec::exactly(net::IpProto::kTcp));
+}
+
+TEST(ParserClassBench, WildcardProtocol) {
+  const auto rs = parse_classbench("@0.0.0.0/0 0.0.0.0/0 0 : 100 5 : 5 0x00/0x00\n");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_TRUE(rs[0].protocol.wildcard);
+}
+
+TEST(ParserClassBench, Rejections) {
+  EXPECT_THROW(parse_classbench("no-at-sign 1 2 3\n"), ParseError);
+  EXPECT_THROW(parse_classbench("@1.2.3.4/8 5.6.7.8/8 0 x 5 1 : 2 0x00/0x00\n"),
+               ParseError);
+  EXPECT_THROW(parse_classbench("@1.2.3.4/8 5.6.7.8/8 9 : 5 1 : 2 0x00/0x00\n"),
+               ParseError);  // inverted range
+  EXPECT_THROW(parse_classbench("@1.2.3.4/8\n"), ParseError);
+}
+
+TEST(ParserAuto, DetectsFormat) {
+  EXPECT_EQ(parse_auto("* * * * * DROP\n").size(), 1u);
+  EXPECT_EQ(parse_auto("@0.0.0.0/0 0.0.0.0/0 0 : 1 0 : 1 0x00/0x00\n").size(), 1u);
+  EXPECT_EQ(parse_auto("# only comments\n\n").size(), 0u);
+}
+
+TEST(ParserRoundTrip, ClassBenchSerialization) {
+  const auto rs = generate_firewall(64);
+  const auto text = to_classbench(rs);
+  const auto back = parse_classbench(text);
+  ASSERT_EQ(back.size(), rs.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(back[i].src_ip, rs[i].src_ip) << i;
+    EXPECT_EQ(back[i].dst_ip, rs[i].dst_ip) << i;
+    EXPECT_EQ(back[i].src_port, rs[i].src_port) << i;
+    EXPECT_EQ(back[i].dst_port, rs[i].dst_port) << i;
+    EXPECT_EQ(back[i].protocol, rs[i].protocol) << i;
+  }
+}
+
+TEST(ParserRoundTrip, NativeSerialization) {
+  const auto rs = RuleSet::table1_example();
+  const auto back = parse_native(rs.to_text());
+  ASSERT_EQ(back.size(), rs.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) EXPECT_EQ(back[i], rs[i]);
+}
+
+TEST(ParserFile, LoadRuleset) {
+  const std::string path = "test_parser_ruleset.tmp";
+  {
+    std::ofstream f(path);
+    f << RuleSet::table1_example().to_text();
+  }
+  const auto rs = load_ruleset(path);
+  EXPECT_EQ(rs.size(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(ParserFile, MissingFileThrows) {
+  EXPECT_THROW(load_ruleset("/nonexistent/path/rules.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rfipc::ruleset

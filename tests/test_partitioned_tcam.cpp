@@ -1,0 +1,115 @@
+#include "engines/tcam/partitioned_tcam.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/common/linear_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::engines::tcam {
+namespace {
+
+using ruleset::Rule;
+using ruleset::RuleSet;
+
+TEST(PartitionedTcam, ConfigValidation) {
+  const auto rs = RuleSet::table1_example();
+  EXPECT_THROW(PartitionedTcamEngine(RuleSet{}, {3}), std::invalid_argument);
+  EXPECT_THROW(PartitionedTcamEngine(rs, {0}), std::invalid_argument);
+  EXPECT_THROW(PartitionedTcamEngine(rs, {13}), std::invalid_argument);
+  const PartitionedTcamEngine ok(rs, {4});
+  EXPECT_EQ(ok.bank_count(), 16u);
+  EXPECT_EQ(ok.name(), "TCAM-partitioned(b=4)");
+}
+
+TEST(PartitionedTcam, IndexableRulesLandInOneBank) {
+  RuleSet rs;
+  rs.add(*Rule::parse("* 128.0.0.0/8 * * * PORT 1"));  // DIP top bits 1000...
+  rs.add(*Rule::parse("* 0.0.0.0/8 * * * PORT 2"));    // DIP top bits 0000...
+  const PartitionedTcamEngine e(rs, {2});
+  EXPECT_EQ(e.overflow_entries(), 0u);
+  EXPECT_EQ(e.total_entries(), 2u);
+  // A lookup toward 128.x only activates its bank: 1 entry.
+  net::FiveTuple t;
+  t.dst_ip = *net::Ipv4Addr::parse("128.1.1.1");
+  EXPECT_EQ(e.active_entries(net::HeaderBits(t)), 1u);
+}
+
+TEST(PartitionedTcam, WildcardDipGoesToOverflow) {
+  RuleSet rs;
+  rs.add(*Rule::parse("* * * * * DROP"));
+  rs.add(*Rule::parse("* 10.0.0.0/8 * * * PORT 1"));
+  const PartitionedTcamEngine e(rs, {4});
+  EXPECT_EQ(e.overflow_entries(), 1u);
+  // Overflow is always active.
+  net::FiveTuple anywhere;
+  anywhere.dst_ip = *net::Ipv4Addr::parse("200.0.0.1");
+  EXPECT_GE(e.active_entries(net::HeaderBits(anywhere)), 1u);
+}
+
+TEST(PartitionedTcam, ShortPrefixBelowIndexBitsOverflows) {
+  RuleSet rs;
+  rs.add(*Rule::parse("* 128.0.0.0/2 * * * PORT 1"));  // 2 < 4 index bits
+  const PartitionedTcamEngine e(rs, {4});
+  EXPECT_EQ(e.overflow_entries(), 1u);
+  net::FiveTuple t;
+  t.dst_ip = *net::Ipv4Addr::parse("190.0.0.1");
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);  // still matches via overflow
+}
+
+TEST(PartitionedTcam, ExpectedActiveFraction) {
+  RuleSet rs;
+  // Four indexed rules spread over 4 banks + none in overflow.
+  rs.add(*Rule::parse("* 0.0.0.0/8 * * * PORT 1"));
+  rs.add(*Rule::parse("* 64.0.0.0/8 * * * PORT 1"));
+  rs.add(*Rule::parse("* 128.0.0.0/8 * * * PORT 1"));
+  rs.add(*Rule::parse("* 192.0.0.0/8 * * * PORT 1"));
+  const PartitionedTcamEngine e(rs, {2});
+  EXPECT_DOUBLE_EQ(e.expected_active_fraction(), 0.25);
+}
+
+TEST(PartitionedTcam, MoreBanksNeverIncreaseActiveEntries) {
+  ruleset::GeneratorConfig cfg;
+  cfg.mode = ruleset::GeneratorMode::kAcl;
+  cfg.size = 256;
+  cfg.seed = 77;
+  cfg.default_rule = false;
+  const auto rules = ruleset::generate(cfg);
+  double prev = 1.0;
+  for (const unsigned bits : {1u, 2u, 4u, 6u}) {
+    const PartitionedTcamEngine e(rules, {bits});
+    const double frac = e.expected_active_fraction();
+    EXPECT_LE(frac, prev + 1e-9) << "bits=" << bits;
+    prev = frac;
+  }
+}
+
+TEST(PartitionedTcam, ClassifiesIdenticallyToGolden) {
+  for (const unsigned bits : {1u, 3u, 6u}) {
+    const auto rules = ruleset::generate_firewall(160, 55);
+    const PartitionedTcamEngine e(rules, {bits});
+    const LinearSearchEngine golden(rules);
+    ruleset::TraceConfig cfg;
+    cfg.size = 1500;
+    for (const auto& t : ruleset::generate_trace(rules, cfg)) {
+      const auto want = golden.classify_tuple(t);
+      const auto got = e.classify_tuple(t);
+      ASSERT_EQ(got.best, want.best) << "bits=" << bits << " " << t.to_string();
+      ASSERT_EQ(got.multi, want.multi) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(PartitionedTcam, RangeExpansionCountsInBanks) {
+  RuleSet rs;
+  auto r = Rule::any();
+  r.dst_ip = *net::Ipv4Prefix::parse("10.0.0.0/8");
+  r.dst_port = {1, 6};  // 4 blocks
+  rs.add(r);
+  const PartitionedTcamEngine e(rs, {4});
+  EXPECT_EQ(e.total_entries(), 4u);
+  EXPECT_EQ(e.overflow_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace rfipc::engines::tcam

@@ -1,0 +1,131 @@
+#include "sim/pipeline_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/common/linear_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+#include "util/bitops.h"
+
+namespace rfipc::sim {
+namespace {
+
+std::vector<net::HeaderBits> pack(const std::vector<net::FiveTuple>& trace) {
+  std::vector<net::HeaderBits> out;
+  out.reserve(trace.size());
+  for (const auto& t : trace) out.emplace_back(t);
+  return out;
+}
+
+struct SimFixture {
+  ruleset::RuleSet rules = ruleset::generate_firewall(64);
+  engines::stridebv::StrideBVEngine engine{rules, {4}};
+  std::vector<net::HeaderBits> packets;
+
+  SimFixture() {
+    ruleset::TraceConfig cfg;
+    cfg.size = 200;
+    packets = pack(ruleset::generate_trace(rules, cfg));
+  }
+};
+
+TEST(StrideBvSim, ResultsMatchFunctionalEngine) {
+  SimFixture fx;
+  const auto sim = simulate_stridebv(fx.engine, fx.packets, 2);
+  ASSERT_EQ(sim.best.size(), fx.packets.size());
+  for (std::size_t i = 0; i < fx.packets.size(); ++i) {
+    EXPECT_EQ(sim.best[i], fx.engine.classify(fx.packets[i]).best) << "packet " << i;
+  }
+}
+
+TEST(StrideBvSim, LatencyIsStagesPlusPpe) {
+  SimFixture fx;
+  const auto sim = simulate_stridebv(fx.engine, fx.packets, 2);
+  const unsigned expect =
+      fx.engine.num_stages() + util::ceil_log2(fx.engine.entry_count());
+  EXPECT_EQ(sim.stats.latency_cycles, expect);
+}
+
+TEST(StrideBvSim, CycleCountIsFillPlusDrain) {
+  SimFixture fx;
+  for (const unsigned w : {1u, 2u}) {
+    const auto sim = simulate_stridebv(fx.engine, fx.packets, w);
+    const std::uint64_t issue =
+        util::ceil_div(fx.packets.size(), w);
+    // Stall-free linear pipeline: total = issue cycles + latency.
+    EXPECT_EQ(sim.stats.cycles, issue + sim.stats.latency_cycles) << "w=" << w;
+  }
+}
+
+TEST(StrideBvSim, DualPortDoublesSteadyStateRate) {
+  SimFixture fx;
+  const auto one = simulate_stridebv(fx.engine, fx.packets, 1);
+  const auto two = simulate_stridebv(fx.engine, fx.packets, 2);
+  EXPECT_GT(two.stats.packets_per_cycle, 1.5 * one.stats.packets_per_cycle);
+  EXPECT_LE(one.stats.packets_per_cycle, 1.0);
+  EXPECT_LE(two.stats.packets_per_cycle, 2.0);
+}
+
+TEST(StrideBvSim, SinglePacket) {
+  SimFixture fx;
+  std::vector<net::HeaderBits> one(fx.packets.begin(), fx.packets.begin() + 1);
+  const auto sim = simulate_stridebv(fx.engine, one, 2);
+  EXPECT_EQ(sim.stats.cycles, 1 + sim.stats.latency_cycles);
+  EXPECT_EQ(sim.best[0], fx.engine.classify(one[0]).best);
+}
+
+TEST(StrideBvSim, ZeroIssueWidthRejected) {
+  SimFixture fx;
+  EXPECT_THROW(simulate_stridebv(fx.engine, fx.packets, 0), std::invalid_argument);
+}
+
+TEST(StrideBvSim, EmptyTrace) {
+  SimFixture fx;
+  const auto sim = simulate_stridebv(fx.engine, {}, 2);
+  EXPECT_EQ(sim.stats.cycles, 0u);
+  EXPECT_TRUE(sim.best.empty());
+}
+
+TEST(TcamSim, ResultsMatchFunctionalEngine) {
+  SimFixture fx;
+  const engines::tcam::TcamEngine tcam(fx.rules);
+  const auto sim = simulate_tcam(tcam, fx.packets);
+  for (std::size_t i = 0; i < fx.packets.size(); ++i) {
+    EXPECT_EQ(sim.best[i], tcam.classify(fx.packets[i]).best);
+  }
+}
+
+TEST(TcamSim, OneLookupPerCyclePlusTwoRegisters) {
+  SimFixture fx;
+  const engines::tcam::TcamEngine tcam(fx.rules);
+  const auto sim = simulate_tcam(tcam, fx.packets);
+  EXPECT_EQ(sim.stats.latency_cycles, 2u);
+  EXPECT_EQ(sim.stats.cycles, fx.packets.size() + 2);
+  EXPECT_LE(sim.stats.packets_per_cycle, 1.0);
+}
+
+// Matches fpga::pipeline_latency_cycles for k=4 without pulling the
+// fpga module into this test.
+unsigned fpga_latency(std::uint64_t n) { return 26u + util::ceil_log2(n); }
+
+TEST(Sim, StrideBvLatencyCorroboratesFpgaModel) {
+  // The cycle-level measurement and the analytical latency model must
+  // agree for matching configurations (entry count == N, no expansion).
+  ruleset::GeneratorConfig cfg;
+  cfg.size = 128;
+  cfg.range_fraction = 0.0;
+  const auto rules = ruleset::generate(cfg);
+  engines::stridebv::StrideBVEngine engine(rules, {4});
+  ASSERT_EQ(engine.entry_count(), rules.size());
+
+  ruleset::TraceConfig tcfg;
+  tcfg.size = 50;
+  const auto packets = pack(ruleset::generate_trace(rules, tcfg));
+  const auto sim = simulate_stridebv(engine, packets, 2);
+
+  const auto model_latency = fpga_latency(128);
+  EXPECT_EQ(sim.stats.latency_cycles, model_latency);
+}
+
+}  // namespace
+}  // namespace rfipc::sim

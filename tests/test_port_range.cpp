@@ -1,0 +1,81 @@
+#include "net/port_range.h"
+
+#include <gtest/gtest.h>
+
+namespace rfipc::net {
+namespace {
+
+TEST(PortRange, DefaultIsWildcard) {
+  PortRange r;
+  EXPECT_TRUE(r.is_wildcard());
+  EXPECT_TRUE(r.matches(0));
+  EXPECT_TRUE(r.matches(65535));
+  EXPECT_EQ(r.width(), 65536u);
+}
+
+TEST(PortRange, ExactMatch) {
+  const auto r = PortRange::exactly(80);
+  EXPECT_TRUE(r.is_exact());
+  EXPECT_TRUE(r.matches(80));
+  EXPECT_FALSE(r.matches(79));
+  EXPECT_FALSE(r.matches(81));
+  EXPECT_EQ(r.width(), 1u);
+}
+
+TEST(PortRange, ClosedIntervalSemantics) {
+  const PortRange r{100, 200};
+  EXPECT_TRUE(r.matches(100));
+  EXPECT_TRUE(r.matches(200));
+  EXPECT_TRUE(r.matches(150));
+  EXPECT_FALSE(r.matches(99));
+  EXPECT_FALSE(r.matches(201));
+}
+
+TEST(PortRange, ParseStar) {
+  const auto r = PortRange::parse("*");
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(r->is_wildcard());
+}
+
+TEST(PortRange, ParseSingle) {
+  const auto r = PortRange::parse("8080");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, PortRange::exactly(8080));
+}
+
+TEST(PortRange, ParseColonAndDash) {
+  EXPECT_EQ(*PortRange::parse("10:20"), (PortRange{10, 20}));
+  EXPECT_EQ(*PortRange::parse("10-20"), (PortRange{10, 20}));
+  EXPECT_EQ(*PortRange::parse(" 10 : 20 "), (PortRange{10, 20}));
+}
+
+TEST(PortRange, ParseRejects) {
+  EXPECT_FALSE(PortRange::parse(""));
+  EXPECT_FALSE(PortRange::parse("x"));
+  EXPECT_FALSE(PortRange::parse("70000"));
+  EXPECT_FALSE(PortRange::parse("20:10"));  // inverted
+  EXPECT_FALSE(PortRange::parse("1:70000"));
+}
+
+TEST(PortRange, ToStringForms) {
+  EXPECT_EQ(PortRange::any().to_string(), "*");
+  EXPECT_EQ(PortRange::exactly(53).to_string(), "53");
+  EXPECT_EQ((PortRange{0, 1023}).to_string(), "0:1023");
+}
+
+TEST(PortRange, RoundTrip) {
+  for (const char* s : {"*", "0", "65535", "1:2", "1024:65535"}) {
+    const auto r = PortRange::parse(s);
+    ASSERT_TRUE(r) << s;
+    EXPECT_EQ(*PortRange::parse(r->to_string()), *r) << s;
+  }
+}
+
+TEST(PortRange, FullRangeViaEndpoints) {
+  const auto r = *PortRange::parse("0:65535");
+  EXPECT_TRUE(r.is_wildcard());
+  EXPECT_EQ(r.to_string(), "*");
+}
+
+}  // namespace
+}  // namespace rfipc::net

@@ -1,0 +1,76 @@
+#include "engines/stridebv/ppe.h"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace rfipc::engines::stridebv {
+namespace {
+
+TEST(Ppe, StageCountIsCeilLog2) {
+  EXPECT_EQ(PipelinedPriorityEncoder(1).num_stages(), 1u);
+  EXPECT_EQ(PipelinedPriorityEncoder(2).num_stages(), 1u);
+  EXPECT_EQ(PipelinedPriorityEncoder(3).num_stages(), 2u);
+  EXPECT_EQ(PipelinedPriorityEncoder(4).num_stages(), 2u);
+  EXPECT_EQ(PipelinedPriorityEncoder(5).num_stages(), 3u);
+  EXPECT_EQ(PipelinedPriorityEncoder(1024).num_stages(), 10u);
+  EXPECT_EQ(PipelinedPriorityEncoder(2048).num_stages(), 11u);
+}
+
+TEST(Ppe, ZeroWidthRejected) {
+  EXPECT_THROW(PipelinedPriorityEncoder(0), std::invalid_argument);
+}
+
+TEST(Ppe, EmptyVectorGivesNoMatch) {
+  const PipelinedPriorityEncoder ppe(16);
+  EXPECT_EQ(ppe.encode(util::BitVector(16)), util::BitVector::npos);
+}
+
+TEST(Ppe, SingleBit) {
+  const PipelinedPriorityEncoder ppe(1);
+  util::BitVector bv(1);
+  EXPECT_EQ(ppe.encode(bv), util::BitVector::npos);
+  bv.set(0);
+  EXPECT_EQ(ppe.encode(bv), 0u);
+}
+
+TEST(Ppe, PicksLowestIndex) {
+  const PipelinedPriorityEncoder ppe(100);
+  util::BitVector bv(100);
+  bv.set(99);
+  EXPECT_EQ(ppe.encode(bv), 99u);
+  bv.set(42);
+  EXPECT_EQ(ppe.encode(bv), 42u);
+  bv.set(0);
+  EXPECT_EQ(ppe.encode(bv), 0u);
+}
+
+TEST(Ppe, WidthMismatchRejected) {
+  const PipelinedPriorityEncoder ppe(8);
+  EXPECT_THROW(ppe.encode(util::BitVector(9)), std::invalid_argument);
+}
+
+TEST(Ppe, NonPowerOfTwoWidths) {
+  for (const std::size_t w : {3u, 5u, 7u, 100u, 513u}) {
+    const PipelinedPriorityEncoder ppe(w);
+    util::BitVector bv(w);
+    bv.set(w - 1);
+    EXPECT_EQ(ppe.encode(bv), w - 1) << "width " << w;
+  }
+}
+
+// Property: staged reduction equals first_set on random vectors.
+TEST(PpeProperty, MatchesFirstSet) {
+  util::Xoshiro256 rng(61);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t w = 1 + rng.below(600);
+    const PipelinedPriorityEncoder ppe(w);
+    util::BitVector bv(w);
+    const std::size_t sets = rng.below(10);
+    for (std::size_t s = 0; s < sets; ++s) bv.set(rng.below(w));
+    EXPECT_EQ(ppe.encode(bv), bv.first_set()) << "width " << w;
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::engines::stridebv

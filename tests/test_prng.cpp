@@ -1,0 +1,96 @@
+#include "util/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rfipc::util {
+namespace {
+
+TEST(Prng, DeterministicForSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    EXPECT_LT(rng.below(1), 1u);
+    EXPECT_LT(rng.below(1 << 20), 1u << 20);
+  }
+}
+
+TEST(Prng, BelowCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all values of a small bound appear
+}
+
+TEST(Prng, InRangeInclusive) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.in_range(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, InRangeSingleton) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.in_range(99, 99), 99u);
+}
+
+TEST(Prng, Uniform01Bounds) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // mean of U(0,1)
+}
+
+TEST(Prng, ChanceExtremes) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 10));
+    EXPECT_TRUE(rng.chance(10, 10));
+  }
+}
+
+TEST(Prng, ChanceRoughlyCalibrated) {
+  Xoshiro256 rng(23);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(1, 4) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Prng, SplitMixAdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace rfipc::util

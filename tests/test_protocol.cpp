@@ -1,0 +1,72 @@
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace rfipc::net {
+namespace {
+
+TEST(Protocol, WildcardMatchesEverything) {
+  const auto p = ProtocolSpec::any();
+  for (int v = 0; v < 256; ++v) EXPECT_TRUE(p.matches(static_cast<std::uint8_t>(v)));
+}
+
+TEST(Protocol, ExactMatches) {
+  const auto p = ProtocolSpec::exactly(IpProto::kTcp);
+  EXPECT_TRUE(p.matches(6));
+  EXPECT_FALSE(p.matches(17));
+}
+
+TEST(Protocol, ParseSymbolicNames) {
+  EXPECT_EQ(ProtocolSpec::parse("TCP")->value, 6);
+  EXPECT_EQ(ProtocolSpec::parse("tcp")->value, 6);
+  EXPECT_EQ(ProtocolSpec::parse("Udp")->value, 17);
+  EXPECT_EQ(ProtocolSpec::parse("ICMP")->value, 1);
+  EXPECT_EQ(ProtocolSpec::parse("GRE")->value, 47);
+  EXPECT_EQ(ProtocolSpec::parse("ESP")->value, 50);
+  EXPECT_EQ(ProtocolSpec::parse("AH")->value, 51);
+  EXPECT_EQ(ProtocolSpec::parse("OSPF")->value, 89);
+  EXPECT_EQ(ProtocolSpec::parse("SCTP")->value, 132);
+}
+
+TEST(Protocol, ParseStarAndDecimal) {
+  EXPECT_TRUE(ProtocolSpec::parse("*")->wildcard);
+  const auto p = ProtocolSpec::parse("89");
+  ASSERT_TRUE(p);
+  EXPECT_FALSE(p->wildcard);
+  EXPECT_EQ(p->value, 89);
+}
+
+TEST(Protocol, ParseClassBenchHexForm) {
+  const auto exact = ProtocolSpec::parse("0x06/0xFF");
+  ASSERT_TRUE(exact);
+  EXPECT_FALSE(exact->wildcard);
+  EXPECT_EQ(exact->value, 6);
+  const auto wild = ProtocolSpec::parse("0x00/0x00");
+  ASSERT_TRUE(wild);
+  EXPECT_TRUE(wild->wildcard);
+}
+
+TEST(Protocol, ParseRejects) {
+  EXPECT_FALSE(ProtocolSpec::parse(""));
+  EXPECT_FALSE(ProtocolSpec::parse("300"));
+  EXPECT_FALSE(ProtocolSpec::parse("0x06/0x0F"));  // partial masks unsupported
+  EXPECT_FALSE(ProtocolSpec::parse("bogus"));
+  EXPECT_FALSE(ProtocolSpec::parse("0xZZ/0xFF"));
+}
+
+TEST(Protocol, ToStringPrefersNames) {
+  EXPECT_EQ(ProtocolSpec::exactly(IpProto::kTcp).to_string(), "TCP");
+  EXPECT_EQ(ProtocolSpec::exactly(200).to_string(), "200");
+  EXPECT_EQ(ProtocolSpec::any().to_string(), "*");
+}
+
+TEST(Protocol, RoundTrip) {
+  for (const char* s : {"*", "TCP", "UDP", "200", "ICMP"}) {
+    const auto p = ProtocolSpec::parse(s);
+    ASSERT_TRUE(p) << s;
+    EXPECT_EQ(*ProtocolSpec::parse(p->to_string()), *p) << s;
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::net

@@ -1,0 +1,106 @@
+#include "engines/stridebv/range_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/common/linear_engine.h"
+#include "engines/stridebv/stridebv_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::engines::stridebv {
+namespace {
+
+using ruleset::Rule;
+using ruleset::RuleSet;
+
+RuleSet rangy_rules(std::size_t n, double frac) {
+  ruleset::GeneratorConfig cfg;
+  cfg.size = n;
+  cfg.seed = 21;
+  cfg.range_fraction = frac;
+  return ruleset::generate(cfg);
+}
+
+TEST(StrideBVRange, NameAndShape) {
+  const StrideBVRangeEngine e(RuleSet::table1_example(), {4});
+  EXPECT_EQ(e.name(), "StrideBV-RE(k=4)");
+  EXPECT_EQ(e.rule_count(), 6u);
+  // 64/4 + 8/4 stride stages.
+  EXPECT_EQ(e.num_stride_stages(), 16u + 2u);
+  EXPECT_TRUE(e.supports_multi_match());
+}
+
+TEST(StrideBVRange, RejectsEmptyRuleset) {
+  EXPECT_THROW(StrideBVRangeEngine(RuleSet{}, {4}), std::invalid_argument);
+}
+
+TEST(StrideBVRange, NoEntryInflation) {
+  const auto rs = rangy_rules(128, 0.8);
+  const StrideBVEngine expanded(rs, {4});
+  const StrideBVRangeEngine re(rs, {4});
+  EXPECT_GT(expanded.entry_count(), rs.size());
+  // RE memory is proportional to N, independent of range usage.
+  const StrideBVRangeEngine re0(rangy_rules(128, 0.0), {4});
+  EXPECT_EQ(re.memory_bits(), re0.memory_bits());
+}
+
+TEST(StrideBVRange, MemoryFormula) {
+  const auto rs = rangy_rules(100, 0.3);
+  const StrideBVRangeEngine e(rs, {4});
+  // 18 stride stages * 16 vectors * 100 bits + 2 fields * 32 bits * 100.
+  EXPECT_EQ(e.memory_bits(), 18ull * 16 * 100 + 2ull * 32 * 100);
+}
+
+TEST(StrideBVRange, ArbitraryRangeExactness) {
+  RuleSet rs;
+  auto r = Rule::any();
+  r.src_port = {100, 200};
+  r.dst_port = {5000, 5005};
+  rs.add(r);
+  const StrideBVRangeEngine e(rs, {3});
+  for (const std::uint16_t sp : {99, 100, 150, 200, 201}) {
+    for (const std::uint16_t dp : {4999, 5000, 5005, 5006}) {
+      net::FiveTuple t;
+      t.src_port = sp;
+      t.dst_port = dp;
+      const bool want = sp >= 100 && sp <= 200 && dp >= 5000 && dp <= 5005;
+      EXPECT_EQ(e.classify_tuple(t).has_match(), want) << sp << ":" << dp;
+    }
+  }
+}
+
+TEST(StrideBVRange, AgreesWithGoldenOnRangeHeavyRules) {
+  for (const unsigned k : {3u, 4u}) {
+    const auto rs = rangy_rules(96, 0.7);
+    const StrideBVRangeEngine e(rs, {k});
+    const LinearSearchEngine golden(rs);
+    ruleset::TraceConfig cfg;
+    cfg.size = 1500;
+    for (const auto& t : ruleset::generate_trace(rs, cfg)) {
+      const auto want = golden.classify_tuple(t);
+      const auto got = e.classify_tuple(t);
+      EXPECT_EQ(got.best, want.best) << "k=" << k << " " << t.to_string();
+      EXPECT_EQ(got.multi, want.multi) << "k=" << k;
+    }
+  }
+}
+
+TEST(StrideBVRange, UpdatesWork) {
+  RuleSet rs;
+  rs.add(*Rule::parse("* * * * * PORT 1"));
+  StrideBVRangeEngine e(rs, {4});
+  auto blocker = *Rule::parse("* * * 4000:5000 * DROP");
+  ASSERT_TRUE(e.insert_rule(0, blocker));
+  net::FiveTuple t;
+  t.dst_port = 4500;
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);
+  t.dst_port = 3999;
+  EXPECT_EQ(e.classify_tuple(t).best, 1u);
+  ASSERT_TRUE(e.erase_rule(0));
+  t.dst_port = 4500;
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);
+  EXPECT_FALSE(e.erase_rule(5));
+}
+
+}  // namespace
+}  // namespace rfipc::engines::stridebv

@@ -1,0 +1,114 @@
+#include "ruleset/rule.h"
+
+#include <gtest/gtest.h>
+
+namespace rfipc::ruleset {
+namespace {
+
+net::FiveTuple tuple(const char* sip, const char* dip, std::uint16_t sp,
+                     std::uint16_t dp, std::uint8_t proto) {
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse(sip);
+  t.dst_ip = *net::Ipv4Addr::parse(dip);
+  t.src_port = sp;
+  t.dst_port = dp;
+  t.protocol = proto;
+  return t;
+}
+
+TEST(Action, ParseAndFormat) {
+  EXPECT_EQ(Action::parse("DROP"), Action::drop());
+  EXPECT_EQ(Action::parse("drop"), Action::drop());
+  EXPECT_EQ(Action::parse("PORT 3"), Action::forward(3));
+  EXPECT_EQ(Action::drop().to_string(), "DROP");
+  EXPECT_EQ(Action::forward(12).to_string(), "PORT 12");
+}
+
+TEST(Action, ParseRejects) {
+  EXPECT_FALSE(Action::parse(""));
+  EXPECT_FALSE(Action::parse("PORT"));
+  EXPECT_FALSE(Action::parse("PORT x"));
+  EXPECT_FALSE(Action::parse("PORT 70000"));
+  EXPECT_FALSE(Action::parse("FORWARD 1"));
+}
+
+TEST(Rule, AnyMatchesEverything) {
+  const auto r = Rule::any();
+  EXPECT_TRUE(r.matches(tuple("1.2.3.4", "5.6.7.8", 1, 2, 3)));
+  EXPECT_TRUE(r.matches(tuple("255.255.255.255", "0.0.0.0", 65535, 0, 255)));
+}
+
+TEST(Rule, AllFieldsMustMatch) {
+  Rule r;
+  r.src_ip = *net::Ipv4Prefix::parse("10.0.0.0/8");
+  r.dst_ip = *net::Ipv4Prefix::parse("192.168.1.0/24");
+  r.src_port = {1000, 2000};
+  r.dst_port = net::PortRange::exactly(80);
+  r.protocol = net::ProtocolSpec::exactly(net::IpProto::kTcp);
+
+  const auto good = tuple("10.5.5.5", "192.168.1.9", 1500, 80, 6);
+  EXPECT_TRUE(r.matches(good));
+
+  auto t = good;
+  t.src_ip = *net::Ipv4Addr::parse("11.0.0.1");
+  EXPECT_FALSE(r.matches(t));
+  t = good;
+  t.dst_ip = *net::Ipv4Addr::parse("192.168.2.1");
+  EXPECT_FALSE(r.matches(t));
+  t = good;
+  t.src_port = 999;
+  EXPECT_FALSE(r.matches(t));
+  t = good;
+  t.dst_port = 81;
+  EXPECT_FALSE(r.matches(t));
+  t = good;
+  t.protocol = 17;
+  EXPECT_FALSE(r.matches(t));
+}
+
+TEST(Rule, ParseNativeLine) {
+  const auto r = Rule::parse("10.22.0.0/16 35.69.216.0/24 1000:1024 80 TCP PORT 2");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->src_ip.length, 16);
+  EXPECT_EQ(r->dst_ip.length, 24);
+  EXPECT_EQ(r->src_port, (net::PortRange{1000, 1024}));
+  EXPECT_EQ(r->dst_port, net::PortRange::exactly(80));
+  EXPECT_EQ(r->protocol, net::ProtocolSpec::exactly(net::IpProto::kTcp));
+  EXPECT_EQ(r->action, Action::forward(2));
+}
+
+TEST(Rule, ParseDropAndStars) {
+  const auto r = Rule::parse("* * * * * DROP");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, []() {
+    Rule e = Rule::any();
+    e.action = Action::drop();
+    return e;
+  }());
+}
+
+TEST(Rule, ParseRejects) {
+  EXPECT_FALSE(Rule::parse(""));
+  EXPECT_FALSE(Rule::parse("1.2.3.4/8"));
+  EXPECT_FALSE(Rule::parse("a b c d e DROP"));
+  EXPECT_FALSE(Rule::parse("* * * * * DROP extra token"));
+  EXPECT_FALSE(Rule::parse("* * * * * NOACTION"));
+}
+
+TEST(Rule, ToStringRoundTrip) {
+  const char* lines[] = {
+      "175.77.88.0/24 192.168.0.0/24 * 23 UDP PORT 1",
+      "0.0.0.0/0 0.0.0.0/0 * * * DROP",
+      "95.105.143.0/25 172.16.10.0/28 50:2000 100:200 * DROP",
+  };
+  for (const auto* line : lines) {
+    const auto r = Rule::parse(line);
+    ASSERT_TRUE(r) << line;
+    const auto r2 = Rule::parse(r->to_string());
+    ASSERT_TRUE(r2) << r->to_string();
+    EXPECT_EQ(*r2, *r) << line;
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::ruleset

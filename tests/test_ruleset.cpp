@@ -1,0 +1,107 @@
+#include "ruleset/ruleset.h"
+
+#include <gtest/gtest.h>
+
+#include "ruleset/trace.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+RuleSet two_overlapping() {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));   // broad
+  rs.add(*Rule::parse("10.1.0.0/16 * * * * PORT 2"));  // narrower, lower priority
+  rs.add(*Rule::parse("* * * * * DROP"));
+  return rs;
+}
+
+TEST(RuleSet, PriorityIsStorageOrder) {
+  const auto rs = two_overlapping();
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("10.1.2.3");
+  // Both rule 0 and rule 1 match; the topmost (0) must win.
+  const auto first = rs.first_match(t);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(*first, 0u);
+  EXPECT_EQ(rs.all_matches(t), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(RuleSet, DefaultRuleCatchesEverything) {
+  const auto rs = two_overlapping();
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("200.0.0.1");
+  EXPECT_EQ(*rs.first_match(t), 2u);
+}
+
+TEST(RuleSet, NoMatchWithoutDefault) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("11.0.0.1");
+  EXPECT_FALSE(rs.first_match(t));
+  EXPECT_TRUE(rs.all_matches(t).empty());
+}
+
+TEST(RuleSet, InsertShiftsPriorities) {
+  auto rs = two_overlapping();
+  rs.insert(0, *Rule::parse("10.1.2.0/24 * * * * DROP"));
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("10.1.2.3");
+  EXPECT_EQ(*rs.first_match(t), 0u);
+  EXPECT_EQ(rs.size(), 4u);
+  EXPECT_EQ(rs[1].src_ip.length, 8);
+}
+
+TEST(RuleSet, EraseShiftsPriorities) {
+  auto rs = two_overlapping();
+  rs.erase(0);
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("10.1.2.3");
+  EXPECT_EQ(*rs.first_match(t), 0u);  // previously rule 1
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST(RuleSet, InsertEraseBoundsChecked) {
+  auto rs = two_overlapping();
+  EXPECT_THROW(rs.insert(99, Rule::any()), std::out_of_range);
+  EXPECT_THROW(rs.erase(99), std::out_of_range);
+  // insert at end is legal (append).
+  rs.insert(rs.size(), Rule::any());
+  EXPECT_EQ(rs.size(), 4u);
+}
+
+TEST(RuleSet, Table1ExampleShape) {
+  const auto rs = RuleSet::table1_example();
+  EXPECT_EQ(rs.size(), 6u);
+  // Last rule is the match-all.
+  EXPECT_EQ(rs[5].src_ip, net::Ipv4Prefix::any());
+  EXPECT_TRUE(rs[5].src_port.is_wildcard());
+  // Field kinds from the paper's table: prefix, arbitrary range, exact,
+  // wildcard all present.
+  EXPECT_EQ(rs[0].dst_port, net::PortRange::exactly(23));
+  EXPECT_FALSE(rs[2].src_port.is_wildcard());
+  EXPECT_TRUE(rs[0].protocol == net::ProtocolSpec::exactly(net::IpProto::kUdp));
+}
+
+TEST(RuleSet, Table1SyntheticHeadersHitTheirRules) {
+  const auto rs = RuleSet::table1_example();
+  for (std::size_t r = 0; r < rs.size(); ++r) {
+    const auto t = header_for_rule(rs[r], 123 + r);
+    EXPECT_TRUE(rs[r].matches(t)) << "rule " << r;
+    // first_match may be a higher-priority rule, never a lower one.
+    const auto m = rs.first_match(t);
+    ASSERT_TRUE(m);
+    EXPECT_LE(*m, r);
+  }
+}
+
+TEST(RuleSet, ToTextContainsEveryRule) {
+  const auto rs = RuleSet::table1_example();
+  const auto text = rs.to_text();
+  for (const auto& r : rs) {
+    EXPECT_NE(text.find(r.to_string()), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::ruleset

@@ -1,0 +1,128 @@
+#include "engines/tcam/srl16_model.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/tcam/tcam_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+#include "util/prng.h"
+
+namespace rfipc::engines::tcam {
+namespace {
+
+TEST(Srl16Cell, ExactChunk) {
+  Srl16Cell c;
+  c.program(0b10, 0b11);  // must equal 10
+  EXPECT_FALSE(c.lookup(0b00));
+  EXPECT_FALSE(c.lookup(0b01));
+  EXPECT_TRUE(c.lookup(0b10));
+  EXPECT_FALSE(c.lookup(0b11));
+}
+
+TEST(Srl16Cell, DontCareChunk) {
+  Srl16Cell c;
+  c.program(0, 0b00);  // both bits wildcard
+  for (std::uint8_t v = 0; v < 4; ++v) EXPECT_TRUE(c.lookup(v));
+}
+
+TEST(Srl16Cell, HalfCareChunk) {
+  Srl16Cell c;
+  c.program(0b10, 0b10);  // MSB must be 1, LSB free
+  EXPECT_FALSE(c.lookup(0b00));
+  EXPECT_FALSE(c.lookup(0b01));
+  EXPECT_TRUE(c.lookup(0b10));
+  EXPECT_TRUE(c.lookup(0b11));
+}
+
+TEST(Srl16Cell, ImageUsesOneHotAddresses) {
+  Srl16Cell c;
+  c.program(0b01, 0b11);
+  // Only address 1<<1 = 2 set.
+  EXPECT_EQ(c.image(), 1u << 2);
+}
+
+TEST(Srl16Cell, SerialShiftReconstructsImage) {
+  Srl16Cell direct;
+  direct.program(0b11, 0b01);
+  Srl16Cell serial;
+  const std::uint16_t target = direct.image();
+  for (int b = 15; b >= 0; --b) serial.shift_in((target >> b) & 1u);
+  EXPECT_EQ(serial.image(), direct.image());
+}
+
+TEST(SrlEntry, MatchEqualsTernaryCompare) {
+  util::Xoshiro256 rng(71);
+  for (int iter = 0; iter < 30; ++iter) {
+    ruleset::TernaryWord w;
+    for (unsigned i = 0; i < net::kHeaderBits; ++i) {
+      if (rng.chance(2, 3)) w.set_bit(i, rng.chance(1, 2));
+    }
+    SrlEntry entry;
+    entry.program(w);
+    for (int probe = 0; probe < 30; ++probe) {
+      net::FiveTuple t;
+      t.src_ip.value = static_cast<std::uint32_t>(rng());
+      t.dst_ip.value = static_cast<std::uint32_t>(rng());
+      t.src_port = static_cast<std::uint16_t>(rng.below(0x10000));
+      t.dst_port = static_cast<std::uint16_t>(rng.below(0x10000));
+      t.protocol = static_cast<std::uint8_t>(rng.below(256));
+      const net::HeaderBits h(t);
+      EXPECT_EQ(entry.match(h), w.matches(h));
+    }
+  }
+}
+
+TEST(SrlEntry, SerialWriteTakes16Cycles) {
+  SrlEntry entry;
+  ruleset::TernaryWord w;
+  w.set_bit(0, true);
+  EXPECT_EQ(entry.write_serial(w), kSrlWriteCycles);
+  net::FiveTuple t;
+  t.src_ip.value = 0x80000000u;
+  EXPECT_TRUE(entry.match(net::HeaderBits(t)));
+  t.src_ip.value = 0;
+  EXPECT_FALSE(entry.match(net::HeaderBits(t)));
+}
+
+TEST(SrlTcam, MatchLinesEqualFunctionalTcam) {
+  const auto rs = ruleset::generate_firewall(48);
+  const TcamEngine functional(rs);
+  SrlTcam structural(functional.entry_count());
+  for (std::size_t i = 0; i < functional.entry_count(); ++i) {
+    structural.program_entry(i, functional.entries()[i]);
+  }
+  ruleset::TraceConfig cfg;
+  cfg.size = 400;
+  for (const auto& t : ruleset::generate_trace(rs, cfg)) {
+    const net::HeaderBits h(t);
+    EXPECT_EQ(structural.match_lines(h), functional.match_lines(h)) << t.to_string();
+  }
+}
+
+TEST(SrlTcam, LutAccounting) {
+  SrlTcam t(100);
+  // 52 SRL16E per 104-bit entry (2 ternary bits per LUT).
+  EXPECT_EQ(t.srl_lut_count(), 5200u);
+  EXPECT_EQ(kChunksPerEntry, 52u);
+}
+
+TEST(SrlTcam, SerialRewriteChangesEntry) {
+  SrlTcam t(1);
+  ruleset::TernaryWord w1;
+  w1.set_bit(103, true);
+  t.write_entry_serial(0, w1);
+  net::FiveTuple odd;
+  odd.protocol = 1;
+  net::FiveTuple even;
+  EXPECT_TRUE(t.match_lines(net::HeaderBits(odd)).test(0));
+  EXPECT_FALSE(t.match_lines(net::HeaderBits(even)).test(0));
+
+  ruleset::TernaryWord w2;
+  w2.set_bit(103, false);
+  t.write_entry_serial(0, w2);
+  EXPECT_FALSE(t.match_lines(net::HeaderBits(odd)).test(0));
+  EXPECT_TRUE(t.match_lines(net::HeaderBits(even)).test(0));
+}
+
+}  // namespace
+}  // namespace rfipc::engines::tcam

@@ -1,0 +1,84 @@
+#include "util/str.h"
+
+#include <gtest/gtest.h>
+
+namespace rfipc::util {
+namespace {
+
+TEST(Str, SplitKeepsEmptyFields) {
+  const auto p = split("a,,b", ',');
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], "a");
+  EXPECT_EQ(p[1], "");
+  EXPECT_EQ(p[2], "b");
+}
+
+TEST(Str, SplitSingleField) {
+  const auto p = split("abc", ',');
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], "abc");
+}
+
+TEST(Str, SplitTrailingSep) {
+  const auto p = split("a,", ',');
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[1], "");
+}
+
+TEST(Str, SplitWsDropsEmpty) {
+  const auto p = split_ws("  foo \t bar\nbaz  ");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], "foo");
+  EXPECT_EQ(p[1], "bar");
+  EXPECT_EQ(p[2], "baz");
+}
+
+TEST(Str, SplitWsAllWhitespace) { EXPECT_TRUE(split_ws(" \t\n ").empty()); }
+
+TEST(Str, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(Str, ParseU64Basic) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("12345"), 12345u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), ~std::uint64_t{0});
+}
+
+TEST(Str, ParseU64Rejects) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("abc"));
+  EXPECT_FALSE(parse_u64("12x"));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("1.5"));
+  EXPECT_FALSE(parse_u64("256", 255));  // max enforcement
+  EXPECT_EQ(parse_u64("255", 255), 255u);
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_TRUE(starts_with("hello", ""));
+  EXPECT_FALSE(starts_with("he", "hello"));
+  EXPECT_FALSE(starts_with("hello", "lo"));
+}
+
+TEST(Str, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+  EXPECT_EQ(fmt_double(-2.5, 1), "-2.5");
+}
+
+TEST(Str, FmtGroup) {
+  EXPECT_EQ(fmt_group(0), "0");
+  EXPECT_EQ(fmt_group(999), "999");
+  EXPECT_EQ(fmt_group(1000), "1,000");
+  EXPECT_EQ(fmt_group(1234567), "1,234,567");
+  EXPECT_EQ(fmt_group(1000000000), "1,000,000,000");
+}
+
+}  // namespace
+}  // namespace rfipc::util

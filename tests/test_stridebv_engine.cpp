@@ -1,0 +1,149 @@
+#include "engines/stridebv/stridebv_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/common/linear_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::engines::stridebv {
+namespace {
+
+using ruleset::Rule;
+using ruleset::RuleSet;
+
+TEST(StrideBV, NameAndShape) {
+  const StrideBVEngine e(RuleSet::table1_example(), {4});
+  EXPECT_EQ(e.name(), "StrideBV(k=4)");
+  EXPECT_EQ(e.rule_count(), 6u);
+  EXPECT_EQ(e.stride(), 4u);
+  EXPECT_EQ(e.num_stages(), 26u);
+  EXPECT_TRUE(e.supports_multi_match());
+  EXPECT_TRUE(e.supports_update());
+}
+
+TEST(StrideBV, RejectsEmptyRuleset) {
+  EXPECT_THROW(StrideBVEngine(RuleSet{}, {4}), std::invalid_argument);
+}
+
+TEST(StrideBV, PipelineDepthIsStagesPlusPpe) {
+  const auto rs = ruleset::generate_firewall(512);
+  const StrideBVEngine e(rs, {4});
+  // ceil(104/4) + ceil(log2(entries)).
+  const unsigned expect_ppe =
+      static_cast<unsigned>(std::ceil(std::log2(static_cast<double>(e.entry_count()))));
+  EXPECT_EQ(e.pipeline_depth(), 26u + expect_ppe);
+}
+
+TEST(StrideBV, EntryExpansionTracksRanges) {
+  RuleSet rs;
+  auto r = Rule::any();
+  r.src_port = {100, 200};
+  rs.add(r);
+  rs.add(Rule::any());
+  const StrideBVEngine e(rs, {3});
+  EXPECT_GT(e.entry_count(), 2u);
+  EXPECT_EQ(e.rule_count(), 2u);
+  // Every entry maps to its rule.
+  for (std::size_t i = 0; i + 1 < e.entry_count(); ++i) EXPECT_EQ(e.entry_rule(i), 0u);
+  EXPECT_EQ(e.entry_rule(e.entry_count() - 1), 1u);
+}
+
+TEST(StrideBV, HighestPriorityWinsOnOverlap) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));
+  rs.add(*Rule::parse("10.1.0.0/16 * * * * PORT 2"));
+  const StrideBVEngine e(rs, {4});
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("10.1.1.1");
+  const auto res = e.classify_tuple(t);
+  EXPECT_EQ(res.best, 0u);
+  EXPECT_TRUE(res.multi.test(0));
+  EXPECT_TRUE(res.multi.test(1));
+}
+
+TEST(StrideBV, MissReported) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));
+  const StrideBVEngine e(rs, {4});
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("11.0.0.1");
+  EXPECT_FALSE(e.classify_tuple(t).has_match());
+}
+
+TEST(StrideBV, MultiMatchFoldsEntriesOntoRules) {
+  // One rule expands to many entries; multi-match must report the RULE
+  // once, not each entry.
+  RuleSet rs;
+  auto r = Rule::any();
+  r.dst_port = {1, 65534};
+  rs.add(r);
+  const StrideBVEngine e(rs, {4});
+  net::FiveTuple t;
+  t.dst_port = 500;
+  const auto res = e.classify_tuple(t);
+  EXPECT_EQ(res.multi.size(), 1u);
+  EXPECT_TRUE(res.multi.test(0));
+  EXPECT_EQ(res.best, 0u);
+}
+
+TEST(StrideBV, AgreesWithGoldenOnTable1) {
+  const auto rs = RuleSet::table1_example();
+  const StrideBVEngine e(rs, {3});
+  const LinearSearchEngine golden(rs);
+  ruleset::TraceConfig cfg;
+  cfg.size = 1000;
+  for (const auto& t : ruleset::generate_trace(rs, cfg)) {
+    const auto want = golden.classify_tuple(t);
+    const auto got = e.classify_tuple(t);
+    EXPECT_EQ(got.best, want.best) << t.to_string();
+    EXPECT_EQ(got.multi, want.multi) << t.to_string();
+  }
+}
+
+TEST(StrideBV, InsertRuleTakesPriority) {
+  RuleSet rs;
+  rs.add(*Rule::parse("* * * * * PORT 1"));
+  StrideBVEngine e(rs, {4});
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("10.0.0.1");
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);
+  ASSERT_TRUE(e.insert_rule(0, *Rule::parse("10.0.0.0/8 * * * * DROP")));
+  EXPECT_EQ(e.rule_count(), 2u);
+  const auto res = e.classify_tuple(t);
+  EXPECT_EQ(res.best, 0u);
+  EXPECT_EQ(e.rules()[res.best].action, ruleset::Action::drop());
+}
+
+TEST(StrideBV, EraseRuleUnshadows) {
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * DROP"));
+  rs.add(*Rule::parse("* * * * * PORT 1"));
+  StrideBVEngine e(rs, {4});
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("10.0.0.1");
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);
+  ASSERT_TRUE(e.erase_rule(0));
+  const auto res = e.classify_tuple(t);
+  EXPECT_EQ(res.best, 0u);
+  EXPECT_EQ(e.rules()[0].action, ruleset::Action::forward(1));
+}
+
+TEST(StrideBV, UpdateBoundsRejected) {
+  StrideBVEngine e(RuleSet::table1_example(), {4});
+  EXPECT_FALSE(e.insert_rule(99, Rule::any()));
+  EXPECT_FALSE(e.erase_rule(99));
+}
+
+TEST(StrideBV, MemoryBitsMatchArchitecture) {
+  const auto rs = ruleset::generate_firewall(256);
+  const StrideBVEngine e3(rs, {3});
+  const StrideBVEngine e4(rs, {4});
+  EXPECT_EQ(e3.memory_bits(), 35ull * 8 * e3.entry_count());
+  EXPECT_EQ(e4.memory_bits(), 26ull * 16 * e4.entry_count());
+}
+
+}  // namespace
+}  // namespace rfipc::engines::stridebv

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace rfipc::util {
+namespace {
+
+TEST(TextTable, RenderAlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("name   v"), std::string::npos);
+  EXPECT_NE(s.find("alpha  1"), std::string::npos);
+  EXPECT_NE(s.find("b      22"), std::string::npos);
+}
+
+TEST(TextTable, RowCountAndMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvEscapesCommas) {
+  TextTable t({"x"});
+  t.add_row({"a,b"});
+  EXPECT_EQ(t.to_csv(), "x\na;b\n");
+}
+
+TEST(TextTable, IndentedRender) {
+  TextTable t({"h"});
+  t.add_row({"v"});
+  const auto s = t.render(4);
+  EXPECT_EQ(s.rfind("    h", 0), 0u);
+}
+
+TEST(WriteFile, RoundTrip) {
+  const std::string path = "test_write_file.tmp";
+  ASSERT_TRUE(write_file(path, "hello\n"));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "hello");
+  std::remove(path.c_str());
+}
+
+TEST(Cli, EqualsForm) {
+  const char* argv[] = {"prog", "--rules=512"};
+  CliFlags f(2, argv);
+  EXPECT_EQ(f.get_u64("rules", 0), 512u);
+}
+
+TEST(Cli, SpaceForm) {
+  const char* argv[] = {"prog", "--engine", "tcam"};
+  CliFlags f(3, argv);
+  EXPECT_EQ(f.get("engine", ""), "tcam");
+}
+
+TEST(Cli, BareBooleanFlag) {
+  const char* argv[] = {"prog", "--verbose"};
+  CliFlags f(2, argv);
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.get_bool("quiet"));
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=yes", "--b=off", "--c=1", "--d=false"};
+  CliFlags f(5, argv);
+  EXPECT_TRUE(f.get_bool("a"));
+  EXPECT_FALSE(f.get_bool("b"));
+  EXPECT_TRUE(f.get_bool("c"));
+  EXPECT_FALSE(f.get_bool("d"));
+}
+
+TEST(Cli, Positional) {
+  const char* argv[] = {"prog", "file.rules", "--n=1", "other"};
+  CliFlags f(4, argv);
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "file.rules");
+  EXPECT_EQ(f.positional()[1], "other");
+}
+
+TEST(Cli, UnknownFlagRejectedWithAllowlist) {
+  const char* argv[] = {"prog", "--oops=1"};
+  EXPECT_THROW(CliFlags(2, argv, {"rules"}), std::invalid_argument);
+}
+
+TEST(Cli, KnownFlagAcceptedWithAllowlist) {
+  const char* argv[] = {"prog", "--rules=5"};
+  CliFlags f(2, argv, {"rules"});
+  EXPECT_EQ(f.get_u64("rules", 0), 5u);
+}
+
+TEST(Cli, BadNumberThrows) {
+  const char* argv[] = {"prog", "--n=abc"};
+  CliFlags f(2, argv);
+  EXPECT_THROW(f.get_u64("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--f=0.25"};
+  CliFlags f(2, argv);
+  EXPECT_DOUBLE_EQ(f.get_double("f", 0), 0.25);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  CliFlags f(1, argv);
+  EXPECT_EQ(f.get("engine", "stridebv:4"), "stridebv:4");
+  EXPECT_EQ(f.get_u64("rules", 99), 99u);
+  EXPECT_FALSE(f.has("rules"));
+}
+
+}  // namespace
+}  // namespace rfipc::util

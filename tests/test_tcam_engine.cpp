@@ -1,0 +1,125 @@
+#include "engines/tcam/tcam_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/common/linear_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::engines::tcam {
+namespace {
+
+using ruleset::Rule;
+using ruleset::RuleSet;
+
+TEST(Tcam, NameAndShape) {
+  const TcamEngine e(RuleSet::table1_example());
+  EXPECT_EQ(e.name(), "TCAM-FPGA");
+  EXPECT_EQ(e.rule_count(), 6u);
+  EXPECT_TRUE(e.supports_multi_match());
+  EXPECT_TRUE(e.supports_update());
+}
+
+TEST(Tcam, RejectsEmptyRuleset) {
+  EXPECT_THROW(TcamEngine(RuleSet{}), std::invalid_argument);
+}
+
+TEST(Tcam, MemoryIsTwoBitsPerRuleBit) {
+  RuleSet rs;
+  rs.add(Rule::any());
+  rs.add(Rule::any());
+  const TcamEngine e(rs);
+  EXPECT_EQ(e.memory_bits(), 2ull * 2 * 104);
+  // 26 bytes/rule — the paper's TCAM line in Table II.
+  EXPECT_EQ(e.memory_bits() / 8 / e.entry_count(), 26u);
+}
+
+TEST(Tcam, RangeRulesExpandEntries) {
+  RuleSet rs;
+  auto r = Rule::any();
+  r.src_port = {1, 65534};
+  r.dst_port = {1, 65534};
+  rs.add(r);
+  const TcamEngine e(rs);
+  EXPECT_EQ(e.entry_count(), 900u);  // 30 x 30 blocks
+  EXPECT_EQ(e.rule_count(), 1u);
+  for (std::size_t i = 0; i < e.entry_count(); ++i) EXPECT_EQ(e.entry_rule(i), 0u);
+}
+
+TEST(Tcam, PriorityAcrossExpandedEntries) {
+  // A lower-priority broad rule after a higher-priority range rule: the
+  // range rule's entries keep winning wherever the range matches.
+  RuleSet rs;
+  auto r = Rule::any();
+  r.dst_port = {100, 200};
+  r.action = ruleset::Action::drop();
+  rs.add(r);
+  rs.add(*Rule::parse("* * * * * PORT 1"));
+  const TcamEngine e(rs);
+  net::FiveTuple t;
+  t.dst_port = 150;
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);
+  t.dst_port = 99;
+  EXPECT_EQ(e.classify_tuple(t).best, 1u);
+}
+
+TEST(Tcam, MatchLinesOneBitPerEntry) {
+  RuleSet rs;
+  auto r = Rule::any();
+  r.dst_port = {1, 6};  // multiple blocks: {1},{2,3},{4,5},{6}
+  rs.add(r);
+  const TcamEngine e(rs);
+  ASSERT_EQ(e.entry_count(), 4u);
+  net::FiveTuple t;
+  t.dst_port = 2;
+  const auto lines = e.match_lines(net::HeaderBits(t));
+  EXPECT_EQ(lines.count(), 1u);  // prefix blocks are disjoint
+  t.dst_port = 7;
+  EXPECT_TRUE(e.match_lines(net::HeaderBits(t)).none());
+}
+
+TEST(Tcam, AgreesWithGolden) {
+  const auto rs = ruleset::generate_firewall(128);
+  const TcamEngine e(rs);
+  const LinearSearchEngine golden(rs);
+  ruleset::TraceConfig cfg;
+  cfg.size = 1500;
+  for (const auto& t : ruleset::generate_trace(rs, cfg)) {
+    const auto want = golden.classify_tuple(t);
+    const auto got = e.classify_tuple(t);
+    EXPECT_EQ(got.best, want.best) << t.to_string();
+    EXPECT_EQ(got.multi, want.multi);
+  }
+}
+
+TEST(Tcam, InsertEraseRules) {
+  RuleSet rs;
+  rs.add(*Rule::parse("* * * * * PORT 1"));
+  TcamEngine e(rs);
+  ASSERT_TRUE(e.insert_rule(0, *Rule::parse("* * * 80 TCP DROP")));
+  net::FiveTuple t;
+  t.dst_port = 80;
+  t.protocol = 6;
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);
+  ASSERT_TRUE(e.erase_rule(0));
+  EXPECT_EQ(e.classify_tuple(t).best, 0u);
+  EXPECT_EQ(e.rule_count(), 1u);
+  EXPECT_FALSE(e.insert_rule(9, Rule::any()));
+  EXPECT_FALSE(e.erase_rule(9));
+}
+
+TEST(Tcam, WildcardHandlingVsExact) {
+  // The TCAM/BCAM distinction (Section III-B): ternary entries hold
+  // wildcards, so one entry covers many headers.
+  RuleSet rs;
+  rs.add(*Rule::parse("10.0.0.0/8 * * * * PORT 1"));
+  const TcamEngine e(rs);
+  for (const char* ip : {"10.0.0.1", "10.200.3.4", "10.255.255.255"}) {
+    net::FiveTuple t;
+    t.src_ip = *net::Ipv4Addr::parse(ip);
+    EXPECT_TRUE(e.classify_tuple(t).has_match()) << ip;
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::engines::tcam

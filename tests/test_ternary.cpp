@@ -1,0 +1,128 @@
+#include "ruleset/ternary.h"
+
+#include <gtest/gtest.h>
+
+#include "ruleset/trace.h"
+#include "util/prng.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+TEST(TernaryWord, DefaultIsAllDontCare) {
+  TernaryWord w;
+  EXPECT_EQ(w.care_count(), 0u);
+  net::FiveTuple t;
+  t.src_ip.value = 0xdeadbeef;
+  EXPECT_TRUE(w.matches(net::HeaderBits(t)));
+}
+
+TEST(TernaryWord, SetBitAndMatch) {
+  TernaryWord w;
+  w.set_bit(0, true);  // SIP MSB must be 1
+  net::FiveTuple t;
+  t.src_ip.value = 0x80000000u;
+  EXPECT_TRUE(w.matches(net::HeaderBits(t)));
+  t.src_ip.value = 0;
+  EXPECT_FALSE(w.matches(net::HeaderBits(t)));
+}
+
+TEST(TernaryWord, DontCareOverride) {
+  TernaryWord w;
+  w.set_bit(5, true);
+  EXPECT_EQ(w.care_count(), 1u);
+  w.set_dont_care(5);
+  EXPECT_EQ(w.care_count(), 0u);
+}
+
+TEST(TernaryWord, PrefixField) {
+  TernaryWord w;
+  w.set_prefix_field(net::kSipField.offset, 32, 0xC0A80000u, 16);  // 192.168/16
+  EXPECT_EQ(w.care_count(), 16u);
+  net::FiveTuple t;
+  t.src_ip = *net::Ipv4Addr::parse("192.168.55.1");
+  EXPECT_TRUE(w.matches(net::HeaderBits(t)));
+  t.src_ip = *net::Ipv4Addr::parse("192.169.0.0");
+  EXPECT_FALSE(w.matches(net::HeaderBits(t)));
+}
+
+TEST(TernaryWord, ToStringShape) {
+  TernaryWord w;
+  w.set_bit(0, true);
+  w.set_bit(103, false);
+  const auto s = w.to_string();
+  ASSERT_EQ(s.size(), 104u);
+  EXPECT_EQ(s.front(), '1');
+  EXPECT_EQ(s.back(), '0');
+  EXPECT_EQ(s[1], '*');
+}
+
+TEST(RuleToTernary, PrefixOnlyRuleIsOneEntry) {
+  const auto r = Rule::parse("10.0.0.0/8 192.168.0.0/24 * 80 TCP PORT 1");
+  const auto entries = rule_to_ternary(*r);
+  ASSERT_EQ(entries.size(), 1u);
+  // care bits: 8 + 24 + 0 + 16 + 8 = 56.
+  EXPECT_EQ(entries[0].care_count(), 56u);
+}
+
+TEST(RuleToTernary, RangeExpansionCount) {
+  auto r = Rule::any();
+  r.src_port = {1, 65534};  // 30 prefixes
+  r.dst_port = {1, 65534};  // 30 prefixes
+  EXPECT_EQ(ternary_expansion(r), 900u);
+  EXPECT_EQ(rule_to_ternary(r).size(), 900u);
+}
+
+TEST(RuleToTernary, MixedExpansion) {
+  auto r = Rule::any();
+  r.src_port = {0, 1023};      // single prefix
+  r.dst_port = {1024, 65535};  // 6 prefixes
+  EXPECT_EQ(ternary_expansion(r), 6u);
+}
+
+// Property: the union of ternary entries matches exactly the rule.
+TEST(RuleToTernaryProperty, EntriesEquivalentToRule) {
+  util::Xoshiro256 rng(41);
+  for (int iter = 0; iter < 50; ++iter) {
+    Rule r;
+    r.src_ip = net::Ipv4Prefix{{static_cast<std::uint32_t>(rng())},
+                               static_cast<std::uint8_t>(rng.below(33))}
+                   .canonical();
+    r.dst_ip = net::Ipv4Prefix{{static_cast<std::uint32_t>(rng())},
+                               static_cast<std::uint8_t>(rng.below(33))}
+                   .canonical();
+    auto a = static_cast<std::uint16_t>(rng.below(0x10000));
+    auto b = static_cast<std::uint16_t>(rng.below(0x10000));
+    if (a > b) std::swap(a, b);
+    r.src_port = {a, b};
+    a = static_cast<std::uint16_t>(rng.below(0x10000));
+    b = static_cast<std::uint16_t>(rng.below(0x10000));
+    if (a > b) std::swap(a, b);
+    r.dst_port = {a, b};
+    r.protocol = rng.chance(1, 2)
+                     ? net::ProtocolSpec::any()
+                     : net::ProtocolSpec::exactly(static_cast<std::uint8_t>(rng.below(256)));
+
+    const auto entries = rule_to_ternary(r);
+
+    // Probe with headers biased to the rule plus uniform noise.
+    for (int probe = 0; probe < 40; ++probe) {
+      net::FiveTuple t;
+      if (probe % 2 == 0) {
+        t = header_for_rule(r, static_cast<std::uint64_t>(iter * 100 + probe));
+      } else {
+        t.src_ip.value = static_cast<std::uint32_t>(rng());
+        t.dst_ip.value = static_cast<std::uint32_t>(rng());
+        t.src_port = static_cast<std::uint16_t>(rng.below(0x10000));
+        t.dst_port = static_cast<std::uint16_t>(rng.below(0x10000));
+        t.protocol = static_cast<std::uint8_t>(rng.below(256));
+      }
+      const net::HeaderBits h(t);
+      bool any = false;
+      for (const auto& e : entries) any = any || e.matches(h);
+      EXPECT_EQ(any, r.matches(t)) << t.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::ruleset

@@ -1,0 +1,89 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rfipc::util {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](std::size_t b, std::size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, SumMatchesSequential) {
+  ThreadPool pool(3);
+  std::vector<int> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(data.size(), [&](std::size_t b, std::size_t e) {
+    long long local = 0;
+    for (std::size_t i = b; i < e; ++i) local += data[i];
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t b, std::size_t) {
+                                   if (b == 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(10, [](std::size_t, std::size_t) {
+      throw std::runtime_error("first");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+    ok += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> n{0};
+  pool.parallel_for(50, [&](std::size_t b, std::size_t e) {
+    n += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(n.load(), 50);
+}
+
+}  // namespace
+}  // namespace rfipc::util

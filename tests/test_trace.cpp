@@ -1,0 +1,89 @@
+#include "ruleset/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "ruleset/generator.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+TEST(Trace, SizeAndDeterminism) {
+  const auto rs = generate_firewall(64);
+  TraceConfig cfg;
+  cfg.size = 500;
+  const auto a = generate_trace(rs, cfg);
+  const auto b = generate_trace(rs, cfg);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Trace, SeedChangesTrace) {
+  const auto rs = generate_firewall(64);
+  TraceConfig cfg;
+  cfg.size = 200;
+  const auto a = generate_trace(rs, cfg);
+  cfg.seed += 1;
+  const auto b = generate_trace(rs, cfg);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += a[i] == b[i] ? 1 : 0;
+  EXPECT_LT(same, 10u);
+}
+
+TEST(Trace, MatchFractionOneAlwaysMatches) {
+  // Without the catch-all, match_fraction=1 traces must still hit SOME
+  // rule (the one they were synthesized from, or a higher-priority one).
+  GeneratorConfig gcfg;
+  gcfg.size = 64;
+  gcfg.default_rule = false;
+  const auto rs = generate(gcfg);
+  TraceConfig cfg;
+  cfg.size = 500;
+  cfg.match_fraction = 1.0;
+  for (const auto& t : generate_trace(rs, cfg)) {
+    EXPECT_TRUE(rs.first_match(t).has_value()) << t.to_string();
+  }
+}
+
+TEST(Trace, MatchFractionZeroIsMostlyMisses) {
+  GeneratorConfig gcfg;
+  gcfg.size = 32;
+  gcfg.default_rule = false;
+  gcfg.mode = GeneratorMode::kAcl;  // specific rules -> random headers miss
+  const auto rs = generate(gcfg);
+  TraceConfig cfg;
+  cfg.size = 500;
+  cfg.match_fraction = 0.0;
+  std::size_t hits = 0;
+  for (const auto& t : generate_trace(rs, cfg)) {
+    hits += rs.first_match(t).has_value() ? 1 : 0;
+  }
+  EXPECT_LT(hits, 25u);  // uniform headers almost never hit /24+ ACL rules
+}
+
+TEST(Trace, HeaderForRuleAlwaysMatchesItsRule) {
+  const auto rs = generate_firewall(128);
+  for (std::size_t r = 0; r < rs.size(); ++r) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      EXPECT_TRUE(rs[r].matches(header_for_rule(rs[r], seed)))
+          << "rule " << r << " seed " << seed;
+    }
+  }
+}
+
+TEST(Trace, HeaderForRuleRandomizesDontCareBits) {
+  auto r = Rule::any();
+  const auto a = header_for_rule(r, 1);
+  const auto b = header_for_rule(r, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Trace, RejectsBadConfig) {
+  const auto rs = generate_firewall(8);
+  TraceConfig cfg;
+  cfg.match_fraction = 1.5;
+  EXPECT_THROW(generate_trace(rs, cfg), std::invalid_argument);
+  EXPECT_THROW(generate_trace(RuleSet{}, TraceConfig{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfipc::ruleset

@@ -1,0 +1,65 @@
+// Umbrella-header test: rfipc.h must pull in the entire public API.
+// Touches one symbol from every module so a missing include in the
+// umbrella fails this compile.
+#include "rfipc.h"
+
+#include <gtest/gtest.h>
+
+namespace rfipc {
+namespace {
+
+TEST(Umbrella, EveryModuleReachable) {
+  // util
+  util::BitVector bv(8);
+  bv.set(3);
+  EXPECT_EQ(bv.first_set(), 3u);
+  util::Xoshiro256 rng(1);
+  EXPECT_LT(rng.below(10), 10u);
+  EXPECT_EQ(util::fmt_group(1000), "1,000");
+
+  // net
+  EXPECT_TRUE(net::Ipv4Prefix::parse("10.0.0.0/8").has_value());
+  EXPECT_EQ(net::kHeaderBits, 104u);
+  EXPECT_STREQ(net::parse_status_name(net::ParseStatus::kOk), "ok");
+  EXPECT_EQ(net::pcap_to_bytes(net::PcapFile{}).size(), 24u);
+
+  // ruleset
+  const auto rules = ruleset::RuleSet::table1_example();
+  EXPECT_EQ(rules.size(), 6u);
+  EXPECT_EQ(ruleset::worst_case_prefixes(16), 30u);
+  ruleset::RuleSet copy = rules;
+  EXPECT_EQ(ruleset::optimize(copy).after, copy.size());
+  EXPECT_FALSE(ruleset::trace_to_text({}).empty());
+
+  // engines
+  EXPECT_GE(engines::known_engine_specs().size(), 8u);
+  const engines::LinearSearchEngine linear(rules);
+  EXPECT_EQ(linear.rule_count(), 6u);
+  const engines::stridebv::PipelinedPriorityEncoder ppe(8);
+  EXPECT_EQ(ppe.num_stages(), 3u);
+  EXPECT_EQ(engines::tcam::kChunksPerEntry, 52u);
+  EXPECT_EQ(engines::baselines::table2_published_rows().size(), 3u);
+
+  // lpm
+  const auto routes = lpm::RouteTable::synthetic(10, 1);
+  EXPECT_EQ(routes.size(), 10u);
+  const lpm::TcamLpm rib(routes);
+  EXPECT_TRUE(rib.length_ordered());
+
+  // flow
+  EXPECT_EQ(flow::Schema::openflow10().total_bits(), 253u);
+
+  // fpga
+  EXPECT_EQ(fpga::virtex7_xc7vx1140t().bram36, 1880u);
+  EXPECT_EQ(fpga::stridebv_stages(4), 26u);
+  EXPECT_GT(fpga::estimate_asic_tcam(100).power_w, 0.0);
+  EXPECT_EQ(fpga::paper_sizes().size(), 7u);
+
+  // sim
+  const engines::stridebv::StrideBVEngine engine(rules, {4});
+  std::vector<net::HeaderBits> one{net::HeaderBits(net::FiveTuple{})};
+  EXPECT_EQ(sim::simulate_stridebv(engine, one, 2).best.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rfipc
