@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI-style gate: tier-1 build + tests in three configurations.
+#   1. plain           — the default RelWithDebInfo build, full ctest
+#   2. address,undefined — ASan+UBSan build, full ctest
+#   3. thread          — TSan build, concurrency-sensitive tests only
+#      (thread pool + sharded runtime), since TSan triples runtimes
+# Each configuration uses its own build directory so the default
+# ./build stays untouched for development.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  local dir="$1" sanitize="$2"
+  shift 2
+  echo "== ${dir} (RFIPC_SANITIZE='${sanitize}') =="
+  cmake -B "${dir}" -S . -DRFIPC_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "${dir}" -j "$@"
+  (cd "${dir}" && ctest --output-on-failure -j "${CTEST_ARGS[@]}")
+}
+
+CTEST_ARGS=()
+run build ""
+
+CTEST_ARGS=()
+run build-asan "address,undefined"
+
+CTEST_ARGS=(-R 'test_thread_pool|test_runtime')
+run build-tsan "thread" --target test_thread_pool test_runtime
+
+echo
+echo "== check.sh: all configurations passed =="

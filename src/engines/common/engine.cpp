@@ -1,6 +1,16 @@
 #include "engines/common/engine.h"
 
+#include <stdexcept>
+
 namespace rfipc::engines {
+
+void ClassifierEngine::classify_batch(std::span<const net::HeaderBits> headers,
+                                      std::span<MatchResult> results) const {
+  if (headers.size() != results.size()) {
+    throw std::invalid_argument("classify_batch: span size mismatch");
+  }
+  for (std::size_t i = 0; i < headers.size(); ++i) results[i] = classify(headers[i]);
+}
 
 bool ClassifierEngine::insert_rule(std::size_t /*index*/, const ruleset::Rule& /*rule*/) {
   return false;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "net/header.h"
@@ -28,6 +29,14 @@ class ClassifierEngine {
 
   /// Classifies a packed header.
   virtual MatchResult classify(const net::HeaderBits& header) const = 0;
+
+  /// Classifies headers[i] into results[i] for every i; the spans must
+  /// have equal length. Default: a loop over classify(). The hot
+  /// engines (linear, StrideBV, TCAM) override it with tight
+  /// non-virtual inner loops that reuse scratch vectors across packets
+  /// — the software batch path the runtime layer builds on.
+  virtual void classify_batch(std::span<const net::HeaderBits> headers,
+                              std::span<MatchResult> results) const;
 
   /// True when classify() fills MatchResult::multi.
   virtual bool supports_multi_match() const { return false; }

@@ -1,5 +1,6 @@
 #include "engines/common/factory.h"
 
+#include <array>
 #include <stdexcept>
 
 #include "engines/baselines/hicuts_lite.h"
@@ -23,61 +24,124 @@ unsigned parse_stride(const std::string& spec, std::size_t colon) {
   return static_cast<unsigned>(*k);
 }
 
+// THE single source of truth for engine specs. make_engine() dispatch,
+// known_engine_specs(), and engine_spec_help() are all derived from
+// this table, so the accepted kinds and the documented kinds cannot
+// drift apart. To add an engine, add one row here.
+struct SpecEntry {
+  std::string_view kind;  // spec prefix before the optional ':' suffix
+  // Example specs advertised by known_engine_specs() (empty = unused).
+  std::array<std::string_view, 2> examples;
+  std::string_view help;  // one-line syntax + meaning for help text
+  EnginePtr (*build)(const std::string& spec, std::size_t colon, ruleset::RuleSet rules);
+};
+
+constexpr SpecEntry kSpecTable[] = {
+    {"linear",
+     {"linear", ""},
+     "golden priority-ordered linear scan (reference)",
+     [](const std::string&, std::size_t, ruleset::RuleSet rules) -> EnginePtr {
+       return std::make_unique<LinearSearchEngine>(std::move(rules));
+     }},
+    {"tcam",
+     {"tcam", ""},
+     "functional FPGA TCAM (ternary entries, ranges prefix-expanded)",
+     [](const std::string&, std::size_t, ruleset::RuleSet rules) -> EnginePtr {
+       return std::make_unique<tcam::TcamEngine>(std::move(rules));
+     }},
+    {"stridebv",
+     {"stridebv:3", "stridebv:4"},
+     "StrideBV pipeline; :k = stride width 1..8 (default 4)",
+     [](const std::string& spec, std::size_t colon, ruleset::RuleSet rules) -> EnginePtr {
+       return std::make_unique<stridebv::StrideBVEngine>(
+           std::move(rules), stridebv::StrideBVConfig{parse_stride(spec, colon)});
+     }},
+    {"stridebv-re",
+     {"stridebv-re:4", ""},
+     "StrideBV with explicit port-range modules; :k = stride width",
+     [](const std::string& spec, std::size_t colon, ruleset::RuleSet rules) -> EnginePtr {
+       return std::make_unique<stridebv::StrideBVRangeEngine>(
+           std::move(rules), stridebv::StrideBVConfig{parse_stride(spec, colon)});
+     }},
+    {"hicuts",
+     {"hicuts", ""},
+     "HiCuts-lite decision tree (feature-RELIANT baseline)",
+     [](const std::string&, std::size_t, ruleset::RuleSet rules) -> EnginePtr {
+       return std::make_unique<baselines::HiCutsLiteEngine>(std::move(rules));
+     }},
+    {"fsbv-hybrid",
+     {"fsbv-hybrid", ""},
+     "per-field FSBV port planes + fabric-TCAM slice for SIP/DIP/PRT",
+     [](const std::string&, std::size_t, ruleset::RuleSet rules) -> EnginePtr {
+       return std::make_unique<hybrid::FsbvHybridEngine>(std::move(rules));
+     }},
+    {"bv",
+     {"bv", ""},
+     "decomposition bit-vector engine (per-field elementary intervals)",
+     [](const std::string&, std::size_t, ruleset::RuleSet rules) -> EnginePtr {
+       return std::make_unique<bv::BvDecompositionEngine>(std::move(rules));
+     }},
+    {"abv",
+     {"abv:64", ""},
+     "aggregated bit-vector overlay; :a = chunk size >= 2 (default 32)",
+     [](const std::string& spec, std::size_t colon, ruleset::RuleSet rules) -> EnginePtr {
+       bv::AbvConfig cfg;
+       if (colon != std::string::npos) {
+         const auto a = util::parse_u64(std::string_view(spec).substr(colon + 1), 4096);
+         if (!a || *a < 2) throw std::invalid_argument("bad chunk size in spec: " + spec);
+         cfg.chunk_bits = static_cast<unsigned>(*a);
+       }
+       return std::make_unique<bv::AbvEngine>(std::move(rules), cfg);
+     }},
+    {"tcam-part",
+     {"tcam-part:3", ""},
+     "partitioned TCAM with bank power gating; :b = DIP index bits 1..12",
+     [](const std::string& spec, std::size_t colon, ruleset::RuleSet rules) -> EnginePtr {
+       unsigned bits = 3;
+       if (colon != std::string::npos) {
+         const auto b = util::parse_u64(std::string_view(spec).substr(colon + 1), 12);
+         if (!b || *b < 1) throw std::invalid_argument("bad index bits in spec: " + spec);
+         bits = static_cast<unsigned>(*b);
+       }
+       return std::make_unique<tcam::PartitionedTcamEngine>(
+           std::move(rules), tcam::PartitionedTcamConfig{bits});
+     }},
+};
+
 }  // namespace
 
 EnginePtr make_engine(const std::string& spec, ruleset::RuleSet rules) {
   const std::size_t colon = spec.find(':');
-  const std::string kind = spec.substr(0, colon);
-  if (kind == "linear") {
-    return std::make_unique<LinearSearchEngine>(std::move(rules));
+  const std::string_view kind = std::string_view(spec).substr(0, colon);
+  for (const auto& entry : kSpecTable) {
+    if (entry.kind == kind) return entry.build(spec, colon, std::move(rules));
   }
-  if (kind == "tcam") {
-    return std::make_unique<tcam::TcamEngine>(std::move(rules));
+  std::string known;
+  for (const auto& entry : kSpecTable) {
+    if (!known.empty()) known += ", ";
+    known += entry.kind;
   }
-  if (kind == "stridebv") {
-    return std::make_unique<stridebv::StrideBVEngine>(
-        std::move(rules), stridebv::StrideBVConfig{parse_stride(spec, colon)});
-  }
-  if (kind == "stridebv-re") {
-    return std::make_unique<stridebv::StrideBVRangeEngine>(
-        std::move(rules), stridebv::StrideBVConfig{parse_stride(spec, colon)});
-  }
-  if (kind == "hicuts") {
-    return std::make_unique<baselines::HiCutsLiteEngine>(std::move(rules));
-  }
-  if (kind == "fsbv-hybrid") {
-    return std::make_unique<hybrid::FsbvHybridEngine>(std::move(rules));
-  }
-  if (kind == "bv") {
-    return std::make_unique<bv::BvDecompositionEngine>(std::move(rules));
-  }
-  if (kind == "abv") {
-    // Suffix selects the aggregation chunk size, e.g. "abv:32".
-    bv::AbvConfig cfg;
-    if (colon != std::string::npos) {
-      const auto a = util::parse_u64(std::string_view(spec).substr(colon + 1), 4096);
-      if (!a || *a < 2) throw std::invalid_argument("bad chunk size in spec: " + spec);
-      cfg.chunk_bits = static_cast<unsigned>(*a);
-    }
-    return std::make_unique<bv::AbvEngine>(std::move(rules), cfg);
-  }
-  if (kind == "tcam-part") {
-    // Suffix selects the DIP index bits, e.g. "tcam-part:4".
-    unsigned bits = 3;
-    if (colon != std::string::npos) {
-      const auto b = util::parse_u64(std::string_view(spec).substr(colon + 1), 12);
-      if (!b || *b < 1) throw std::invalid_argument("bad index bits in spec: " + spec);
-      bits = static_cast<unsigned>(*b);
-    }
-    return std::make_unique<tcam::PartitionedTcamEngine>(
-        std::move(rules), tcam::PartitionedTcamConfig{bits});
-  }
-  throw std::invalid_argument("unknown engine spec: " + spec);
+  throw std::invalid_argument("unknown engine spec: " + spec + " (known: " + known + ")");
 }
 
 std::vector<std::string> known_engine_specs() {
-  return {"linear",        "tcam",   "stridebv:3",  "stridebv:4",  "stridebv-re:4",
-          "hicuts",        "bv",     "abv:64",      "fsbv-hybrid", "tcam-part:3"};
+  std::vector<std::string> specs;
+  for (const auto& entry : kSpecTable) {
+    for (const auto& ex : entry.examples) {
+      if (!ex.empty()) specs.emplace_back(ex);
+    }
+  }
+  return specs;
+}
+
+std::string engine_spec_help() {
+  std::string help;
+  for (const auto& entry : kSpecTable) {
+    help.append("  ").append(entry.kind);
+    help.append(entry.kind.size() < 12 ? 12 - entry.kind.size() : 1, ' ');
+    help.append(entry.help).append("\n");
+  }
+  return help;
 }
 
 }  // namespace rfipc::engines

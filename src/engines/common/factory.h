@@ -9,13 +9,20 @@
 
 namespace rfipc::engines {
 
-/// Engine spec strings accepted by make_engine():
-///   "linear", "tcam", "stridebv:k" (k = 1..8, e.g. "stridebv:4"),
-///   "stridebv-re:k", "hicuts".
-/// Throws std::invalid_argument on an unknown spec.
+/// Builds the engine selected by a spec string of the form
+/// "kind" or "kind:suffix". The accepted kinds live in ONE spec table
+/// in factory.cpp; query them at runtime via known_engine_specs() (one
+/// buildable example per variant) or engine_spec_help() (kind + syntax
+/// + one-line description) rather than trusting any hand-written list.
+/// Throws std::invalid_argument on an unknown spec or a bad suffix.
 EnginePtr make_engine(const std::string& spec, ruleset::RuleSet rules);
 
-/// All specs make_engine accepts (with default strides), for help text.
+/// Example specs covering every engine in the spec table (derived from
+/// the same table make_engine() dispatches on, so it cannot drift).
 std::vector<std::string> known_engine_specs();
+
+/// Human-readable spec reference for CLI help text, one line per
+/// engine kind, derived from the spec table.
+std::string engine_spec_help();
 
 }  // namespace rfipc::engines

@@ -1,5 +1,7 @@
 #include "engines/common/linear_engine.h"
 
+#include <stdexcept>
+
 namespace rfipc::engines {
 
 MatchResult LinearSearchEngine::classify(const net::HeaderBits& header) const {
@@ -13,6 +15,26 @@ MatchResult LinearSearchEngine::classify(const net::HeaderBits& header) const {
     }
   }
   return r;
+}
+
+void LinearSearchEngine::classify_batch(std::span<const net::HeaderBits> headers,
+                                        std::span<MatchResult> results) const {
+  if (headers.size() != results.size()) {
+    throw std::invalid_argument("classify_batch: span size mismatch");
+  }
+  const auto& rules = rules_.rules();
+  for (std::size_t p = 0; p < headers.size(); ++p) {
+    const net::FiveTuple t = headers[p].unpack();
+    MatchResult& r = results[p];
+    r.best = MatchResult::kNoMatch;
+    r.multi = util::BitVector(rules.size());
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i].matches(t)) {
+        r.multi.set(i);
+        if (r.best == MatchResult::kNoMatch) r.best = i;
+      }
+    }
+  }
 }
 
 bool LinearSearchEngine::insert_rule(std::size_t index, const ruleset::Rule& rule) {

@@ -17,6 +17,8 @@ class LinearSearchEngine final : public ClassifierEngine {
   bool supports_update() const override { return true; }
 
   MatchResult classify(const net::HeaderBits& header) const override;
+  void classify_batch(std::span<const net::HeaderBits> headers,
+                      std::span<MatchResult> results) const override;
   bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
   bool erase_rule(std::size_t index) override;
 

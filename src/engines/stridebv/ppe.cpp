@@ -40,4 +40,37 @@ std::size_t PipelinedPriorityEncoder::encode(const util::BitVector& bv) const {
   return regs[0].valid ? regs[0].index : util::BitVector::npos;
 }
 
+std::size_t PipelinedPriorityEncoder::encode(const util::BitVector& bv,
+                                             std::span<const std::size_t> tags) const {
+  if (bv.size() != width_ || tags.size() != width_) {
+    throw std::invalid_argument("PipelinedPriorityEncoder::encode: width mismatch");
+  }
+  // Same tournament as encode(bv), but each register also carries its
+  // leaf's priority tag and the 2:1 mux compares tags, not positions.
+  struct Candidate {
+    bool valid;
+    std::size_t index;
+  };
+  std::vector<Candidate> regs(width_);
+  for (std::size_t i = 0; i < width_; ++i) regs[i] = {bv.test(i), i};
+
+  std::size_t live = width_;
+  for (unsigned stage = 0; stage < num_stages_; ++stage) {
+    const std::size_t next_live = (live + 1) / 2;
+    for (std::size_t i = 0; i < next_live; ++i) {
+      const Candidate& a = regs[2 * i];
+      const Candidate b = (2 * i + 1 < live) ? regs[2 * i + 1] : Candidate{false, 0};
+      if (!a.valid) {
+        regs[i] = b;
+      } else if (!b.valid || tags[a.index] <= tags[b.index]) {
+        regs[i] = a;
+      } else {
+        regs[i] = b;
+      }
+    }
+    live = next_live;
+  }
+  return regs[0].valid ? regs[0].index : util::BitVector::npos;
+}
+
 }  // namespace rfipc::engines::stridebv

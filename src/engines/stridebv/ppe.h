@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "util/bitvector.h"
 
@@ -32,6 +33,16 @@ class PipelinedPriorityEncoder {
   /// Runs the staged reduction. Returns the lowest set index or
   /// BitVector::npos. `bv.size()` must equal width().
   std::size_t encode(const util::BitVector& bv) const;
+
+  /// Tag-mapped reduction: leaf i carries priority tag tags[i] and the
+  /// tournament prefers the SMALLEST tag (ties keep the left operand).
+  /// Returns the winning index or npos. This is the update-capable PPE
+  /// variant whose registers carry (valid, index, tag) triples, so the
+  /// stage memory may keep entry columns in arbitrary physical order —
+  /// an inserted rule only writes its own column plus this mapping,
+  /// never shifting its neighbours. `tags.size()` must equal width().
+  std::size_t encode(const util::BitVector& bv,
+                     std::span<const std::size_t> tags) const;
 
  private:
   std::size_t width_;

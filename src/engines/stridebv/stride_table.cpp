@@ -63,6 +63,13 @@ void StrideTable::clear_entry(std::size_t index) {
   }
 }
 
+std::size_t StrideTable::append_entry(const ruleset::TernaryWord& entry) {
+  const std::size_t index = width_++;
+  for (auto& bv : table_) bv.resize(width_);
+  set_entry(index, entry);
+  return index;
+}
+
 std::uint64_t StrideTable::memory_bits() const {
   return static_cast<std::uint64_t>(num_stages_) * vectors_per_stage() * width_;
 }

@@ -48,6 +48,12 @@ class StrideTable {
   /// Clears entry `index` everywhere (the entry matches nothing).
   void clear_entry(std::size_t index);
 
+  /// Widens every stage vector by one column and derives the new
+  /// column (index = previous width()) from `entry`. Cost is
+  /// O(2^k · stages), independent of the number of existing entries.
+  /// Returns the new entry's index.
+  std::size_t append_entry(const ruleset::TernaryWord& entry);
+
   /// Total stage-memory bits: S * 2^k * M — the paper's StrideBV memory
   /// requirement (Figure 7, before RAM-block rounding).
   std::uint64_t memory_bits() const;

@@ -1,5 +1,6 @@
 #include "engines/stridebv/stridebv_engine.h"
 
+#include <bit>
 #include <stdexcept>
 
 namespace rfipc::engines::stridebv {
@@ -38,6 +39,8 @@ void StrideBVEngine::rebuild() {
   Lowered low = lower(rules_);
   entries_ = std::move(low.entries);
   entry_rule_ = std::move(low.entry_rule);
+  free_slots_.clear();
+  live_entries_ = entries_.size();
   table_ = StrideTable(entries_, config_.stride);
   ppe_ = PipelinedPriorityEncoder(entries_.size());
 }
@@ -48,7 +51,8 @@ std::string StrideBVEngine::name() const {
 
 util::BitVector StrideBVEngine::match_entries(const net::HeaderBits& header) const {
   // BVP enters stage 0 as all-ones (Figure 2); each stage ANDs the
-  // vector its stride value addresses in stage memory.
+  // vector its stride value addresses in stage memory. Erased columns
+  // are all-zero in every stage, so they drop out at stage 0.
   util::BitVector bv(entries_.size(), true);
   for (unsigned s = 0; s < table_.num_stages(); ++s) {
     bv.and_with(table_.bv(s, table_.stride_value(header, s)));
@@ -56,10 +60,32 @@ util::BitVector StrideBVEngine::match_entries(const net::HeaderBits& header) con
   return bv;
 }
 
+void StrideBVEngine::fold_entries(const util::BitVector& entry_bv,
+                                  MatchResult& out) const {
+  out.best = MatchResult::kNoMatch;
+  out.multi = util::BitVector(rules_.size());
+  // Word-wise scan of the entry vector: physical order is not priority
+  // order after updates, so track the minimum rule index while folding.
+  const auto words = entry_bv.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t word = words[w];
+    while (word != 0) {
+      const std::size_t e = w * util::kWordBits +
+                            static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      const std::size_t rule = entry_rule_[e];
+      out.multi.set(rule);
+      if (rule < out.best) out.best = rule;
+    }
+  }
+}
+
 MatchResult StrideBVEngine::classify(const net::HeaderBits& header) const {
   const util::BitVector entry_bv = match_entries(header);
   MatchResult r;
-  const std::size_t best_entry = ppe_.encode(entry_bv);
+  // Tag-mapped PPE: priority is the entry's rule index, not its
+  // physical column position.
+  const std::size_t best_entry = ppe_.encode(entry_bv, entry_rule_);
   if (best_entry != util::BitVector::npos) r.best = entry_rule_[best_entry];
   // Fold entry bits onto rule indices for the multi-match report.
   r.multi = util::BitVector(rules_.size());
@@ -70,17 +96,71 @@ MatchResult StrideBVEngine::classify(const net::HeaderBits& header) const {
   return r;
 }
 
+void StrideBVEngine::classify_batch(std::span<const net::HeaderBits> headers,
+                                    std::span<MatchResult> results) const {
+  if (headers.size() != results.size()) {
+    throw std::invalid_argument("classify_batch: span size mismatch");
+  }
+  // One scratch entry vector reused across the whole batch; priority
+  // extraction is the word-scan fold (functionally identical to the
+  // staged PPE, which models hardware structure, not software speed).
+  util::BitVector bv(entries_.size());
+  for (std::size_t p = 0; p < headers.size(); ++p) {
+    bv.set_all();
+    for (unsigned s = 0; s < table_.num_stages(); ++s) {
+      bv.and_with(table_.bv(s, table_.stride_value(headers[p], s)));
+    }
+    fold_entries(bv, results[p]);
+  }
+}
+
 bool StrideBVEngine::insert_rule(std::size_t index, const ruleset::Rule& rule) {
   if (index > rules_.size()) return false;
   rules_.insert(index, rule);
-  rebuild();
+  // Retag: rules at or below the insertion point move down one priority
+  // slot. Pure bookkeeping on the PPE mapping — no stage memory traffic.
+  for (auto& r : entry_rule_) {
+    if (r != kFreeSlot && r >= index) ++r;
+  }
+  // Write only the new rule's columns: reuse erased slots when
+  // available, otherwise widen each stage vector by one column.
+  const std::size_t old_width = entries_.size();
+  for (const auto& e : ruleset::rule_to_ternary(rule)) {
+    if (!free_slots_.empty()) {
+      const std::size_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      entries_[slot] = e;
+      entry_rule_[slot] = index;
+      table_.set_entry(slot, e);
+    } else {
+      entries_.push_back(e);
+      entry_rule_.push_back(index);
+      table_.append_entry(e);
+    }
+    ++live_entries_;
+  }
+  // The PPE tree only depends on the physical width; steady-state
+  // inserts that recycle erased columns keep it untouched.
+  if (entries_.size() != old_width) ppe_ = PipelinedPriorityEncoder(entries_.size());
   return true;
 }
 
 bool StrideBVEngine::erase_rule(std::size_t index) {
   if (index >= rules_.size()) return false;
   rules_.erase(index);
-  rebuild();
+  // Zero the erased rule's columns and retag the rest — again, only the
+  // affected columns touch stage memory.
+  for (std::size_t e = 0; e < entry_rule_.size(); ++e) {
+    if (entry_rule_[e] == kFreeSlot) continue;
+    if (entry_rule_[e] == index) {
+      table_.clear_entry(e);
+      entry_rule_[e] = kFreeSlot;
+      free_slots_.push_back(e);
+      --live_entries_;
+    } else if (entry_rule_[e] > index) {
+      --entry_rule_[e];
+    }
+  }
   return true;
 }
 

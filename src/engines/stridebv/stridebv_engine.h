@@ -4,13 +4,20 @@
 // to prefix blocks — the same lowering a TCAM needs, and what this
 // paper means by "employs the FSBV algorithm for the entire rule").
 // Classification walks the ceil(104/k) stride stages, ANDing one
-// M-bit vector per stage, then the PPE extracts the lowest set entry,
-// which maps back to its originating rule.
+// M-bit vector per stage, then the PPE extracts the best entry, which
+// maps back to its originating rule.
 //
-// Entry order is rule order (stable across a rule's expansion), so
-// entry priority order == rule priority order and the PPE result is the
-// highest-priority rule. Multi-match is the entry vector folded onto
-// rule indices.
+// Dynamic updates (paper Section IV-C) are truly incremental: entry
+// columns live in stable physical slots, and inserting or erasing a
+// rule rewrites ONLY the affected columns — one 2^k-word column patch
+// per stage via StrideTable::set_entry/append_entry — plus the PPE's
+// priority-tag mapping. Nothing else is touched; there is no full
+// rebuild. Erased columns are zeroed (they can never match again) and
+// recycled by later insertions through a free list, so physical entry
+// order is allocation order, not priority order; the tag-mapped PPE
+// restores priority semantics by comparing rule indices instead of
+// column positions. Multi-match is the entry vector folded onto rule
+// indices.
 #pragma once
 
 #include <vector>
@@ -36,11 +43,19 @@ class StrideBVEngine final : public ClassifierEngine {
   bool supports_update() const override { return true; }
 
   MatchResult classify(const net::HeaderBits& header) const override;
+  void classify_batch(std::span<const net::HeaderBits> headers,
+                      std::span<MatchResult> results) const override;
+  /// Incremental update: patches the new entry columns and the PPE tag
+  /// mapping; cost does not depend on the stage-memory width W or on a
+  /// rebuild of the other N-1 rules' columns.
   bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
   bool erase_rule(std::size_t index) override;
 
-  /// Ternary entries after range lowering (>= rule_count()).
-  std::size_t entry_count() const { return entries_.size(); }
+  /// Live ternary entries after range lowering (>= rule_count()).
+  std::size_t entry_count() const { return live_entries_; }
+  /// Physical entry columns allocated in stage memory (>= entry_count();
+  /// the difference is erased columns awaiting reuse).
+  std::size_t physical_entry_count() const { return entries_.size(); }
   unsigned stride() const { return config_.stride; }
   unsigned num_stages() const { return table_.num_stages(); }
   /// Stride stages + PPE stages: the pipeline depth a packet traverses
@@ -50,8 +65,10 @@ class StrideBVEngine final : public ClassifierEngine {
 
   const StrideTable& table() const { return table_; }
   const ruleset::RuleSet& rules() const { return rules_; }
-  /// Rule index that entry e belongs to.
+  /// Rule index that physical entry e belongs to, or kFreeSlot for an
+  /// erased (all-zero) column.
   std::size_t entry_rule(std::size_t e) const { return entry_rule_[e]; }
+  static constexpr std::size_t kFreeSlot = static_cast<std::size_t>(-1);
 
   /// The raw multi-match ENTRY vector for a header (before folding onto
   /// rules) — exposed for the cycle-level pipeline simulation and tests.
@@ -59,11 +76,14 @@ class StrideBVEngine final : public ClassifierEngine {
 
  private:
   void rebuild();
+  void fold_entries(const util::BitVector& entry_bv, MatchResult& out) const;
 
   ruleset::RuleSet rules_;
   StrideBVConfig config_;
-  std::vector<ruleset::TernaryWord> entries_;
-  std::vector<std::size_t> entry_rule_;
+  std::vector<ruleset::TernaryWord> entries_;  // physical slot -> entry
+  std::vector<std::size_t> entry_rule_;        // physical slot -> rule (PPE tags)
+  std::vector<std::size_t> free_slots_;        // erased columns, reusable
+  std::size_t live_entries_ = 0;
   StrideTable table_;
   PipelinedPriorityEncoder ppe_;
 };

@@ -41,6 +41,28 @@ MatchResult TcamEngine::classify(const net::HeaderBits& header) const {
   return r;
 }
 
+void TcamEngine::classify_batch(std::span<const net::HeaderBits> headers,
+                                std::span<MatchResult> results) const {
+  if (headers.size() != results.size()) {
+    throw std::invalid_argument("classify_batch: span size mismatch");
+  }
+  for (std::size_t p = 0; p < headers.size(); ++p) {
+    const net::HeaderBits& h = headers[p];
+    MatchResult& r = results[p];
+    r.best = MatchResult::kNoMatch;
+    r.multi = util::BitVector(rules_.size());
+    // Non-virtual inner loop; fold match lines onto rules on the fly
+    // instead of materializing the per-entry vector.
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      if (entries_[e].matches(h)) {
+        const std::size_t rule = entry_rule_[e];
+        r.multi.set(rule);
+        if (r.best == MatchResult::kNoMatch || rule < r.best) r.best = rule;
+      }
+    }
+  }
+}
+
 bool TcamEngine::insert_rule(std::size_t index, const ruleset::Rule& rule) {
   if (index > rules_.size()) return false;
   rules_.insert(index, rule);

@@ -24,6 +24,8 @@ class TcamEngine final : public ClassifierEngine {
   bool supports_update() const override { return true; }
 
   MatchResult classify(const net::HeaderBits& header) const override;
+  void classify_batch(std::span<const net::HeaderBits> headers,
+                      std::span<MatchResult> results) const override;
   bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
   bool erase_rule(std::size_t index) override;
 

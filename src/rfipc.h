@@ -43,6 +43,9 @@
 #include "engines/tcam/srl16_model.h"
 #include "engines/tcam/tcam_engine.h"
 
+#include "runtime/sharded_classifier.h"
+#include "runtime/stats.h"
+
 #include "flow/generic.h"
 #include "flow/schema.h"
 

@@ -1,0 +1,160 @@
+#include "runtime/sharded_classifier.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "engines/common/factory.h"
+
+namespace rfipc::runtime {
+namespace {
+
+using engines::MatchResult;
+
+std::size_t clamped_shards(std::size_t requested, std::size_t rules) {
+  if (requested == 0) requested = 1;
+  return requested < rules ? requested : rules;
+}
+
+std::size_t pool_threads(const ShardedConfig& cfg, std::size_t shards) {
+  if (cfg.threads != 0) return cfg.threads;
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return shards < hw ? shards : hw;
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - since)
+                                        .count());
+}
+
+}  // namespace
+
+ShardedClassifier::ShardedClassifier(ruleset::RuleSet rules, ShardedConfig config)
+    : spec_(config.engine_spec),
+      pool_(pool_threads(config, clamped_shards(config.shards, rules.size()))),
+      stats_(clamped_shards(config.shards, rules.size())) {
+  if (rules.empty()) throw std::invalid_argument("ShardedClassifier: empty ruleset");
+  const std::size_t shards = clamped_shards(config.shards, rules.size());
+  const std::size_t base = rules.size() / shards;
+  const std::size_t extra = rules.size() % shards;
+  bases_.push_back(0);
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    ruleset::RuleSet band;
+    for (std::size_t i = 0; i < len; ++i) band.add(rules[next + i]);
+    next += len;
+    bases_.push_back(next);
+    shards_.push_back(engines::make_engine(spec_, std::move(band)));
+  }
+}
+
+std::string ShardedClassifier::name() const {
+  return "Sharded[" + std::to_string(shards_.size()) + "x " + spec_ + "]";
+}
+
+bool ShardedClassifier::supports_multi_match() const {
+  for (const auto& s : shards_) {
+    if (!s->supports_multi_match()) return false;
+  }
+  return true;
+}
+
+bool ShardedClassifier::supports_update() const {
+  for (const auto& s : shards_) {
+    if (!s->supports_update()) return false;
+  }
+  return true;
+}
+
+MatchResult ShardedClassifier::classify(const net::HeaderBits& header) const {
+  // Single-packet path: walk the bands inline — pool dispatch would
+  // cost more than the lookups.
+  MatchResult out;
+  out.multi = util::BitVector(rule_count());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const MatchResult r = shards_[s]->classify(header);
+    if (r.has_match()) {
+      const std::size_t global = bases_[s] + r.best;
+      if (global < out.best) out.best = global;
+    }
+    for (std::size_t b = r.multi.first_set(); b != util::BitVector::npos;
+         b = r.multi.next_set(b + 1)) {
+      out.multi.set(bases_[s] + b);
+    }
+  }
+  stats_.record_batch(1, out.has_match() ? 1 : 0);
+  return out;
+}
+
+void ShardedClassifier::merge(std::span<const std::vector<MatchResult>> local,
+                              std::span<MatchResult> results) const {
+  std::uint64_t matched = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    MatchResult& out = results[i];
+    out.best = MatchResult::kNoMatch;
+    out.multi = util::BitVector(rule_count());
+    for (std::size_t s = 0; s < local.size(); ++s) {
+      const MatchResult& r = local[s][i];
+      if (r.has_match()) {
+        const std::size_t global = bases_[s] + r.best;
+        if (global < out.best) out.best = global;
+      }
+      for (std::size_t b = r.multi.first_set(); b != util::BitVector::npos;
+           b = r.multi.next_set(b + 1)) {
+        out.multi.set(bases_[s] + b);
+      }
+    }
+    if (out.has_match()) ++matched;
+  }
+  stats_.record_batch(results.size(), matched);
+}
+
+void ShardedClassifier::classify_batch(std::span<const net::HeaderBits> headers,
+                                       std::span<MatchResult> results) const {
+  if (headers.size() != results.size()) {
+    throw std::invalid_argument("classify_batch: span size mismatch");
+  }
+  if (headers.empty()) return;
+  std::vector<std::vector<MatchResult>> local(shards_.size());
+  pool_.parallel_for(shards_.size(), [&](std::size_t sb, std::size_t se) {
+    for (std::size_t s = sb; s < se; ++s) {
+      local[s].resize(headers.size());
+      const auto start = std::chrono::steady_clock::now();
+      shards_[s]->classify_batch(headers, local[s]);
+      stats_.record_shard_batch(s, elapsed_ns(start));
+    }
+  });
+  merge(local, results);
+}
+
+std::size_t ShardedClassifier::owning_shard(std::size_t g) const {
+  std::size_t s = shards_.size() - 1;
+  while (s > 0 && g < bases_[s]) --s;
+  return s;
+}
+
+bool ShardedClassifier::insert_rule(std::size_t index, const ruleset::Rule& rule) {
+  if (index > rule_count()) return false;
+  const std::size_t s =
+      index == rule_count() ? shards_.size() - 1 : owning_shard(index);
+  if (!shards_[s]->insert_rule(index - bases_[s], rule)) return false;
+  for (std::size_t t = s + 1; t < bases_.size(); ++t) ++bases_[t];
+  stats_.record_update();
+  return true;
+}
+
+bool ShardedClassifier::erase_rule(std::size_t index) {
+  if (index >= rule_count()) return false;
+  const std::size_t s = owning_shard(index);
+  // A shard engine must never go empty (engines reject empty rulesets).
+  if (shard_size(s) <= 1) return false;
+  if (!shards_[s]->erase_rule(index - bases_[s])) return false;
+  for (std::size_t t = s + 1; t < bases_.size(); ++t) --bases_[t];
+  stats_.record_update();
+  return true;
+}
+
+}  // namespace rfipc::runtime

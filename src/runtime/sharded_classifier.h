@@ -1,0 +1,86 @@
+// Batched, sharded classification runtime — the software analogue of
+// the paper's Section IV-A multi-pipeline packing.
+//
+// The ruleset is partitioned into S contiguous priority bands; band s
+// becomes an independent shard engine (any spec the factory accepts, so
+// a shard is "one pipeline" of whichever architecture you pick). A
+// batch of packed headers is classified by every shard — in parallel on
+// a util::ThreadPool — and the per-shard results are merged back by
+// GLOBAL priority: the winning rule is the matching shard-local winner
+// with the smallest global index, and the multi-match vector is the
+// union of the shard vectors rebased to global rule indices.
+//
+// Because bands are contiguous, shard-local priority order IS global
+// priority order within a band, so merging needs no per-rule
+// comparisons beyond one min per shard. Updates route to the owning
+// band (shifting later bands' bases), mirroring how a hardware
+// multi-pipeline deployment would patch exactly one pipeline.
+//
+// Concurrency contract: concurrent classify()/classify_batch() calls
+// are safe; updates must be externally serialized against lookups (the
+// same stall-one-port discipline the hardware update path imposes).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engines/common/engine.h"
+#include "runtime/stats.h"
+#include "util/thread_pool.h"
+
+namespace rfipc::runtime {
+
+struct ShardedConfig {
+  /// Number of shards (pipelines). Clamped to the rule count so no
+  /// shard starts empty.
+  std::size_t shards = 4;
+  /// Factory spec every shard engine is built from.
+  std::string engine_spec = "stridebv:4";
+  /// Worker threads; 0 = min(shards, hardware_concurrency).
+  std::size_t threads = 0;
+};
+
+class ShardedClassifier final : public engines::ClassifierEngine {
+ public:
+  ShardedClassifier(ruleset::RuleSet rules, ShardedConfig config = {});
+
+  std::string name() const override;
+  std::size_t rule_count() const override { return bases_.back(); }
+  bool supports_multi_match() const override;
+  bool supports_update() const override;
+
+  engines::MatchResult classify(const net::HeaderBits& header) const override;
+  void classify_batch(std::span<const net::HeaderBits> headers,
+                      std::span<engines::MatchResult> results) const override;
+
+  /// Routes to the band owning global priority `index`; later bands'
+  /// bases shift. Fails (false) when the shard engine rejects the
+  /// update or, for erase, when it would empty a shard.
+  bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
+  bool erase_rule(std::size_t index) override;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Rules currently owned by shard s.
+  std::size_t shard_size(std::size_t s) const { return bases_[s + 1] - bases_[s]; }
+  const engines::ClassifierEngine& shard(std::size_t s) const { return *shards_[s]; }
+
+  const RuntimeStats& stats() const { return stats_; }
+  StatsSnapshot stats_snapshot() const { return stats_.snapshot(); }
+  void reset_stats() const { stats_.reset(); }
+
+ private:
+  /// Index of the band with bases_[s] <= g < bases_[s+1] (g == total
+  /// maps to the last band, for end insertion).
+  std::size_t owning_shard(std::size_t g) const;
+  void merge(std::span<const std::vector<engines::MatchResult>> local,
+             std::span<engines::MatchResult> results) const;
+
+  std::string spec_;
+  std::vector<engines::EnginePtr> shards_;
+  std::vector<std::size_t> bases_;  // bases_[s] = global index of shard s's rule 0
+  mutable util::ThreadPool pool_;
+  mutable RuntimeStats stats_;
+};
+
+}  // namespace rfipc::runtime

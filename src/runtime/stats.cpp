@@ -1,0 +1,99 @@
+#include "runtime/stats.h"
+
+#include <bit>
+
+namespace rfipc::runtime {
+namespace {
+
+constexpr std::size_t bucket_of(std::uint64_t ns) {
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(ns));
+  return b < LatencyHistogram::kBuckets ? b : LatencyHistogram::kBuckets - 1;
+}
+
+/// Geometric midpoint of bucket b's [2^(b-1), 2^b) range.
+constexpr std::uint64_t bucket_mid(std::size_t b) {
+  if (b == 0) return 0;
+  const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+  return lo + lo / 2;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t LatencyHistogram::quantile_ns(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th sample (1-based), then walk the buckets.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_mid(b);
+  }
+  return bucket_mid(kBuckets - 1);
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+RuntimeStats::RuntimeStats(std::size_t shards) : shard_latency_(shards) {}
+
+void RuntimeStats::record_batch(std::uint64_t packets, std::uint64_t matches) {
+  packets_.fetch_add(packets, std::memory_order_relaxed);
+  matches_.fetch_add(matches, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RuntimeStats::record_shard_batch(std::size_t shard, std::uint64_t latency_ns) {
+  shard_latency_[shard].record(latency_ns);
+}
+
+void RuntimeStats::record_update() { updates_.fetch_add(1, std::memory_order_relaxed); }
+
+StatsSnapshot RuntimeStats::snapshot() const {
+  StatsSnapshot s;
+  s.packets = packets_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.matches = matches_.load(std::memory_order_relaxed);
+  s.updates = updates_.load(std::memory_order_relaxed);
+  s.shards.reserve(shard_latency_.size());
+  for (const auto& h : shard_latency_) {
+    s.shards.push_back({h.count(), h.quantile_ns(0.50), h.quantile_ns(0.99)});
+  }
+  return s;
+}
+
+void RuntimeStats::reset() {
+  packets_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  matches_.store(0, std::memory_order_relaxed);
+  updates_.store(0, std::memory_order_relaxed);
+  for (auto& h : shard_latency_) h.reset();
+}
+
+std::string StatsSnapshot::to_string() const {
+  std::string out = "packets=" + std::to_string(packets) +
+                    " matches=" + std::to_string(matches) +
+                    " batches=" + std::to_string(batches) +
+                    " updates=" + std::to_string(updates);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    out += " shard" + std::to_string(s) + "{batches=" + std::to_string(shards[s].batches) +
+           " p50=" + std::to_string(shards[s].p50_ns) + "ns" +
+           " p99=" + std::to_string(shards[s].p99_ns) + "ns}";
+  }
+  return out;
+}
+
+}  // namespace rfipc::runtime

@@ -1,0 +1,82 @@
+// Runtime observability for the batch classification layer.
+//
+// RuntimeStats is the counters/latency layer every runtime component
+// shares: lock-free totals (packets, matches, batches, updates) plus a
+// log2-bucketed latency histogram per shard, cheap enough to leave on
+// in production paths. Examples and benches read a StatsSnapshot —
+// a plain struct — rather than poking the atomics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfipc::runtime {
+
+/// Lock-free histogram over nanosecond latencies. Bucket b counts
+/// samples in [2^(b-1), 2^b); quantiles report the geometric midpoint
+/// of the hit bucket, which is accurate enough for p50/p99 reporting.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(std::uint64_t ns);
+  std::uint64_t count() const;
+  /// Approximate q-quantile (q in [0, 1]) in nanoseconds; 0 when empty.
+  std::uint64_t quantile_ns(double q) const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Per-shard latency digest inside a snapshot.
+struct ShardLatency {
+  std::uint64_t batches = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+/// A point-in-time copy of every counter, safe to print or diff.
+struct StatsSnapshot {
+  std::uint64_t packets = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t updates = 0;
+  std::vector<ShardLatency> shards;
+
+  /// "packets=... matches=... updates=... shard0 p50=..us p99=..us ..."
+  std::string to_string() const;
+};
+
+class RuntimeStats {
+ public:
+  explicit RuntimeStats(std::size_t shards);
+
+  RuntimeStats(const RuntimeStats&) = delete;
+  RuntimeStats& operator=(const RuntimeStats&) = delete;
+
+  std::size_t shard_count() const { return shard_latency_.size(); }
+
+  /// One completed batch of `packets` headers, `matches` of which hit.
+  void record_batch(std::uint64_t packets, std::uint64_t matches);
+  /// One shard finished its slice of a batch in `latency_ns`.
+  void record_shard_batch(std::size_t shard, std::uint64_t latency_ns);
+  /// One rule insert/erase applied.
+  void record_update();
+
+  StatsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> packets_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> matches_{0};
+  std::atomic<std::uint64_t> updates_{0};
+  std::vector<LatencyHistogram> shard_latency_;
+};
+
+}  // namespace rfipc::runtime

@@ -4,6 +4,13 @@
 #include <exception>
 
 namespace rfipc::util {
+namespace {
+
+/// Pool whose worker_loop owns the calling thread, if any. Lets
+/// parallel_for detect re-entrant use from one of its own tasks.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -33,7 +40,10 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+bool ThreadPool::on_worker_thread() const { return t_current_pool == this; }
+
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -50,6 +60,12 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  // Nested use: every worker may already be busy running the task that
+  // called us, so queued chunks could wait forever. Run inline instead.
+  if (on_worker_thread()) {
+    fn(0, n);
+    return;
+  }
   const std::size_t chunks = std::min(n, workers_.size());
   if (chunks <= 1) {
     fn(0, n);

@@ -28,9 +28,16 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
   /// Runs fn(begin, end) over [0, n) split into roughly equal contiguous
   /// chunks (one per worker) and blocks until all chunks complete.
   /// Exceptions thrown by fn are rethrown (first one wins).
+  ///
+  /// Safe to call from inside one of this pool's own tasks: a nested
+  /// call runs the whole range inline on the calling worker instead of
+  /// queueing chunks no free worker could ever drain (which deadlocked).
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 

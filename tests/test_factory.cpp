@@ -24,6 +24,24 @@ TEST(Factory, StrideSuffixParsed) {
   EXPECT_EQ(make_engine("stridebv-re:2", rs)->name(), "StrideBV-RE(k=2)");
 }
 
+TEST(Factory, SpecListAndHelpDeriveFromOneTable) {
+  // Every engine kind the factory accepts must appear in BOTH the
+  // example list and the help text — they are generated from the same
+  // spec table, so a new engine cannot be registered half-way.
+  const auto specs = known_engine_specs();
+  EXPECT_GE(specs.size(), 10u);
+  const auto help = engine_spec_help();
+  for (const char* kind : {"linear", "tcam", "stridebv", "stridebv-re", "hicuts",
+                           "fsbv-hybrid", "bv", "abv", "tcam-part"}) {
+    bool listed = false;
+    for (const auto& s : specs) {
+      if (s.substr(0, s.find(':')) == kind) listed = true;
+    }
+    EXPECT_TRUE(listed) << kind << " missing from known_engine_specs()";
+    EXPECT_NE(help.find(kind), std::string::npos) << kind << " missing from help";
+  }
+}
+
 TEST(Factory, RejectsUnknown) {
   const auto rs = ruleset::RuleSet::table1_example();
   EXPECT_THROW(make_engine("quantum", rs), std::invalid_argument);

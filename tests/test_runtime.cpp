@@ -1,0 +1,207 @@
+// The batch/sharded classification runtime.
+//
+// ShardedClassifier must be observationally identical to one engine
+// over the whole ruleset (bands are contiguous priority slices, so the
+// merged result is exact, not approximate), classify_batch must equal
+// per-packet classify for EVERY factory spec, and the stats layer must
+// count what actually happened.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engines/common/factory.h"
+#include "engines/common/linear_engine.h"
+#include "runtime/sharded_classifier.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::runtime {
+namespace {
+
+using engines::MatchResult;
+
+std::vector<net::HeaderBits> packed_trace(const ruleset::RuleSet& rules,
+                                          std::size_t size, std::uint64_t seed) {
+  ruleset::TraceConfig cfg;
+  cfg.size = size;
+  cfg.seed = seed;
+  std::vector<net::HeaderBits> out;
+  out.reserve(size);
+  for (const auto& t : ruleset::generate_trace(rules, cfg)) out.emplace_back(t);
+  return out;
+}
+
+TEST(ShardedClassifier, AgreesWithGoldenAcrossShardCounts) {
+  for (const std::size_t n_rules : {5u, 64u, 257u}) {
+    const auto rules = ruleset::generate_firewall(n_rules, 11);
+    const engines::LinearSearchEngine golden(rules);
+    const auto headers = packed_trace(rules, 300, 21);
+    for (const std::size_t shards : {1u, 2u, 4u, 9u}) {
+      ShardedConfig cfg;
+      cfg.shards = shards;
+      cfg.engine_spec = "stridebv:4";
+      const ShardedClassifier sc(rules, cfg);
+      EXPECT_EQ(sc.rule_count(), rules.size());
+      std::vector<MatchResult> got(headers.size());
+      sc.classify_batch(headers, got);
+      for (std::size_t i = 0; i < headers.size(); ++i) {
+        const auto want = golden.classify(headers[i]);
+        ASSERT_EQ(got[i].best, want.best) << shards << " shards, packet " << i;
+        ASSERT_EQ(got[i].multi, want.multi) << shards << " shards, packet " << i;
+      }
+    }
+  }
+}
+
+TEST(ShardedClassifier, SinglePacketPathMatchesBatchPath) {
+  const auto rules = ruleset::generate_firewall(96, 5);
+  ShardedConfig cfg;
+  cfg.shards = 4;
+  const ShardedClassifier sc(rules, cfg);
+  const auto headers = packed_trace(rules, 100, 6);
+  std::vector<MatchResult> batch(headers.size());
+  sc.classify_batch(headers, batch);
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    const auto one = sc.classify(headers[i]);
+    EXPECT_EQ(one.best, batch[i].best);
+    EXPECT_EQ(one.multi, batch[i].multi);
+  }
+}
+
+TEST(ShardedClassifier, WorksWithEveryEngineSpec) {
+  const auto rules = ruleset::generate_firewall(48, 7);
+  const engines::LinearSearchEngine golden(rules);
+  const auto headers = packed_trace(rules, 120, 8);
+  for (const auto& spec : engines::known_engine_specs()) {
+    ShardedConfig cfg;
+    cfg.shards = 3;
+    cfg.engine_spec = spec;
+    const ShardedClassifier sc(rules, cfg);
+    std::vector<MatchResult> got(headers.size());
+    sc.classify_batch(headers, got);
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      ASSERT_EQ(got[i].best, golden.classify(headers[i]).best) << spec;
+    }
+  }
+}
+
+TEST(ShardedClassifier, ShardCountClampedToRules) {
+  const auto rules = ruleset::generate_firewall(3, 2);
+  ShardedConfig cfg;
+  cfg.shards = 16;
+  const ShardedClassifier sc(rules, cfg);
+  EXPECT_EQ(sc.shard_count(), 3u);
+  EXPECT_EQ(sc.name(), "Sharded[3x stridebv:4]");
+  for (std::size_t s = 0; s < sc.shard_count(); ++s) EXPECT_EQ(sc.shard_size(s), 1u);
+}
+
+TEST(ShardedClassifier, UpdatesRouteToOwningShardAndStayCorrect) {
+  auto mirror = ruleset::generate_firewall(64, 13);
+  ShardedConfig cfg;
+  cfg.shards = 4;
+  ShardedClassifier sc(mirror, cfg);
+
+  ruleset::GeneratorConfig ncfg;
+  ncfg.size = 12;
+  ncfg.seed = 31;
+  ncfg.default_rule = false;
+  const auto fresh = ruleset::generate(ncfg);
+  // Insertions across every band, including both edges (the last point
+  // is an append at rule_count()).
+  const std::size_t points[] = {0, 15, 16, 33, 63, 69};
+  for (std::size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(sc.insert_rule(points[i], fresh[i]));
+    mirror.insert(points[i], fresh[i]);
+  }
+  ASSERT_TRUE(sc.erase_rule(40));
+  mirror.erase(40);
+  ASSERT_TRUE(sc.erase_rule(0));
+  mirror.erase(0);
+  EXPECT_EQ(sc.rule_count(), mirror.size());
+  EXPECT_EQ(sc.stats_snapshot().updates, 8u);
+
+  const engines::LinearSearchEngine golden(mirror);
+  const auto headers = packed_trace(mirror, 250, 14);
+  std::vector<MatchResult> got(headers.size());
+  sc.classify_batch(headers, got);
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    const auto want = golden.classify(headers[i]);
+    ASSERT_EQ(got[i].best, want.best) << i;
+    ASSERT_EQ(got[i].multi, want.multi) << i;
+  }
+}
+
+TEST(ShardedClassifier, RefusesToEmptyAShard) {
+  const auto rules = ruleset::generate_firewall(4, 3);
+  ShardedConfig cfg;
+  cfg.shards = 4;
+  ShardedClassifier sc(rules, cfg);
+  EXPECT_FALSE(sc.erase_rule(2));  // every band holds exactly one rule
+  ASSERT_TRUE(sc.insert_rule(2, rules[0]));
+  EXPECT_TRUE(sc.erase_rule(2));  // band grew; erase is allowed again
+}
+
+TEST(ShardedClassifier, StatsCountPacketsBatchesAndMatches) {
+  const auto rules = ruleset::generate_firewall(32, 17);  // has default rule
+  ShardedConfig cfg;
+  cfg.shards = 2;
+  const ShardedClassifier sc(rules, cfg);
+  const auto headers = packed_trace(rules, 64, 18);
+  std::vector<MatchResult> out(headers.size());
+  sc.classify_batch(headers, out);
+  sc.classify_batch(headers, out);
+  auto snap = sc.stats_snapshot();
+  EXPECT_EQ(snap.packets, 128u);
+  EXPECT_EQ(snap.batches, 2u);
+  EXPECT_EQ(snap.matches, 128u);  // default rule catches everything
+  ASSERT_EQ(snap.shards.size(), 2u);
+  for (const auto& sh : snap.shards) {
+    EXPECT_EQ(sh.batches, 2u);
+    EXPECT_LE(sh.p50_ns, sh.p99_ns);
+    EXPECT_GT(sh.p99_ns, 0u);
+  }
+  EXPECT_FALSE(snap.to_string().empty());
+  sc.reset_stats();
+  EXPECT_EQ(sc.stats_snapshot().packets, 0u);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotoneAndBucketed) {
+  LatencyHistogram h;
+  for (std::uint64_t ns = 1; ns <= 1000; ++ns) h.record(ns);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_LE(h.quantile_ns(0.5), h.quantile_ns(0.99));
+  // p50 of 1..1000 is ~500 -> bucket [512,1024) midpoint 768; log2
+  // buckets are coarse but must land within 2x.
+  EXPECT_GE(h.quantile_ns(0.5), 256u);
+  EXPECT_LE(h.quantile_ns(0.5), 1024u);
+}
+
+// Satellite: classify_batch must equal per-packet classify for every
+// registered spec — both the overridden fast paths and the default.
+TEST(ClassifyBatch, EquivalentToPerPacketForEverySpec) {
+  const auto rules = ruleset::generate_firewall(56, 23);
+  const auto headers = packed_trace(rules, 150, 24);
+  for (const auto& spec : engines::known_engine_specs()) {
+    const auto engine = engines::make_engine(spec, rules);
+    std::vector<MatchResult> batch(headers.size());
+    engine->classify_batch(headers, batch);
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      const auto want = engine->classify(headers[i]);
+      ASSERT_EQ(batch[i].best, want.best) << spec << " packet " << i;
+      if (engine->supports_multi_match()) {
+        ASSERT_EQ(batch[i].multi, want.multi) << spec << " packet " << i;
+      }
+    }
+  }
+}
+
+TEST(ClassifyBatch, RejectsMismatchedSpans) {
+  const auto rules = ruleset::RuleSet::table1_example();
+  const auto engine = engines::make_engine("stridebv:4", rules);
+  const auto headers = packed_trace(rules, 4, 1);
+  std::vector<MatchResult> results(3);
+  EXPECT_THROW(engine->classify_batch(headers, results), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfipc::runtime

@@ -71,6 +71,47 @@ TEST(ThreadPool, ReusableAfterException) {
   EXPECT_EQ(ok.load(), 10);
 }
 
+// Regression: parallel_for from inside a worker used to enqueue chunks
+// that no free worker could drain — with every worker blocked in the
+// outer call, the pool deadlocked. Nested calls now run inline.
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64 * 32);
+  pool.parallel_for(64, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      EXPECT_TRUE(pool.on_worker_thread());
+      pool.parallel_for(32, [&, o](std::size_t ib, std::size_t ie) {
+        for (std::size_t i = ib; i < ie; ++i) hits[o * 32 + i]++;
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedExceptionStillPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(2,
+                                 [&](std::size_t, std::size_t) {
+                                   pool.parallel_for(4, [](std::size_t, std::size_t) {
+                                     throw std::runtime_error("inner");
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, OnWorkerThreadFalseOutside) {
+  ThreadPool a(2);
+  ThreadPool b(2);
+  EXPECT_FALSE(a.on_worker_thread());
+  // A worker of pool b is not a worker of pool a: its nested use of a
+  // must go through the normal queue, not the inline path. (n >= 2 so
+  // the chunks really run on b's workers, not inline on this thread.)
+  b.parallel_for(2, [&](std::size_t, std::size_t) {
+    EXPECT_TRUE(b.on_worker_thread());
+    EXPECT_FALSE(a.on_worker_thread());
+  });
+}
+
 TEST(ThreadPool, DefaultThreadCountPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
