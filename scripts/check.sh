@@ -3,7 +3,8 @@
 #   1. plain           — the default RelWithDebInfo build, full ctest
 #   2. address,undefined — ASan+UBSan build, full ctest
 #   3. thread          — TSan build, concurrency-sensitive tests only
-#      (thread pool + sharded runtime), since TSan triples runtimes
+#      (thread pool, RCU, sharded runtime, concurrent update stress,
+#      fault containment), since TSan triples runtimes
 # Each configuration uses its own build directory so the default
 # ./build stays untouched for development.
 set -euo pipefail
@@ -15,7 +16,9 @@ run() {
   echo "== ${dir} (RFIPC_SANITIZE='${sanitize}') =="
   cmake -B "${dir}" -S . -DRFIPC_SANITIZE="${sanitize}" >/dev/null
   cmake --build "${dir}" -j "$@"
-  (cd "${dir}" && ctest --output-on-failure -j "${CTEST_ARGS[@]}")
+  # -j needs an explicit value: a bare "-j" would swallow the next
+  # CTEST_ARGS element (e.g. -R) as its argument.
+  (cd "${dir}" && ctest --output-on-failure -j "$(nproc)" "${CTEST_ARGS[@]}")
 }
 
 CTEST_ARGS=()
@@ -24,8 +27,9 @@ run build ""
 CTEST_ARGS=()
 run build-asan "address,undefined"
 
-CTEST_ARGS=(-R 'test_thread_pool|test_runtime')
-run build-tsan "thread" --target test_thread_pool test_runtime
+CTEST_ARGS=(-R 'test_thread_pool|test_runtime|test_rcu|test_fault_containment')
+run build-tsan "thread" --target test_thread_pool test_runtime test_rcu \
+  test_runtime_concurrent test_fault_containment
 
 echo
 echo "== check.sh: all configurations passed =="

@@ -51,6 +51,13 @@ class ClassifierEngine {
   /// unsupported.
   virtual bool erase_rule(std::size_t index);
 
+  /// Deep copy of the engine's current state (rules + derived tables),
+  /// or nullptr when the engine cannot be copied. The concurrent
+  /// runtime clones a shard, patches the clone off the lookup path, and
+  /// publishes it via an RCU snapshot swap; engines without clone
+  /// support fall back to a factory rebuild from the shadow ruleset.
+  virtual std::unique_ptr<ClassifierEngine> clone() const { return nullptr; }
+
   /// Convenience: pack and classify a decoded 5-tuple.
   MatchResult classify_tuple(const net::FiveTuple& t) const {
     return classify(net::HeaderBits(t));

@@ -6,6 +6,7 @@
 #include "engines/baselines/hicuts_lite.h"
 #include "engines/bv/abv.h"
 #include "engines/bv/decomposition.h"
+#include "engines/common/fault_injector.h"
 #include "engines/common/linear_engine.h"
 #include "engines/hybrid/fsbv_hybrid.h"
 #include "engines/stridebv/range_engine.h"
@@ -16,6 +17,19 @@
 
 namespace rfipc::engines {
 namespace {
+
+/// First ':' at parenthesis depth 0 — the suffix separator. A nested
+/// spec like "faulty(stridebv:4):p=0.001" keeps its inner ':' intact.
+std::size_t spec_colon(const std::string& spec) {
+  int depth = 0;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const char c = spec[i];
+    if (c == '(') ++depth;
+    else if (c == ')') --depth;
+    else if (c == ':' && depth == 0) return i;
+  }
+  return std::string::npos;
+}
 
 unsigned parse_stride(const std::string& spec, std::size_t colon) {
   if (colon == std::string::npos) return 4;  // the paper's default stride
@@ -93,6 +107,24 @@ constexpr SpecEntry kSpecTable[] = {
        }
        return std::make_unique<bv::AbvEngine>(std::move(rules), cfg);
      }},
+    {"faulty",
+     {"faulty(linear):p=0", ""},
+     "fault-injection wrapper: faulty(spec):p=,mode=throw|corrupt|delay|mixed,seed=,delay_us=",
+     [](const std::string& spec, std::size_t colon, ruleset::RuleSet rules) -> EnginePtr {
+       const std::size_t open = spec.find('(');
+       const std::size_t close = spec.rfind(')');
+       if (open == std::string::npos || close == std::string::npos || close < open + 2) {
+         throw std::invalid_argument("faulty: expected faulty(<inner spec>): " + spec);
+       }
+       if (close + 1 != spec.size() && (colon == std::string::npos || colon != close + 1)) {
+         throw std::invalid_argument("faulty: junk after ')': " + spec);
+       }
+       const std::string inner = spec.substr(open + 1, close - open - 1);
+       const std::string opts =
+           colon == std::string::npos ? std::string() : spec.substr(colon + 1);
+       return std::make_unique<FaultInjectorEngine>(make_engine(inner, std::move(rules)),
+                                                    parse_fault_profile(opts));
+     }},
     {"tcam-part",
      {"tcam-part:3", ""},
      "partitioned TCAM with bank power gating; :b = DIP index bits 1..12",
@@ -111,8 +143,10 @@ constexpr SpecEntry kSpecTable[] = {
 }  // namespace
 
 EnginePtr make_engine(const std::string& spec, ruleset::RuleSet rules) {
-  const std::size_t colon = spec.find(':');
-  const std::string_view kind = std::string_view(spec).substr(0, colon);
+  const std::size_t colon = spec_colon(spec);
+  const std::size_t open = spec.find('(');
+  const std::string_view kind =
+      std::string_view(spec).substr(0, colon < open ? colon : open);
   for (const auto& entry : kSpecTable) {
     if (entry.kind == kind) return entry.build(spec, colon, std::move(rules));
   }

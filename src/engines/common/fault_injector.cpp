@@ -1,0 +1,162 @@
+#include "engines/common/fault_injector.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "util/prng.h"
+#include "util/str.h"
+
+namespace rfipc::engines {
+namespace {
+
+/// Fault threshold in 64-bit hash space: fault when hash < p * 2^64.
+std::uint64_t threshold_for(double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(p * 18446744073709551616.0 /* 2^64 */);
+}
+
+}  // namespace
+
+FaultInjectorEngine::FaultInjectorEngine(EnginePtr inner, FaultProfile profile)
+    : inner_(std::move(inner)), profile_(profile) {
+  if (inner_ == nullptr) throw std::invalid_argument("faulty: null inner engine");
+  if (profile_.p < 0.0 || profile_.p > 1.0) {
+    throw std::invalid_argument("faulty: p must be in [0, 1]");
+  }
+}
+
+std::string FaultInjectorEngine::name() const {
+  return "Faulty[" + inner_->name() + " p=" + util::fmt_double(profile_.p, 4) + "]";
+}
+
+bool FaultInjectorEngine::draw_fault(FaultProfile::Mode& kind) const {
+  const std::uint64_t n = calls_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t state = profile_.seed ^ (n * 0x2545f4914f6cdd1dULL);
+  const std::uint64_t draw = util::splitmix64(state);
+  if (draw >= threshold_for(profile_.p)) return false;
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  kind = profile_.mode;
+  if (kind == FaultProfile::Mode::kMixed) {
+    switch (util::splitmix64(state) % 3) {
+      case 0: kind = FaultProfile::Mode::kThrow; break;
+      case 1: kind = FaultProfile::Mode::kCorrupt; break;
+      default: kind = FaultProfile::Mode::kDelay; break;
+    }
+  }
+  return true;
+}
+
+void FaultInjectorEngine::corrupt(std::span<MatchResult> results) const {
+  // An impossible best index: past the end of this engine's rules. The
+  // runtime's merge validation treats it as a shard fault.
+  const std::size_t bogus = inner_->rule_count() + 7;
+  for (auto& r : results) {
+    r.best = bogus;
+    r.multi = util::BitVector();
+  }
+}
+
+MatchResult FaultInjectorEngine::classify(const net::HeaderBits& header) const {
+  FaultProfile::Mode kind;
+  if (draw_fault(kind)) {
+    switch (kind) {
+      case FaultProfile::Mode::kThrow:
+        throw FaultInjectedError();
+      case FaultProfile::Mode::kCorrupt: {
+        MatchResult r;
+        corrupt({&r, 1});
+        return r;
+      }
+      default:
+        std::this_thread::sleep_for(std::chrono::microseconds(profile_.delay_us));
+        break;  // delayed but correct
+    }
+  }
+  return inner_->classify(header);
+}
+
+void FaultInjectorEngine::classify_batch(std::span<const net::HeaderBits> headers,
+                                         std::span<MatchResult> results) const {
+  FaultProfile::Mode kind;
+  if (draw_fault(kind)) {
+    switch (kind) {
+      case FaultProfile::Mode::kThrow:
+        throw FaultInjectedError();
+      case FaultProfile::Mode::kCorrupt:
+        if (headers.size() != results.size()) {
+          throw std::invalid_argument("classify_batch: span size mismatch");
+        }
+        corrupt(results);
+        return;
+      default:
+        std::this_thread::sleep_for(std::chrono::microseconds(profile_.delay_us));
+        break;
+    }
+  }
+  inner_->classify_batch(headers, results);
+}
+
+bool FaultInjectorEngine::insert_rule(std::size_t index, const ruleset::Rule& rule) {
+  return inner_->insert_rule(index, rule);
+}
+
+bool FaultInjectorEngine::erase_rule(std::size_t index) {
+  return inner_->erase_rule(index);
+}
+
+EnginePtr FaultInjectorEngine::clone() const {
+  EnginePtr inner_clone = inner_->clone();
+  if (inner_clone == nullptr) return nullptr;
+  return std::make_unique<FaultInjectorEngine>(std::move(inner_clone), profile_);
+}
+
+FaultProfile parse_fault_profile(const std::string& options) {
+  FaultProfile profile;
+  if (options.empty()) return profile;
+  for (const auto field : util::split(options, ',')) {
+    const auto eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("faulty: expected k=v option, got '" +
+                                  std::string(field) + "'");
+    }
+    const auto key = util::trim(field.substr(0, eq));
+    const auto value = util::trim(field.substr(eq + 1));
+    if (key == "p") {
+      try {
+        profile.p = std::stod(std::string(value));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("faulty: bad probability '" + std::string(value) + "'");
+      }
+      if (profile.p < 0.0 || profile.p > 1.0) {
+        throw std::invalid_argument("faulty: p must be in [0, 1]");
+      }
+    } else if (key == "mode") {
+      if (value == "throw") {
+        profile.mode = FaultProfile::Mode::kThrow;
+      } else if (value == "corrupt") {
+        profile.mode = FaultProfile::Mode::kCorrupt;
+      } else if (value == "delay") {
+        profile.mode = FaultProfile::Mode::kDelay;
+      } else if (value == "mixed") {
+        profile.mode = FaultProfile::Mode::kMixed;
+      } else {
+        throw std::invalid_argument("faulty: unknown mode '" + std::string(value) + "'");
+      }
+    } else if (key == "seed") {
+      const auto s = util::parse_u64(value);
+      if (!s) throw std::invalid_argument("faulty: bad seed '" + std::string(value) + "'");
+      profile.seed = *s;
+    } else if (key == "delay_us") {
+      const auto d = util::parse_u64(value, 10'000'000);
+      if (!d) throw std::invalid_argument("faulty: bad delay_us '" + std::string(value) + "'");
+      profile.delay_us = static_cast<std::uint32_t>(*d);
+    } else {
+      throw std::invalid_argument("faulty: unknown option '" + std::string(key) + "'");
+    }
+  }
+  return profile;
+}
+
+}  // namespace rfipc::engines

@@ -1,0 +1,84 @@
+// Fault-injection wrapper engine: the failure-containment test rig.
+//
+// Wraps any inner engine and, with configured probability, makes a
+// lookup misbehave in one of the ways a sick shard misbehaves in
+// production: it throws (a hard classify error), returns corrupted
+// MatchResults (best index beyond rule_count(), the kind of torn
+// answer a flaky memory would produce — and exactly what the runtime's
+// result validation is built to catch), or stalls (a latency spike).
+// Updates and correct lookups pass straight through, so a wrapped
+// engine with p=0 is observationally identical to the inner engine.
+//
+// Built by the factory from specs like
+//     faulty(stridebv:4):p=0.001,mode=mixed,seed=7,delay_us=200
+// so any example, bench, or test can turn a healthy shard into a
+// failing one without code changes. Fault draws are deterministic in
+// (seed, call number) and thread-safe (an atomic call counter hashed
+// through SplitMix64 — no shared RNG state to race on).
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+#include "engines/common/engine.h"
+
+namespace rfipc::engines {
+
+/// Thrown by a fault-injected classify in kThrow (or kMixed) mode.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  FaultInjectedError() : std::runtime_error("injected classify fault") {}
+};
+
+struct FaultProfile {
+  enum class Mode : std::uint8_t {
+    kThrow,    // classify/classify_batch throws FaultInjectedError
+    kCorrupt,  // results carry an out-of-range best index
+    kDelay,    // the call stalls for delay_us
+    kMixed,    // cycle through the three kinds
+  };
+
+  /// Per-call fault probability in [0, 1] (a batch is one call).
+  double p = 0.0;
+  Mode mode = Mode::kMixed;
+  std::uint64_t seed = 1;
+  /// Stall length for kDelay faults.
+  std::uint32_t delay_us = 200;
+};
+
+class FaultInjectorEngine final : public ClassifierEngine {
+ public:
+  FaultInjectorEngine(EnginePtr inner, FaultProfile profile);
+
+  std::string name() const override;
+  std::size_t rule_count() const override { return inner_->rule_count(); }
+  bool supports_multi_match() const override { return inner_->supports_multi_match(); }
+  bool supports_update() const override { return inner_->supports_update(); }
+
+  MatchResult classify(const net::HeaderBits& header) const override;
+  void classify_batch(std::span<const net::HeaderBits> headers,
+                      std::span<MatchResult> results) const override;
+  bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
+  bool erase_rule(std::size_t index) override;
+  EnginePtr clone() const override;
+
+  const FaultProfile& profile() const { return profile_; }
+  std::uint64_t faults_injected() const { return faults_.load(std::memory_order_relaxed); }
+
+ private:
+  /// Deterministic per-call fault draw; returns the fault kind to
+  /// inject or Mode::kMixed-resolved concrete kind, wrapped in a bool.
+  bool draw_fault(FaultProfile::Mode& kind) const;
+  void corrupt(std::span<MatchResult> results) const;
+
+  EnginePtr inner_;
+  FaultProfile profile_;
+  mutable std::atomic<std::uint64_t> calls_{0};
+  mutable std::atomic<std::uint64_t> faults_{0};
+};
+
+/// Parses the ":k=v,..." suffix of a faulty(...) spec. Exposed for the
+/// factory; throws std::invalid_argument on malformed options.
+FaultProfile parse_fault_profile(const std::string& options);
+
+}  // namespace rfipc::engines

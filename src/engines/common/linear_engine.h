@@ -21,6 +21,7 @@ class LinearSearchEngine final : public ClassifierEngine {
                       std::span<MatchResult> results) const override;
   bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
   bool erase_rule(std::size_t index) override;
+  EnginePtr clone() const override { return std::make_unique<LinearSearchEngine>(*this); }
 
   const ruleset::RuleSet& rules() const { return rules_; }
 

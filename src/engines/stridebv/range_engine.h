@@ -37,6 +37,7 @@ class StrideBVRangeEngine final : public ClassifierEngine {
   MatchResult classify(const net::HeaderBits& header) const override;
   bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
   bool erase_rule(std::size_t index) override;
+  EnginePtr clone() const override { return std::make_unique<StrideBVRangeEngine>(*this); }
 
   unsigned stride() const { return config_.stride; }
   /// Stride stages (SIP+DIP and PRT windows) — excludes range modules.

@@ -50,6 +50,7 @@ class StrideBVEngine final : public ClassifierEngine {
   /// rebuild of the other N-1 rules' columns.
   bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
   bool erase_rule(std::size_t index) override;
+  EnginePtr clone() const override { return std::make_unique<StrideBVEngine>(*this); }
 
   /// Live ternary entries after range lowering (>= rule_count()).
   std::size_t entry_count() const { return live_entries_; }

@@ -28,6 +28,7 @@ class TcamEngine final : public ClassifierEngine {
                       std::span<MatchResult> results) const override;
   bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
   bool erase_rule(std::size_t index) override;
+  EnginePtr clone() const override { return std::make_unique<TcamEngine>(*this); }
 
   /// Stored ternary entries (>= rule_count() when ranges expanded).
   std::size_t entry_count() const { return entries_.size(); }

@@ -5,7 +5,9 @@ namespace {
 
 constexpr std::size_t kEthHeader = 14;
 constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
-constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+constexpr std::uint16_t kEtherTypeVlan = 0x8100;   // 802.1Q
+constexpr std::uint16_t kEtherTypeQinQ = 0x88a8;   // 802.1ad outer tag
+constexpr std::size_t kMaxVlanTags = 2;
 
 std::uint16_t be16(std::span<const std::uint8_t> b, std::size_t off) {
   return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
@@ -62,23 +64,33 @@ ParsedPacket parse_packet(std::span<const std::uint8_t> frame) {
   };
 
   if (frame.size() < kEthHeader) return fail(ParseStatus::kTruncatedEthernet);
-  std::size_t l3 = kEthHeader;
-  std::uint16_t ethertype = be16(frame, 12);
-  if (ethertype == kEtherTypeVlan) {
-    if (frame.size() < kEthHeader + 4) return fail(ParseStatus::kTruncatedEthernet);
-    ethertype = be16(frame, 16);
-    l3 += 4;
+  // Walk up to kMaxVlanTags stacked 802.1Q/802.1ad tags (QinQ): each tag
+  // pushes the real EtherType 4 bytes further out. Edge captures carry
+  // double-tagged traffic, and a parser that chokes on the outer tag
+  // silently drops it all.
+  std::size_t et_off = 12;
+  std::uint16_t ethertype = be16(frame, et_off);
+  for (std::size_t tags = 0;
+       (ethertype == kEtherTypeVlan || ethertype == kEtherTypeQinQ) &&
+       tags < kMaxVlanTags;
+       ++tags) {
+    if (frame.size() < et_off + 6) return fail(ParseStatus::kTruncatedEthernet);
+    et_off += 4;
+    ethertype = be16(frame, et_off);
   }
   if (ethertype != kEtherTypeIpv4) return fail(ParseStatus::kUnsupportedEtherType);
+  const std::size_t l3 = et_off + 2;
 
-  if (frame.size() < l3 + 20) return fail(ParseStatus::kTruncatedIp);
+  // From here every offset is re-checked against the remaining bytes
+  // (size-minus-offset form, which cannot overflow) before it is read.
+  if (frame.size() - l3 < 20) return fail(ParseStatus::kTruncatedIp);
   const std::uint8_t ver_ihl = frame[l3];
   if ((ver_ihl >> 4) != 4) return fail(ParseStatus::kBadIpVersion);
   const std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
   if (ihl < 20) return fail(ParseStatus::kBadIpHeaderLength);
-  if (frame.size() < l3 + ihl) return fail(ParseStatus::kTruncatedIp);
+  if (frame.size() - l3 < ihl) return fail(ParseStatus::kTruncatedIp);
   const std::uint16_t total_len = be16(frame, l3 + 2);
-  if (total_len < ihl || frame.size() < l3 + total_len) {
+  if (total_len < ihl || frame.size() - l3 < total_len) {
     return fail(ParseStatus::kBadIpTotalLength);
   }
 
@@ -93,7 +105,7 @@ ParsedPacket parse_packet(std::span<const std::uint8_t> frame) {
 
   if (!out.fragment &&
       (out.tuple.protocol == 6 /*TCP*/ || out.tuple.protocol == 17 /*UDP*/)) {
-    if (frame.size() < l4 + 4 || total_len < ihl + 4) {
+    if (frame.size() - l4 < 4 || total_len - ihl < 4) {
       return fail(ParseStatus::kTruncatedTransport);
     }
     out.tuple.src_port = be16(frame, l4);

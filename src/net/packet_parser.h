@@ -1,5 +1,5 @@
-// Raw packet parsing: Ethernet II (+ optional 802.1Q VLAN) / IPv4 /
-// TCP|UDP|other -> the classifier's 5-tuple.
+// Raw packet parsing: Ethernet II (+ up to two stacked 802.1Q/802.1ad
+// VLAN tags) / IPv4 / TCP|UDP|other -> the classifier's 5-tuple.
 //
 // Firewalls classify wire packets, not pre-decoded tuples; this module
 // is the header-extraction substrate in front of the engines (the

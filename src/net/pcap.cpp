@@ -26,7 +26,8 @@ class Reader {
   explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
 
   std::uint32_t u32(bool swap) {
-    if (pos_ + 4 > bytes_.size()) throw std::runtime_error("pcap: truncated");
+    // Size-minus-position form: cannot overflow for any pos_/size.
+    if (bytes_.size() - pos_ < 4) throw std::runtime_error("pcap: truncated");
     std::uint32_t v = static_cast<std::uint32_t>(bytes_[pos_]) |
                       (static_cast<std::uint32_t>(bytes_[pos_ + 1]) << 8) |
                       (static_cast<std::uint32_t>(bytes_[pos_ + 2]) << 16) |
@@ -39,7 +40,7 @@ class Reader {
   }
 
   std::vector<std::uint8_t> take(std::size_t n) {
-    if (pos_ + n > bytes_.size()) throw std::runtime_error("pcap: truncated record");
+    if (bytes_.size() - pos_ < n) throw std::runtime_error("pcap: truncated record");
     std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
                                   bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
     pos_ += n;
@@ -74,37 +75,50 @@ std::vector<std::uint8_t> pcap_to_bytes(const PcapFile& file) {
   return b;
 }
 
-PcapFile pcap_from_bytes(const std::vector<std::uint8_t>& bytes) {
+PcapParseResult try_pcap_from_bytes(const std::vector<std::uint8_t>& bytes) {
+  PcapParseResult out;
   Reader r(bytes);
-  const std::uint32_t magic = r.u32(false);
-  bool swap = false;
-  if (magic == kMagicLe) {
-    swap = false;
-  } else if (magic == kMagicBe) {
-    swap = true;
-  } else {
-    throw std::runtime_error("pcap: bad magic");
-  }
-  r.u32(swap);  // versions (2 x u16; accept anything)
-  r.u32(swap);  // thiszone
-  r.u32(swap);  // sigfigs
-  r.u32(swap);  // snaplen
-  PcapFile file;
-  file.link_type = r.u32(swap);
-
-  while (!r.done()) {
-    PcapRecord rec;
-    rec.ts_sec = r.u32(swap);
-    rec.ts_usec = r.u32(swap);
-    const std::uint32_t caplen = r.u32(swap);
-    const std::uint32_t origlen = r.u32(swap);
-    if (caplen > origlen || caplen > 256 * 1024) {
-      throw std::runtime_error("pcap: implausible record length");
+  try {
+    const std::uint32_t magic = r.u32(false);
+    bool swap = false;
+    if (magic == kMagicLe) {
+      swap = false;
+    } else if (magic == kMagicBe) {
+      swap = true;
+    } else {
+      throw std::runtime_error("pcap: bad magic");
     }
-    rec.frame = r.take(caplen);
-    file.records.push_back(std::move(rec));
+    r.u32(swap);  // versions (2 x u16; accept anything)
+    r.u32(swap);  // thiszone
+    r.u32(swap);  // sigfigs
+    r.u32(swap);  // snaplen
+    out.file.link_type = r.u32(swap);
+
+    while (!r.done()) {
+      PcapRecord rec;
+      rec.ts_sec = r.u32(swap);
+      rec.ts_usec = r.u32(swap);
+      const std::uint32_t caplen = r.u32(swap);
+      const std::uint32_t origlen = r.u32(swap);
+      if (caplen > origlen || caplen > 256 * 1024) {
+        throw std::runtime_error("pcap: implausible record length");
+      }
+      // take() is pushed-then-validated, so a record already appended to
+      // out.file.records is always complete — salvage stays consistent.
+      rec.frame = r.take(caplen);
+      out.file.records.push_back(std::move(rec));
+    }
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
   }
-  return file;
+  return out;
+}
+
+PcapFile pcap_from_bytes(const std::vector<std::uint8_t>& bytes) {
+  auto r = try_pcap_from_bytes(bytes);
+  if (!r.ok) throw std::runtime_error(r.error);
+  return std::move(r.file);
 }
 
 bool save_pcap(const std::string& path, const PcapFile& file) {

@@ -31,6 +31,17 @@ std::vector<std::uint8_t> pcap_to_bytes(const PcapFile& file);
 /// std::runtime_error on malformed input.
 PcapFile pcap_from_bytes(const std::vector<std::uint8_t>& bytes);
 
+/// Non-throwing parse with salvage: on malformed input `ok` is false,
+/// `error` explains why, and `file` still holds every complete record
+/// decoded before the damage (a capture truncated mid-record keeps its
+/// earlier packets instead of being discarded wholesale).
+struct PcapParseResult {
+  PcapFile file;
+  bool ok = false;
+  std::string error;
+};
+PcapParseResult try_pcap_from_bytes(const std::vector<std::uint8_t>& bytes);
+
 /// File wrappers. save returns false on I/O failure; load throws.
 bool save_pcap(const std::string& path, const PcapFile& file);
 PcapFile load_pcap(const std::string& path);

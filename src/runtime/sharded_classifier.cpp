@@ -1,6 +1,7 @@
 #include "runtime/sharded_classifier.h"
 
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 
@@ -32,79 +33,152 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
 }  // namespace
 
 ShardedClassifier::ShardedClassifier(ruleset::RuleSet rules, ShardedConfig config)
-    : spec_(config.engine_spec),
-      pool_(pool_threads(config, clamped_shards(config.shards, rules.size()))),
-      stats_(clamped_shards(config.shards, rules.size())) {
+    : config_(std::move(config)),
+      stats_(clamped_shards(config_.shards, rules.size())),
+      pool_(pool_threads(config_, clamped_shards(config_.shards, rules.size()))) {
   if (rules.empty()) throw std::invalid_argument("ShardedClassifier: empty ruleset");
-  const std::size_t shards = clamped_shards(config.shards, rules.size());
+  if (config_.failure.quarantine_after == 0) config_.failure.quarantine_after = 1;
+
+  const std::size_t shards = clamped_shards(config_.shards, rules.size());
   const std::size_t base = rules.size() / shards;
   const std::size_t extra = rules.size() % shards;
-  bases_.push_back(0);
+  auto set = std::make_shared<ShardSet>();
   std::size_t next = 0;
   for (std::size_t s = 0; s < shards; ++s) {
     const std::size_t len = base + (s < extra ? 1 : 0);
     ruleset::RuleSet band;
     for (std::size_t i = 0; i < len; ++i) band.add(rules[next + i]);
     next += len;
-    bases_.push_back(next);
-    shards_.push_back(engines::make_engine(spec_, std::move(band)));
+    set->bases.push_back(next);
+    Shard shard;
+    shard.engine = engines::make_engine(config_.engine_spec, band);
+    shard.health = std::make_shared<ShardHealth>();
+    shard.id = next_id_++;
+    set->shards.push_back(std::move(shard));
+    shadow_.push_back(std::move(band));
   }
+  snapshot_.exchange(std::move(set));
+  queue_ = std::make_unique<UpdateQueue>(
+      [this](std::vector<UpdateQueue::Pending>& batch) { apply_batch(batch); });
+}
+
+ShardedClassifier::~ShardedClassifier() {
+  queue_.reset();  // stop the applier thread before the snapshot dies
 }
 
 std::string ShardedClassifier::name() const {
-  return "Sharded[" + std::to_string(shards_.size()) + "x " + spec_ + "]";
+  return "Sharded[" + std::to_string(shard_count()) + "x " + config_.engine_spec + "]";
+}
+
+std::size_t ShardedClassifier::rule_count() const {
+  return snapshot_.read()->bases.back();
 }
 
 bool ShardedClassifier::supports_multi_match() const {
-  for (const auto& s : shards_) {
-    if (!s->supports_multi_match()) return false;
+  auto snap = snapshot_.read();
+  for (const auto& s : snap->shards) {
+    if (!s.engine->supports_multi_match()) return false;
   }
   return true;
 }
 
-bool ShardedClassifier::supports_update() const {
-  for (const auto& s : shards_) {
-    if (!s->supports_update()) return false;
+std::size_t ShardedClassifier::shard_count() const {
+  return snapshot_.read()->shards.size();
+}
+
+std::size_t ShardedClassifier::shard_size(std::size_t s) const {
+  auto snap = snapshot_.read();
+  return snap->bases[s + 1] - snap->bases[s];
+}
+
+std::shared_ptr<const engines::ClassifierEngine> ShardedClassifier::shard_engine(
+    std::size_t s) const {
+  return snapshot_.read()->shards[s].engine;
+}
+
+const engines::ClassifierEngine& ShardedClassifier::shard(std::size_t s) const {
+  return *snapshot_.read()->shards[s].engine;
+}
+
+bool ShardedClassifier::validate_results(std::span<const MatchResult> results,
+                                         std::size_t shard_rules) const {
+  for (const auto& r : results) {
+    if (r.best != MatchResult::kNoMatch && r.best >= shard_rules) return false;
+    if (!r.multi.empty() && r.multi.size() != shard_rules) return false;
   }
   return true;
+}
+
+void ShardedClassifier::record_shard_fault(const Shard& shard,
+                                           std::uint64_t packets) const {
+  stats_.record_fault();
+  shard.health->faults_total.fetch_add(1, std::memory_order_relaxed);
+  shard.health->degraded_packets.fetch_add(packets, std::memory_order_relaxed);
+  const std::uint32_t consecutive =
+      shard.health->consecutive_faults.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (consecutive >= config_.failure.quarantine_after &&
+      !shard.health->quarantined.exchange(true, std::memory_order_acq_rel)) {
+    stats_.record_quarantine();
+    if (config_.failure.rebuild) schedule_rebuild(shard.id, 0);
+  }
 }
 
 MatchResult ShardedClassifier::classify(const net::HeaderBits& header) const {
-  // Single-packet path: walk the bands inline — pool dispatch would
-  // cost more than the lookups.
+  auto snap = snapshot_.read();
   MatchResult out;
-  out.multi = util::BitVector(rule_count());
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const MatchResult r = shards_[s]->classify(header);
+  out.multi = util::BitVector(snap->bases.back());
+  for (std::size_t s = 0; s < snap->shards.size(); ++s) {
+    const Shard& shard = snap->shards[s];
+    if (shard.health->quarantined.load(std::memory_order_acquire)) {
+      shard.health->degraded_packets.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    MatchResult r;
+    bool good = true;
+    try {
+      r = shard.engine->classify(header);
+    } catch (...) {
+      good = false;
+    }
+    if (good) good = validate_results({&r, 1}, shard.engine->rule_count());
+    if (!good) {
+      record_shard_fault(shard, 1);
+      continue;
+    }
+    shard.health->consecutive_faults.store(0, std::memory_order_relaxed);
     if (r.has_match()) {
-      const std::size_t global = bases_[s] + r.best;
+      const std::size_t global = snap->bases[s] + r.best;
       if (global < out.best) out.best = global;
     }
     for (std::size_t b = r.multi.first_set(); b != util::BitVector::npos;
          b = r.multi.next_set(b + 1)) {
-      out.multi.set(bases_[s] + b);
+      out.multi.set(snap->bases[s] + b);
     }
   }
   stats_.record_batch(1, out.has_match() ? 1 : 0);
   return out;
 }
 
-void ShardedClassifier::merge(std::span<const std::vector<MatchResult>> local,
+void ShardedClassifier::merge(const ShardSet& snap,
+                              std::span<const std::vector<MatchResult>> local,
                               std::span<MatchResult> results) const {
   std::uint64_t matched = 0;
+  const std::size_t total = snap.bases.back();
   for (std::size_t i = 0; i < results.size(); ++i) {
     MatchResult& out = results[i];
     out.best = MatchResult::kNoMatch;
-    out.multi = util::BitVector(rule_count());
+    out.multi = util::BitVector(total);
     for (std::size_t s = 0; s < local.size(); ++s) {
+      // A faulted or quarantined shard contributed nothing this batch.
+      if (local[s].size() != results.size()) continue;
       const MatchResult& r = local[s][i];
       if (r.has_match()) {
-        const std::size_t global = bases_[s] + r.best;
+        const std::size_t global = snap.bases[s] + r.best;
         if (global < out.best) out.best = global;
       }
       for (std::size_t b = r.multi.first_set(); b != util::BitVector::npos;
            b = r.multi.next_set(b + 1)) {
-        out.multi.set(bases_[s] + b);
+        out.multi.set(snap.bases[s] + b);
       }
     }
     if (out.has_match()) ++matched;
@@ -118,43 +192,258 @@ void ShardedClassifier::classify_batch(std::span<const net::HeaderBits> headers,
     throw std::invalid_argument("classify_batch: span size mismatch");
   }
   if (headers.empty()) return;
-  std::vector<std::vector<MatchResult>> local(shards_.size());
-  pool_.parallel_for(shards_.size(), [&](std::size_t sb, std::size_t se) {
+  auto snap = snapshot_.read();
+  std::vector<std::vector<MatchResult>> local(snap->shards.size());
+  pool_.parallel_for(snap->shards.size(), [&](std::size_t sb, std::size_t se) {
     for (std::size_t s = sb; s < se; ++s) {
+      const Shard& shard = snap->shards[s];
+      if (shard.health->quarantined.load(std::memory_order_acquire)) {
+        shard.health->degraded_packets.fetch_add(headers.size(),
+                                                 std::memory_order_relaxed);
+        continue;  // local[s] stays empty; merge skips it
+      }
       local[s].resize(headers.size());
       const auto start = std::chrono::steady_clock::now();
-      shards_[s]->classify_batch(headers, local[s]);
-      stats_.record_shard_batch(s, elapsed_ns(start));
+      bool good = true;
+      try {
+        shard.engine->classify_batch(headers, local[s]);
+      } catch (...) {
+        good = false;
+      }
+      if (good) good = validate_results(local[s], shard.engine->rule_count());
+      if (!good) {
+        record_shard_fault(shard, headers.size());
+        local[s].clear();
+        continue;
+      }
+      shard.health->consecutive_faults.store(0, std::memory_order_relaxed);
+      stats_.record_shard_batch(shard.id, elapsed_ns(start));
     }
   });
-  merge(local, results);
+  merge(*snap, local, results);
 }
 
-std::size_t ShardedClassifier::owning_shard(std::size_t g) const {
-  std::size_t s = shards_.size() - 1;
-  while (s > 0 && g < bases_[s]) --s;
+std::size_t ShardedClassifier::owning_shard(const std::vector<std::size_t>& bases,
+                                            std::size_t g) {
+  std::size_t s = bases.size() - 2;  // last shard
+  while (s > 0 && g < bases[s]) --s;
   return s;
 }
 
 bool ShardedClassifier::insert_rule(std::size_t index, const ruleset::Rule& rule) {
-  if (index > rule_count()) return false;
-  const std::size_t s =
-      index == rule_count() ? shards_.size() - 1 : owning_shard(index);
-  if (!shards_[s]->insert_rule(index - bases_[s], rule)) return false;
-  for (std::size_t t = s + 1; t < bases_.size(); ++t) ++bases_[t];
-  stats_.record_update();
-  return true;
+  return wait_update(submit_insert(index, rule));
 }
 
 bool ShardedClassifier::erase_rule(std::size_t index) {
-  if (index >= rule_count()) return false;
-  const std::size_t s = owning_shard(index);
-  // A shard engine must never go empty (engines reject empty rulesets).
-  if (shard_size(s) <= 1) return false;
-  if (!shards_[s]->erase_rule(index - bases_[s])) return false;
-  for (std::size_t t = s + 1; t < bases_.size(); ++t) --bases_[t];
-  stats_.record_update();
+  return wait_update(submit_erase(index));
+}
+
+std::future<bool> ShardedClassifier::submit_insert(std::size_t index,
+                                                   ruleset::Rule rule) {
+  return queue_->submit(UpdateOp::insert(index, std::move(rule)));
+}
+
+std::future<bool> ShardedClassifier::submit_erase(std::size_t index) {
+  return queue_->submit(UpdateOp::erase(index));
+}
+
+void ShardedClassifier::flush_updates() { queue_->flush(); }
+
+bool ShardedClassifier::wait_update(std::future<bool> f) const {
+  if (config_.update_timeout_ms == 0) return f.get();
+  if (f.wait_for(std::chrono::milliseconds(config_.update_timeout_ms)) !=
+      std::future_status::ready) {
+    return false;  // still queued; may apply later
+  }
+  return f.get();
+}
+
+void ShardedClassifier::patch_engine(
+    Working& w, std::size_t s,
+    const std::function<bool(engines::ClassifierEngine&)>& patch) {
+  if (w.needs_rebuild[s]) return;  // full rebuild already pending
+  if (w.shards[s].health->quarantined.load(std::memory_order_acquire)) {
+    // The engine is out of service; only the shadow ruleset advances.
+    // The scheduled rebuild task reinstates from the shadow.
+    return;
+  }
+  if (w.patched[s] == nullptr) {
+    w.patched[s] = w.shards[s].engine->clone();
+    if (w.patched[s] == nullptr) {
+      w.needs_rebuild[s] = 1;  // engine cannot be copied: factory rebuild
+      return;
+    }
+  }
+  if (!patch(*w.patched[s])) {
+    // The clone rejected the incremental patch; discard it and rebuild
+    // from the shadow ruleset, which already carries every op.
+    w.patched[s].reset();
+    w.needs_rebuild[s] = 1;
+  }
+}
+
+bool ShardedClassifier::apply_one(Working& w, const UpdateOp& op) {
+  const std::size_t total = w.bases.back();
+  if (op.kind == UpdateOp::Kind::kInsert) {
+    if (op.index > total) return false;
+    if (w.shards.empty()) {
+      // Fully drained classifier: re-seed a fresh shard.
+      ruleset::RuleSet band;
+      band.add(op.rule);
+      shadow_.push_back(std::move(band));
+      Shard shard;
+      shard.health = std::make_shared<ShardHealth>();
+      shard.id = next_id_++;
+      w.shards.push_back(std::move(shard));
+      w.patched.emplace_back(nullptr);
+      w.needs_rebuild.push_back(1);
+      w.bases = {0, 1};
+      w.dirty = true;
+      return true;
+    }
+    const std::size_t s =
+        op.index == total ? w.shards.size() - 1 : owning_shard(w.bases, op.index);
+    const std::size_t local = op.index - w.bases[s];
+    shadow_[s].insert(local, op.rule);
+    patch_engine(w, s, [&](engines::ClassifierEngine& e) {
+      return e.insert_rule(local, op.rule);
+    });
+    for (std::size_t t = s + 1; t < w.bases.size(); ++t) ++w.bases[t];
+    w.dirty = true;
+    return true;
+  }
+
+  if (op.index >= total) return false;
+  const std::size_t s = owning_shard(w.bases, op.index);
+  const std::size_t local = op.index - w.bases[s];
+  shadow_[s].erase(local);
+  if (w.bases[s + 1] - w.bases[s] == 1) {
+    // Band emptied: collapse it — drop the shard and merge the bases.
+    shadow_.erase(shadow_.begin() + static_cast<std::ptrdiff_t>(s));
+    w.shards.erase(w.shards.begin() + static_cast<std::ptrdiff_t>(s));
+    w.patched.erase(w.patched.begin() + static_cast<std::ptrdiff_t>(s));
+    w.needs_rebuild.erase(w.needs_rebuild.begin() + static_cast<std::ptrdiff_t>(s));
+    w.bases.erase(w.bases.begin() + static_cast<std::ptrdiff_t>(s) + 1);
+    for (std::size_t t = s + 1; t < w.bases.size(); ++t) --w.bases[t];
+    w.dirty = true;
+    return true;
+  }
+  patch_engine(w, s,
+               [&](engines::ClassifierEngine& e) { return e.erase_rule(local); });
+  for (std::size_t t = s + 1; t < w.bases.size(); ++t) --w.bases[t];
+  w.dirty = true;
   return true;
+}
+
+void ShardedClassifier::apply_batch(std::vector<UpdateQueue::Pending>& batch) {
+  auto cur = snapshot_.current();
+  Working w;
+  w.shards = cur->shards;
+  w.bases = cur->bases;
+  w.patched.resize(w.shards.size());
+  w.needs_rebuild.assign(w.shards.size(), 0);
+
+  std::vector<bool> applied(batch.size(), false);
+  std::uint64_t ops_applied = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    applied[i] = apply_one(w, batch[i].op);
+    if (applied[i]) ++ops_applied;
+  }
+
+  if (w.dirty) {
+    for (std::size_t s = 0; s < w.shards.size(); ++s) {
+      if (w.needs_rebuild[s] && w.patched[s] == nullptr) {
+        w.patched[s] = engines::make_engine(config_.engine_spec, shadow_[s]);
+      }
+    }
+    auto next = std::make_shared<ShardSet>();
+    next->shards = std::move(w.shards);
+    next->bases = std::move(w.bases);
+    for (std::size_t s = 0; s < next->shards.size(); ++s) {
+      if (w.patched[s] != nullptr) next->shards[s].engine = std::move(w.patched[s]);
+    }
+    stats_.record_swap(ops_applied);
+    snapshot_.exchange(std::move(next));
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (applied[i]) stats_.record_update();
+    batch[i].done.set_value(applied[i]);
+  }
+}
+
+void ShardedClassifier::schedule_rebuild(std::size_t id, std::uint32_t attempt) const {
+  const FailurePolicy& pol = config_.failure;
+  double delay_ms = static_cast<double>(pol.backoff_initial_ms) *
+                    std::pow(pol.backoff_factor, static_cast<double>(attempt));
+  const double max_ms = static_cast<double>(pol.backoff_max_ms);
+  if (!(delay_ms <= max_ms)) delay_ms = max_ms;  // also catches NaN/inf
+  const auto when = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(static_cast<std::int64_t>(delay_ms));
+  // The const_cast confines itself to the writer plane: classify() is
+  // const but must be able to kick off recovery maintenance.
+  auto* self = const_cast<ShardedClassifier*>(this);
+  queue_->schedule(when, [self, id, attempt] { self->rebuild_shard(id, attempt); });
+}
+
+void ShardedClassifier::rebuild_shard(std::size_t id, std::uint32_t attempt) {
+  auto cur = snapshot_.current();
+  std::size_t s = cur->shards.size();
+  for (std::size_t i = 0; i < cur->shards.size(); ++i) {
+    if (cur->shards[i].id == id) {
+      s = i;
+      break;
+    }
+  }
+  // The shard may have been collapsed away, or already reinstated.
+  if (s == cur->shards.size()) return;
+  const auto& old = cur->shards[s];
+  if (!old.health->quarantined.load(std::memory_order_acquire)) return;
+
+  const std::string& spec = config_.failure.rebuild_spec.empty()
+                                ? config_.engine_spec
+                                : config_.failure.rebuild_spec;
+  engines::EnginePtr fresh;
+  try {
+    fresh = engines::make_engine(spec, shadow_[s]);
+  } catch (...) {
+    schedule_rebuild(id, attempt + 1);
+    return;
+  }
+
+  auto next = std::make_shared<ShardSet>(*cur);
+  auto health = std::make_shared<ShardHealth>();
+  health->faults_total.store(old.health->faults_total.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+  health->degraded_packets.store(
+      old.health->degraded_packets.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  health->reinstated.store(
+      old.health->reinstated.load(std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  next->shards[s].engine = std::move(fresh);
+  next->shards[s].health = std::move(health);
+  stats_.record_reinstate();
+  snapshot_.exchange(std::move(next));
+}
+
+StatsSnapshot ShardedClassifier::stats_snapshot() const {
+  StatsSnapshot out = stats_.snapshot();
+  auto snap = snapshot_.read();
+  out.health.reserve(snap->shards.size());
+  for (std::size_t s = 0; s < snap->shards.size(); ++s) {
+    const Shard& shard = snap->shards[s];
+    ShardHealthDigest d;
+    d.id = shard.id;
+    d.rules = snap->bases[s + 1] - snap->bases[s];
+    d.faults = shard.health->faults_total.load(std::memory_order_relaxed);
+    d.degraded_packets = shard.health->degraded_packets.load(std::memory_order_relaxed);
+    d.reinstated = shard.health->reinstated.load(std::memory_order_relaxed);
+    d.quarantined = shard.health->quarantined.load(std::memory_order_acquire);
+    out.degraded = out.degraded || d.quarantined;
+    out.health.push_back(d);
+  }
+  return out;
 }
 
 }  // namespace rfipc::runtime

@@ -1,5 +1,6 @@
 // Batched, sharded classification runtime — the software analogue of
-// the paper's Section IV-A multi-pipeline packing.
+// the paper's Section IV-A multi-pipeline packing, hardened for live
+// updates and shard failures.
 //
 // The ruleset is partitioned into S contiguous priority bands; band s
 // becomes an independent shard engine (any spec the factory accepts, so
@@ -10,26 +11,62 @@
 // with the smallest global index, and the multi-match vector is the
 // union of the shard vectors rebased to global rule indices.
 //
-// Because bands are contiguous, shard-local priority order IS global
-// priority order within a band, so merging needs no per-rule
-// comparisons beyond one min per shard. Updates route to the owning
-// band (shifting later bands' bases), mirroring how a hardware
-// multi-pipeline deployment would patch exactly one pipeline.
+// Concurrency contract (lock-free reads, RCU writes): classify() and
+// classify_batch() may be called from any number of threads at any
+// time, including while updates are in flight — they pin an immutable
+// shard-set snapshot through util::RcuCell and never block, never lock,
+// and never observe a half-applied update. Updates from any thread are
+// funneled through an internal UpdateQueue whose single applier thread
+// clones the affected shard engine, patches the clone off the lookup
+// path, and publishes a new snapshot; pending ops are coalesced into
+// one snapshot swap. An op's completion future resolves once its
+// snapshot is published (every later lookup sees it). This replaces the
+// old "updates must be externally serialized against lookups" caveat —
+// the same guarantee StrideBV's on-the-fly hardware update path gives a
+// single pipeline, extended to the multi-pipeline pack.
 //
-// Concurrency contract: concurrent classify()/classify_batch() calls
-// are safe; updates must be externally serialized against lookups (the
-// same stall-one-port discipline the hardware update path imposes).
+// Failure containment: a shard whose engine throws or returns a
+// corrupted result (best index out of range — what a flaky stage
+// memory would produce; see engines::FaultInjectorEngine for the test
+// rig) is contained, not propagated. After `quarantine_after`
+// consecutive faults the shard is quarantined: lookups keep being
+// served from the healthy shards with StatsSnapshot::degraded set (its
+// priority band temporarily yields no matches). If rebuild is enabled,
+// the update plane rebuilds the shard from its shadow ruleset with
+// exponential backoff and reinstates it under fresh health.
+//
+// Erasing the last rule of a band collapses the band (the shard is
+// removed and the bases merge) instead of failing; inserting into a
+// fully drained classifier re-seeds a shard.
 #pragma once
 
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "engines/common/engine.h"
 #include "runtime/stats.h"
+#include "runtime/update_queue.h"
+#include "util/rcu.h"
 #include "util/thread_pool.h"
 
 namespace rfipc::runtime {
+
+/// What to do about a shard that keeps faulting.
+struct FailurePolicy {
+  /// Consecutive faults before a shard is quarantined (min 1).
+  std::size_t quarantine_after = 4;
+  /// Rebuild quarantined shards in the background and reinstate them.
+  bool rebuild = true;
+  /// Exponential backoff between rebuild attempts.
+  std::uint32_t backoff_initial_ms = 10;
+  double backoff_factor = 2.0;
+  std::uint32_t backoff_max_ms = 1000;
+  /// Factory spec used for the rebuilt engine; empty = engine_spec.
+  /// Point this at a healthy spec to model swapping out bad hardware.
+  std::string rebuild_spec;
+};
 
 struct ShardedConfig {
   /// Number of shards (pipelines). Clamped to the rule count so no
@@ -39,48 +76,128 @@ struct ShardedConfig {
   std::string engine_spec = "stridebv:4";
   /// Worker threads; 0 = min(shards, hardware_concurrency).
   std::size_t threads = 0;
+  /// Shard failure containment knobs.
+  FailurePolicy failure;
+  /// How long the synchronous insert_rule/erase_rule wrappers wait for
+  /// publication; 0 = indefinitely. On timeout they return false even
+  /// though the op stays queued and may still apply later — callers
+  /// needing exact completion should use submit_* futures directly.
+  std::uint32_t update_timeout_ms = 0;
 };
 
 class ShardedClassifier final : public engines::ClassifierEngine {
  public:
   ShardedClassifier(ruleset::RuleSet rules, ShardedConfig config = {});
+  ~ShardedClassifier() override;
 
   std::string name() const override;
-  std::size_t rule_count() const override { return bases_.back(); }
+  std::size_t rule_count() const override;
   bool supports_multi_match() const override;
-  bool supports_update() const override;
+  /// Always true: the update plane falls back to a factory rebuild of
+  /// the owning shard when its engine cannot patch incrementally.
+  bool supports_update() const override { return true; }
 
   engines::MatchResult classify(const net::HeaderBits& header) const override;
   void classify_batch(std::span<const net::HeaderBits> headers,
                       std::span<engines::MatchResult> results) const override;
 
-  /// Routes to the band owning global priority `index`; later bands'
-  /// bases shift. Fails (false) when the shard engine rejects the
-  /// update or, for erase, when it would empty a shard.
+  /// Synchronous update wrappers: route through the update plane and
+  /// wait (up to update_timeout_ms) for the publishing snapshot swap.
+  /// Safe to call concurrently with lookups and with each other.
   bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
   bool erase_rule(std::size_t index) override;
 
-  std::size_t shard_count() const { return shards_.size(); }
+  /// Asynchronous updates: the future resolves to the op's validation
+  /// result once the snapshot containing it is published.
+  std::future<bool> submit_insert(std::size_t index, ruleset::Rule rule);
+  std::future<bool> submit_erase(std::size_t index);
+  /// Blocks until every previously submitted update has been applied.
+  void flush_updates();
+
+  std::size_t shard_count() const;
   /// Rules currently owned by shard s.
-  std::size_t shard_size(std::size_t s) const { return bases_[s + 1] - bases_[s]; }
-  const engines::ClassifierEngine& shard(std::size_t s) const { return *shards_[s]; }
+  std::size_t shard_size(std::size_t s) const;
+  /// Pins shard s's engine; safe to hold across concurrent updates.
+  std::shared_ptr<const engines::ClassifierEngine> shard_engine(std::size_t s) const;
+  /// Borrowed view of shard s's engine. Only valid while no update can
+  /// retire the shard — use shard_engine() when updates may be live.
+  const engines::ClassifierEngine& shard(std::size_t s) const;
 
   const RuntimeStats& stats() const { return stats_; }
-  StatsSnapshot stats_snapshot() const { return stats_.snapshot(); }
+  /// Counters plus the per-shard health/quarantine digest and the
+  /// degraded flag from the current snapshot.
+  StatsSnapshot stats_snapshot() const;
   void reset_stats() const { stats_.reset(); }
 
  private:
-  /// Index of the band with bases_[s] <= g < bases_[s+1] (g == total
-  /// maps to the last band, for end insertion).
-  std::size_t owning_shard(std::size_t g) const;
-  void merge(std::span<const std::vector<engines::MatchResult>> local,
-             std::span<engines::MatchResult> results) const;
+  /// Mutable per-shard health record, shared by reference between
+  /// consecutive snapshots of the same shard incarnation. A reinstated
+  /// shard gets a FRESH record: readers still holding the pre-rebuild
+  /// snapshot keep seeing the old record's quarantined flag, so they
+  /// can never run the stale engine.
+  struct ShardHealth {
+    std::atomic<std::uint32_t> consecutive_faults{0};
+    std::atomic<std::uint64_t> faults_total{0};
+    std::atomic<std::uint64_t> degraded_packets{0};
+    std::atomic<std::uint32_t> reinstated{0};
+    std::atomic<bool> quarantined{false};
+  };
 
-  std::string spec_;
-  std::vector<engines::EnginePtr> shards_;
-  std::vector<std::size_t> bases_;  // bases_[s] = global index of shard s's rule 0
-  mutable util::ThreadPool pool_;
+  struct Shard {
+    std::shared_ptr<const engines::ClassifierEngine> engine;
+    std::shared_ptr<ShardHealth> health;
+    std::size_t id = 0;  // stable across band shifts; indexes latency stats
+  };
+
+  /// The immutable RCU snapshot: engines + priority-band bases.
+  /// bases.size() == shards.size() + 1, bases[0] == 0, and shard s owns
+  /// global priorities [bases[s], bases[s+1]).
+  struct ShardSet {
+    std::vector<Shard> shards;
+    std::vector<std::size_t> bases{0};
+  };
+
+  /// Writer-plane scratch state while applying one coalesced batch.
+  struct Working {
+    std::vector<Shard> shards;
+    std::vector<std::size_t> bases;
+    std::vector<engines::EnginePtr> patched;        // pending replacement engines
+    std::vector<unsigned char> needs_rebuild;       // factory rebuild fallback
+    bool dirty = false;
+  };
+
+  static std::size_t owning_shard(const std::vector<std::size_t>& bases, std::size_t g);
+
+  // Reader plane.
+  void merge(const ShardSet& snap,
+             std::span<const std::vector<engines::MatchResult>> local,
+             std::span<engines::MatchResult> results) const;
+  bool validate_results(std::span<const engines::MatchResult> results,
+                        std::size_t shard_rules) const;
+  void record_shard_fault(const Shard& shard, std::uint64_t packets) const;
+
+  // Writer plane (UpdateQueue applier thread only).
+  void apply_batch(std::vector<UpdateQueue::Pending>& batch);
+  bool apply_one(Working& w, const UpdateOp& op);
+  void patch_engine(Working& w, std::size_t s,
+                    const std::function<bool(engines::ClassifierEngine&)>& patch);
+  void schedule_rebuild(std::size_t id, std::uint32_t attempt) const;
+  void rebuild_shard(std::size_t id, std::uint32_t attempt);
+
+  bool wait_update(std::future<bool> f) const;
+
+  ShardedConfig config_;
   mutable RuntimeStats stats_;
+  mutable util::ThreadPool pool_;
+  util::RcuCell<ShardSet> snapshot_;
+  /// Shadow rulesets, one per shard, kept in step with the published
+  /// snapshot. Writer-plane only; the source of truth for factory
+  /// rebuilds (clone-less engines, quarantine reinstatement).
+  std::vector<ruleset::RuleSet> shadow_;
+  std::size_t next_id_ = 0;
+  /// Last member: its applier thread touches everything above, so it
+  /// must start last and stop first.
+  std::unique_ptr<UpdateQueue> queue_;
 };
 
 }  // namespace rfipc::runtime

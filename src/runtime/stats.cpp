@@ -57,10 +57,28 @@ void RuntimeStats::record_batch(std::uint64_t packets, std::uint64_t matches) {
 }
 
 void RuntimeStats::record_shard_batch(std::size_t shard, std::uint64_t latency_ns) {
-  shard_latency_[shard].record(latency_ns);
+  // Shards are identified by stable id; a shard created after a full
+  // drain can carry an id past the initial histogram set — drop those
+  // samples rather than resize under concurrent readers.
+  if (shard < shard_latency_.size()) shard_latency_[shard].record(latency_ns);
 }
 
 void RuntimeStats::record_update() { updates_.fetch_add(1, std::memory_order_relaxed); }
+
+void RuntimeStats::record_fault() { faults_.fetch_add(1, std::memory_order_relaxed); }
+
+void RuntimeStats::record_quarantine() {
+  quarantines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RuntimeStats::record_reinstate() {
+  reinstates_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RuntimeStats::record_swap(std::uint64_t ops) {
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  coalesced_.fetch_add(ops, std::memory_order_relaxed);
+}
 
 StatsSnapshot RuntimeStats::snapshot() const {
   StatsSnapshot s;
@@ -68,6 +86,11 @@ StatsSnapshot RuntimeStats::snapshot() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.matches = matches_.load(std::memory_order_relaxed);
   s.updates = updates_.load(std::memory_order_relaxed);
+  s.faults = faults_.load(std::memory_order_relaxed);
+  s.quarantines = quarantines_.load(std::memory_order_relaxed);
+  s.reinstates = reinstates_.load(std::memory_order_relaxed);
+  s.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
+  s.coalesced_ops = coalesced_.load(std::memory_order_relaxed);
   s.shards.reserve(shard_latency_.size());
   for (const auto& h : shard_latency_) {
     s.shards.push_back({h.count(), h.quantile_ns(0.50), h.quantile_ns(0.99)});
@@ -80,6 +103,11 @@ void RuntimeStats::reset() {
   batches_.store(0, std::memory_order_relaxed);
   matches_.store(0, std::memory_order_relaxed);
   updates_.store(0, std::memory_order_relaxed);
+  faults_.store(0, std::memory_order_relaxed);
+  quarantines_.store(0, std::memory_order_relaxed);
+  reinstates_.store(0, std::memory_order_relaxed);
+  swaps_.store(0, std::memory_order_relaxed);
+  coalesced_.store(0, std::memory_order_relaxed);
   for (auto& h : shard_latency_) h.reset();
 }
 
@@ -87,7 +115,17 @@ std::string StatsSnapshot::to_string() const {
   std::string out = "packets=" + std::to_string(packets) +
                     " matches=" + std::to_string(matches) +
                     " batches=" + std::to_string(batches) +
-                    " updates=" + std::to_string(updates);
+                    " updates=" + std::to_string(updates) +
+                    " swaps=" + std::to_string(snapshot_swaps) +
+                    " faults=" + std::to_string(faults);
+  if (degraded) out += " DEGRADED";
+  for (const auto& h : health) {
+    if (h.quarantined || h.faults > 0 || h.reinstated > 0) {
+      out += " health" + std::to_string(h.id) + "{faults=" + std::to_string(h.faults) +
+             (h.quarantined ? " QUARANTINED" : "") +
+             " reinstated=" + std::to_string(h.reinstated) + "}";
+    }
+  }
   for (std::size_t s = 0; s < shards.size(); ++s) {
     out += " shard" + std::to_string(s) + "{batches=" + std::to_string(shards[s].batches) +
            " p50=" + std::to_string(shards[s].p50_ns) + "ns" +

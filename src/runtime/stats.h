@@ -40,13 +40,33 @@ struct ShardLatency {
   std::uint64_t p99_ns = 0;
 };
 
+/// Failure-containment digest for one live shard (filled by the
+/// ShardedClassifier from the current RCU snapshot's health records).
+struct ShardHealthDigest {
+  std::size_t id = 0;     // stable shard identity (survives band shifts)
+  std::size_t rules = 0;  // rules currently owned
+  std::uint64_t faults = 0;
+  std::uint64_t degraded_packets = 0;  // packets served without this shard
+  std::uint32_t reinstated = 0;        // rebuild-and-reinstate cycles
+  bool quarantined = false;
+};
+
 /// A point-in-time copy of every counter, safe to print or diff.
 struct StatsSnapshot {
   std::uint64_t packets = 0;
   std::uint64_t batches = 0;
   std::uint64_t matches = 0;
   std::uint64_t updates = 0;
+  std::uint64_t faults = 0;          // shard lookup faults observed
+  std::uint64_t quarantines = 0;     // shards taken out of service
+  std::uint64_t reinstates = 0;      // shards rebuilt and returned
+  std::uint64_t snapshot_swaps = 0;  // RCU snapshot publications
+  std::uint64_t coalesced_ops = 0;   // update ops folded into those swaps
+  /// True while any shard is quarantined: results are still served but
+  /// may miss that shard's priority band.
+  bool degraded = false;
   std::vector<ShardLatency> shards;
+  std::vector<ShardHealthDigest> health;
 
   /// "packets=... matches=... updates=... shard0 p50=..us p99=..us ..."
   std::string to_string() const;
@@ -67,6 +87,14 @@ class RuntimeStats {
   void record_shard_batch(std::size_t shard, std::uint64_t latency_ns);
   /// One rule insert/erase applied.
   void record_update();
+  /// One shard lookup fault (exception or corrupted result) contained.
+  void record_fault();
+  /// One shard quarantined after exceeding its fault threshold.
+  void record_quarantine();
+  /// One quarantined shard rebuilt and returned to service.
+  void record_reinstate();
+  /// One RCU snapshot publication covering `ops` coalesced updates.
+  void record_swap(std::uint64_t ops);
 
   StatsSnapshot snapshot() const;
   void reset();
@@ -76,6 +104,11 @@ class RuntimeStats {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> matches_{0};
   std::atomic<std::uint64_t> updates_{0};
+  std::atomic<std::uint64_t> faults_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> reinstates_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
   std::vector<LatencyHistogram> shard_latency_;
 };
 

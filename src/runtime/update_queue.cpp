@@ -1,0 +1,123 @@
+#include "runtime/update_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rfipc::runtime {
+
+UpdateQueue::UpdateQueue(BatchApplier apply)
+    : apply_(std::move(apply)), worker_([this] { loop(); }) {}
+
+UpdateQueue::~UpdateQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+std::future<bool> UpdateQueue::submit(UpdateOp op) {
+  Pending p;
+  p.op = std::move(op);
+  std::future<bool> f = p.done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.push_back(std::move(p));
+    ++counters_.submitted;
+  }
+  cv_.notify_all();
+  return f;
+}
+
+void UpdateQueue::schedule(std::chrono::steady_clock::time_point when,
+                           std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    timers_.push_back({when, std::move(fn)});
+  }
+  cv_.notify_all();
+}
+
+void UpdateQueue::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return ops_.empty() && !busy_; });
+}
+
+UpdateQueue::Counters UpdateQueue::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void UpdateQueue::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (ops_.empty()) {
+      if (stop_) break;
+      // Sleep until work arrives or the earliest timer is due.
+      auto next_timer = std::min_element(
+          timers_.begin(), timers_.end(),
+          [](const Timer& a, const Timer& b) { return a.when < b.when; });
+      if (next_timer != timers_.end()) {
+        // Copy the deadline out: wait_until holds it by reference and
+        // re-reads it with the mutex released, and a concurrent
+        // schedule() may reallocate timers_ underneath it.
+        const auto deadline = next_timer->when;
+        cv_.wait_until(lock, deadline);
+      } else {
+        cv_.wait(lock);
+      }
+    }
+
+    // Coalesce: take everything pending in one batch.
+    std::vector<Pending> batch;
+    batch.reserve(ops_.size());
+    while (!ops_.empty()) {
+      batch.push_back(std::move(ops_.front()));
+      ops_.pop_front();
+    }
+
+    // Collect due maintenance callbacks.
+    std::vector<std::function<void()>> due;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = timers_.begin(); it != timers_.end();) {
+      if (it->when <= now) {
+        due.push_back(std::move(it->fn));
+        it = timers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (batch.empty() && due.empty()) continue;
+    busy_ = true;
+    if (!batch.empty()) {
+      ++counters_.batches;
+      counters_.max_batch = std::max<std::uint64_t>(counters_.max_batch, batch.size());
+    }
+    lock.unlock();
+
+    if (!batch.empty()) {
+      try {
+        apply_(batch);
+      } catch (...) {
+        // The applier failed wholesale; fail any promise it left unset
+        // so submitters are not stranded. set_value on an already-set
+        // promise throws promise_already_satisfied — swallow it.
+        for (auto& p : batch) {
+          try {
+            p.done.set_value(false);
+          } catch (const std::future_error&) {
+          }
+        }
+      }
+    }
+    for (auto& fn : due) fn();
+
+    lock.lock();
+    busy_ = false;
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace rfipc::runtime

@@ -1,0 +1,108 @@
+// The runtime's serialized update plane.
+//
+// Any thread may submit rule inserts/erases; one internal applier
+// thread drains the queue and hands everything pending to the owner's
+// batch applier in submission order. Draining everything at once is
+// what makes snapshot swaps cheap under update storms: a burst of K
+// ops against one shard costs one clone-patch-publish, not K grace
+// periods (the software analogue of the paper's observation that
+// hardware update cost is dominated by the pipeline-stall, not the
+// per-entry write — so you batch entries per stall).
+//
+// submit() returns a completion future that resolves to the op's
+// validation result once the snapshot containing it has been
+// published — i.e. when every subsequent lookup is guaranteed to see
+// it. The queue also runs deadline-scheduled maintenance callbacks
+// (shard rebuild with exponential backoff) on the same thread, so all
+// writer-plane state is single-threaded by construction.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ruleset/rule.h"
+
+namespace rfipc::runtime {
+
+struct UpdateOp {
+  enum class Kind : std::uint8_t { kInsert, kErase };
+
+  Kind kind = Kind::kInsert;
+  std::size_t index = 0;
+  ruleset::Rule rule;  // meaningful for kInsert
+
+  static UpdateOp insert(std::size_t index, ruleset::Rule rule) {
+    return UpdateOp{Kind::kInsert, index, std::move(rule)};
+  }
+  static UpdateOp erase(std::size_t index) {
+    return UpdateOp{Kind::kErase, index, {}};
+  }
+};
+
+class UpdateQueue {
+ public:
+  /// One submitted op plus its completion promise. The applier must
+  /// set_value() on every entry it is handed (after publication).
+  struct Pending {
+    UpdateOp op;
+    std::promise<bool> done;
+  };
+  /// Called on the applier thread with everything pending, in
+  /// submission order, coalesced into one batch.
+  using BatchApplier = std::function<void(std::vector<Pending>&)>;
+
+  struct Counters {
+    std::uint64_t submitted = 0;
+    std::uint64_t batches = 0;    // applier invocations (>= 1 op each)
+    std::uint64_t max_batch = 0;  // largest coalesced batch
+  };
+
+  explicit UpdateQueue(BatchApplier apply);
+  /// Drains whatever is still queued (applying it), then joins the
+  /// applier thread. Unfired maintenance timers are dropped.
+  ~UpdateQueue();
+
+  UpdateQueue(const UpdateQueue&) = delete;
+  UpdateQueue& operator=(const UpdateQueue&) = delete;
+
+  /// Enqueues an op (multi-producer, non-blocking). The future resolves
+  /// after the op's snapshot is published: true = applied, false =
+  /// rejected by validation.
+  std::future<bool> submit(UpdateOp op);
+
+  /// Runs `fn` on the applier thread at/after `when`.
+  void schedule(std::chrono::steady_clock::time_point when, std::function<void()> fn);
+
+  /// Blocks until every op submitted before the call has been applied.
+  void flush();
+
+  Counters counters() const;
+
+ private:
+  struct Timer {
+    std::chrono::steady_clock::time_point when;
+    std::function<void()> fn;
+  };
+
+  void loop();
+
+  BatchApplier apply_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Pending> ops_;
+  std::vector<Timer> timers_;
+  Counters counters_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::thread worker_;  // last member: starts after everything above exists
+};
+
+}  // namespace rfipc::runtime

@@ -1,0 +1,53 @@
+#include "util/rcu.h"
+
+#include <thread>
+
+namespace rfipc::util {
+namespace {
+
+std::size_t thread_slot_hint() {
+  // Cheap per-thread mix of the thread id; collisions only cost a probe.
+  const std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return h * 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace
+
+RcuDomain::ReadGuard RcuDomain::read_lock() {
+  const std::size_t start = thread_slot_hint();
+  for (std::size_t probe = 0;; ++probe) {
+    Slot& slot = slots_[(start + probe) % kSlots];
+    std::uint64_t expected = 0;
+    std::uint64_t e = global_.load(std::memory_order_seq_cst);
+    if (slot.epoch.compare_exchange_strong(expected, e, std::memory_order_seq_cst)) {
+      // Re-confirm against a concurrent epoch bump: a writer that
+      // advanced the epoch between our global load and the slot store
+      // might already have scanned this slot while it read 0. Republish
+      // until the published epoch and the global agree, so the writer's
+      // next scan classifies us correctly.
+      while (true) {
+        const std::uint64_t now = global_.load(std::memory_order_seq_cst);
+        if (now == e) break;
+        e = now;
+        slot.epoch.store(e, std::memory_order_seq_cst);
+      }
+      return ReadGuard(&slot.epoch);
+    }
+    if (probe != 0 && (probe % kSlots) == 0) std::this_thread::yield();
+  }
+}
+
+void RcuDomain::synchronize() {
+  // Readers at epoch >= target entered after the bump and can only be
+  // holding the new snapshot; anything older must drain.
+  const std::uint64_t target = global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  for (Slot& slot : slots_) {
+    while (true) {
+      const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+      if (e == 0 || e >= target) break;
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace rfipc::util

@@ -1,0 +1,176 @@
+// Epoch-based read-copy-update (RCU) for wait-on-write, lock-free-read
+// snapshot publication.
+//
+// The runtime's concurrency model mirrors the hardware update story of
+// the paper's engines: lookups stream through an immutable pipeline
+// image while the update plane assembles a patched image off to the
+// side and swaps it in atomically. In software that swap is an RCU
+// snapshot exchange: readers pin the current snapshot by publishing the
+// global epoch into a per-reader slot (no locks, no reference-count
+// contention on the hot path), and a writer retires the previous
+// snapshot only after every slot has either gone quiescent or advanced
+// past the swap epoch — the grace period.
+//
+// RcuDomain is the epoch machinery; RcuCell<T> is the publication
+// point: one atomic pointer to an immutable T plus a domain to drain
+// readers through. Writers are expected to be rare and serialized by
+// the caller (the runtime funnels them through one UpdateQueue thread);
+// readers may be arbitrarily many and never block each other or the
+// writer's preparation phase — only the retirement of the old snapshot
+// waits.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace rfipc::util {
+
+/// Epoch-slot grace-period tracker. Readers claim one of kSlots
+/// cache-line-isolated epoch slots for the duration of a critical
+/// section; synchronize() waits until no slot still holds an epoch
+/// older than the call. More than kSlots *simultaneous* readers spin
+/// briefly for a free slot (they never deadlock: slots are held only
+/// across bounded read-side sections).
+class RcuDomain {
+ public:
+  static constexpr std::size_t kSlots = 128;
+
+  RcuDomain() = default;
+  RcuDomain(const RcuDomain&) = delete;
+  RcuDomain& operator=(const RcuDomain&) = delete;
+
+  /// RAII read-side critical section. Movable, not copyable; releasing
+  /// the guard makes the slot quiescent again.
+  class ReadGuard {
+   public:
+    ReadGuard() = default;
+    ReadGuard(ReadGuard&& other) noexcept : slot_(std::exchange(other.slot_, nullptr)) {}
+    ReadGuard& operator=(ReadGuard&& other) noexcept {
+      if (this != &other) {
+        release();
+        slot_ = std::exchange(other.slot_, nullptr);
+      }
+      return *this;
+    }
+    ~ReadGuard() { release(); }
+
+    bool active() const { return slot_ != nullptr; }
+
+   private:
+    friend class RcuDomain;
+    explicit ReadGuard(std::atomic<std::uint64_t>* slot) : slot_(slot) {}
+    void release() {
+      if (slot_ != nullptr) {
+        slot_->store(0, std::memory_order_release);
+        slot_ = nullptr;
+      }
+    }
+
+    std::atomic<std::uint64_t>* slot_ = nullptr;
+  };
+
+  /// Enters a read-side critical section: claims a slot and publishes
+  /// the current epoch into it. Loads of RCU-protected pointers must
+  /// happen while the guard is alive.
+  ReadGuard read_lock();
+
+  /// Waits until every reader that entered before this call has left
+  /// its critical section. Callable concurrently from several writers.
+  void synchronize();
+
+  /// Current global epoch (diagnostics/tests).
+  std::uint64_t epoch() const { return global_.load(std::memory_order_relaxed); }
+
+ private:
+  struct alignas(64) Slot {
+    /// 0 = quiescent; otherwise the epoch the resident reader entered
+    /// under (always >= 2, so 0 is unambiguous).
+    std::atomic<std::uint64_t> epoch{0};
+  };
+
+  Slot slots_[kSlots];
+  std::atomic<std::uint64_t> global_{2};
+};
+
+/// One RCU-published value: readers get a pinned view of the current
+/// immutable snapshot; a writer installs a replacement and blocks only
+/// for the grace period that lets the previous snapshot retire.
+///
+/// Snapshots are shared_ptr so a writer can keep structural sharing
+/// between consecutive snapshots (e.g. reuse untouched shard engines);
+/// readers never touch the control block — the epoch guard, not the
+/// refcount, is what keeps their snapshot alive.
+template <typename T>
+class RcuCell {
+ public:
+  /// A pinned snapshot view. Keep it only for the duration of one
+  /// operation (a classify_batch call, not an application lifetime):
+  /// holding it blocks writers' grace periods.
+  class ReadRef {
+   public:
+    const T& operator*() const { return *ptr_; }
+    const T* operator->() const { return ptr_; }
+    const T* get() const { return ptr_; }
+
+   private:
+    friend class RcuCell;
+    ReadRef(RcuDomain::ReadGuard guard, const T* ptr)
+        : guard_(std::move(guard)), ptr_(ptr) {}
+
+    RcuDomain::ReadGuard guard_;
+    const T* ptr_;
+  };
+
+  explicit RcuCell(std::shared_ptr<const T> initial = nullptr)
+      : current_(std::move(initial)), ptr_(current_.get()) {}
+
+  ~RcuCell() = default;  // no readers may be active at destruction
+
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+
+  /// Pins and returns the current snapshot. Lock-free (one CAS on an
+  /// epoch slot); never blocks on writers.
+  ReadRef read() const {
+    auto guard = domain_.read_lock();
+    const T* p = ptr_.load(std::memory_order_acquire);
+    return ReadRef(std::move(guard), p);
+  }
+
+  /// Writer-side peek at the current snapshot without pinning: the
+  /// returned shared_ptr keeps it alive by ownership instead. Intended
+  /// for the (serialized) writer preparing the next snapshot.
+  std::shared_ptr<const T> current() const {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    return current_;
+  }
+
+  /// Publishes `next` and waits for the grace period, so on return no
+  /// reader can still observe the previous snapshot. Returns the
+  /// retired snapshot (usually just dropped).
+  std::shared_ptr<const T> exchange(std::shared_ptr<const T> next) {
+    std::shared_ptr<const T> old;
+    {
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      old = std::move(current_);
+      current_ = std::move(next);
+      ptr_.store(current_.get(), std::memory_order_seq_cst);
+    }
+    domain_.synchronize();
+    return old;
+  }
+
+  RcuDomain& domain() const { return domain_; }
+
+ private:
+  mutable RcuDomain domain_;
+  mutable std::mutex writer_mu_;  // serializes concurrent writers
+  std::shared_ptr<const T> current_;
+  std::atomic<const T*> ptr_;
+};
+
+}  // namespace rfipc::util

@@ -3,6 +3,8 @@
 // seed-fuzz pass pitting every engine against the golden reference.
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 #include "engines/common/factory.h"
 #include "engines/common/linear_engine.h"
 #include "ruleset/generator.h"
@@ -12,8 +14,10 @@ namespace rfipc::engines {
 namespace {
 
 std::string sanitize(std::string s) {
+  // gtest parameterized test names allow only [A-Za-z0-9_]; specs carry
+  // ':', '-', and wrapper syntax like "faulty(linear):p=0".
   for (auto& c : s) {
-    if (c == ':' || c == '-') c = '_';
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
   }
   return s;
 }

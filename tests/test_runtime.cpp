@@ -131,14 +131,38 @@ TEST(ShardedClassifier, UpdatesRouteToOwningShardAndStayCorrect) {
   }
 }
 
-TEST(ShardedClassifier, RefusesToEmptyAShard) {
-  const auto rules = ruleset::generate_firewall(4, 3);
+// Regression: erase_rule used to refuse to empty a shard. It must now
+// collapse the emptied band instead, stay correct across the shrink,
+// keep draining down to zero rules, and re-seed on the next insert.
+TEST(ShardedClassifier, ErasingLastRuleOfBandCollapsesIt) {
+  auto mirror = ruleset::generate_firewall(4, 3);
   ShardedConfig cfg;
   cfg.shards = 4;
-  ShardedClassifier sc(rules, cfg);
-  EXPECT_FALSE(sc.erase_rule(2));  // every band holds exactly one rule
-  ASSERT_TRUE(sc.insert_rule(2, rules[0]));
-  EXPECT_TRUE(sc.erase_rule(2));  // band grew; erase is allowed again
+  ShardedClassifier sc(mirror, cfg);
+  ASSERT_EQ(sc.shard_count(), 4u);
+
+  ASSERT_TRUE(sc.erase_rule(2));  // band of one rule -> collapses
+  mirror.erase(2);
+  EXPECT_EQ(sc.shard_count(), 3u);
+  EXPECT_EQ(sc.rule_count(), mirror.size());
+
+  const engines::LinearSearchEngine golden(mirror);
+  const auto headers = packed_trace(mirror, 80, 9);
+  for (const auto& h : headers) {
+    ASSERT_EQ(sc.classify(h).best, golden.classify(h).best);
+  }
+
+  // Drain to empty: the classifier keeps serving (with no matches).
+  while (sc.rule_count() > 0) ASSERT_TRUE(sc.erase_rule(0));
+  EXPECT_EQ(sc.shard_count(), 0u);
+  EXPECT_FALSE(sc.classify(headers[0]).has_match());
+  EXPECT_FALSE(sc.erase_rule(0));  // nothing left to erase
+
+  // Inserting into a drained classifier re-seeds a shard.
+  ASSERT_TRUE(sc.insert_rule(0, ruleset::Rule::any()));
+  EXPECT_EQ(sc.shard_count(), 1u);
+  EXPECT_EQ(sc.rule_count(), 1u);
+  EXPECT_EQ(sc.classify(headers[0]).best, 0u);
 }
 
 TEST(ShardedClassifier, StatsCountPacketsBatchesAndMatches) {
