@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Perf smoke: one quick benchmark run whose numbers are captured as
+# machine-readable JSON, so the throughput trajectory of the software
+# data plane can be tracked across commits.
+#
+#   scripts/bench_smoke.sh [build-dir]
+#
+# Builds (reusing the default ./build unless told otherwise), runs
+# bench_runtime_batch, and converts its runtime_batch.csv into
+# BENCH_runtime.json at the repo root:
+#
+#   {
+#     "bench": "runtime_batch",
+#     "simd": "avx2",
+#     "rows": [ {"configuration": "...", "mpkt_s": 1.99, "speedup": 16.8}, ... ]
+#   }
+#
+# The bench's own [PASS]/[FAIL] checks gate the exit status, so a perf
+# regression that trips a check fails the smoke too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j --target bench_runtime_batch
+
+workdir="${BUILD_DIR}/bench-smoke"
+mkdir -p "${workdir}"
+log="${workdir}/bench_runtime_batch.log"
+(cd "${workdir}" && "../bench/bench_runtime_batch") | tee "${log}"
+
+if grep -q '\[FAIL\]' "${log}"; then
+  echo "bench_smoke: FAILED check in bench_runtime_batch" >&2
+  exit 1
+fi
+
+simd="$(sed -n 's/^SIMD dispatch: //p' "${log}" | head -n1)"
+csv="${workdir}/runtime_batch.csv"
+if [[ ! -f "${csv}" ]]; then
+  echo "bench_smoke: ${csv} was not produced" >&2
+  exit 1
+fi
+
+awk -v simd="${simd}" -F',' '
+  NR == 1 { next }  # header row
+  {
+    row = sprintf("    {\"configuration\": \"%s\", \"mpkt_s\": %s, \"speedup\": %s}",
+                  $1, $2, $3)
+    rows = rows == "" ? row : rows ",\n" row
+  }
+  END {
+    printf "{\n  \"bench\": \"runtime_batch\",\n  \"simd\": \"%s\",\n", simd
+    printf "  \"rows\": [\n%s\n  ]\n}\n", rows
+  }
+' "${csv}" > BENCH_runtime.json
+
+echo
+echo "bench_smoke: wrote BENCH_runtime.json ($(grep -c '"configuration"' BENCH_runtime.json) rows, simd=${simd})"

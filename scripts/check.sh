@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# CI-style gate: tier-1 build + tests in three configurations.
+# CI-style gate: tier-1 build + tests in four configurations.
 #   1. plain           — the default RelWithDebInfo build, full ctest
-#   2. address,undefined — ASan+UBSan build, full ctest
-#   3. thread          — TSan build, concurrency-sensitive tests only
+#   2. scalar          — RFIPC_DISABLE_SIMD=ON, full ctest, so the
+#      portable fallback data plane stays green alongside the AVX2 one
+#   3. address,undefined — ASan+UBSan build, full ctest
+#   4. thread          — TSan build, concurrency-sensitive tests only
 #      (thread pool, RCU, sharded runtime, concurrent update stress,
-#      fault containment), since TSan triples runtimes
+#      fault containment, flow-cache coherence), since TSan triples
+#      runtimes
 # Each configuration uses its own build directory so the default
 # ./build stays untouched for development.
 set -euo pipefail
@@ -14,22 +17,29 @@ run() {
   local dir="$1" sanitize="$2"
   shift 2
   echo "== ${dir} (RFIPC_SANITIZE='${sanitize}') =="
-  cmake -B "${dir}" -S . -DRFIPC_SANITIZE="${sanitize}" >/dev/null
+  cmake -B "${dir}" -S . -DRFIPC_SANITIZE="${sanitize}" "${CMAKE_ARGS[@]}" >/dev/null
   cmake --build "${dir}" -j "$@"
   # -j needs an explicit value: a bare "-j" would swallow the next
   # CTEST_ARGS element (e.g. -R) as its argument.
   (cd "${dir}" && ctest --output-on-failure -j "$(nproc)" "${CTEST_ARGS[@]}")
 }
 
+CMAKE_ARGS=()
 CTEST_ARGS=()
 run build ""
 
+CMAKE_ARGS=(-DRFIPC_DISABLE_SIMD=ON)
+CTEST_ARGS=()
+run build-scalar ""
+
+CMAKE_ARGS=()
 CTEST_ARGS=()
 run build-asan "address,undefined"
 
-CTEST_ARGS=(-R 'test_thread_pool|test_runtime|test_rcu|test_fault_containment')
+CMAKE_ARGS=()
+CTEST_ARGS=(-R 'test_thread_pool|test_runtime|test_rcu|test_fault_containment|test_flow_cache')
 run build-tsan "thread" --target test_thread_pool test_runtime test_rcu \
-  test_runtime_concurrent test_fault_containment
+  test_runtime_concurrent test_fault_containment test_flow_cache
 
 echo
 echo "== check.sh: all configurations passed =="

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point. Thin wrapper around check.sh so that local runs and the
 # GitHub Actions workflow (.github/workflows/ci.yml) gate on the exact
-# same thing: tier-1 build + tests in plain, ASan/UBSan, and TSan
-# configurations. Keeping the logic in check.sh means a green local run
-# is a green CI run.
+# same thing: tier-1 build + tests in plain, scalar-SIMD-fallback,
+# ASan/UBSan, and TSan configurations. Keeping the logic in check.sh
+# means a green local run is a green CI run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

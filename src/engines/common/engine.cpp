@@ -5,11 +5,15 @@
 namespace rfipc::engines {
 
 void ClassifierEngine::classify_batch(std::span<const net::HeaderBits> headers,
-                                      std::span<MatchResult> results) const {
+                                      std::span<MatchResult> results,
+                                      const BatchOptions& opts) const {
   if (headers.size() != results.size()) {
     throw std::invalid_argument("classify_batch: span size mismatch");
   }
-  for (std::size_t i = 0; i < headers.size(); ++i) results[i] = classify(headers[i]);
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    results[i] = classify(headers[i]);
+    if (!opts.want_multi) results[i].multi.assign_zeros(0);
+  }
 }
 
 bool ClassifierEngine::insert_rule(std::size_t /*index*/, const ruleset::Rule& /*rule*/) {

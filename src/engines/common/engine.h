@@ -17,6 +17,14 @@
 
 namespace rfipc::engines {
 
+/// Per-call knobs for classify_batch. Callers that only need the best
+/// match opt out of the multi-match vector and the engines skip filling
+/// it (results carry an empty `multi`), which both saves the fold work
+/// and lets best-match-only engines short-circuit their scan.
+struct BatchOptions {
+  bool want_multi = true;
+};
+
 class ClassifierEngine {
  public:
   virtual ~ClassifierEngine() = default;
@@ -34,9 +42,18 @@ class ClassifierEngine {
   /// have equal length. Default: a loop over classify(). The hot
   /// engines (linear, StrideBV, TCAM) override it with tight
   /// non-virtual inner loops that reuse scratch vectors across packets
-  /// — the software batch path the runtime layer builds on.
+  /// — the software batch path the runtime layer builds on. Engines
+  /// reset each result via MatchResult::reset_for, so passing the same
+  /// results array across batches classifies without allocating.
   virtual void classify_batch(std::span<const net::HeaderBits> headers,
-                              std::span<MatchResult> results) const;
+                              std::span<MatchResult> results,
+                              const BatchOptions& opts) const;
+
+  /// Convenience overload with default options (multi-match wanted).
+  void classify_batch(std::span<const net::HeaderBits> headers,
+                      std::span<MatchResult> results) const {
+    classify_batch(headers, results, BatchOptions{});
+  }
 
   /// True when classify() fills MatchResult::multi.
   virtual bool supports_multi_match() const { return false; }

@@ -78,7 +78,8 @@ MatchResult FaultInjectorEngine::classify(const net::HeaderBits& header) const {
 }
 
 void FaultInjectorEngine::classify_batch(std::span<const net::HeaderBits> headers,
-                                         std::span<MatchResult> results) const {
+                                         std::span<MatchResult> results,
+                                         const BatchOptions& opts) const {
   FaultProfile::Mode kind;
   if (draw_fault(kind)) {
     switch (kind) {
@@ -95,7 +96,7 @@ void FaultInjectorEngine::classify_batch(std::span<const net::HeaderBits> header
         break;
     }
   }
-  inner_->classify_batch(headers, results);
+  inner_->classify_batch(headers, results, opts);
 }
 
 bool FaultInjectorEngine::insert_rule(std::size_t index, const ruleset::Rule& rule) {

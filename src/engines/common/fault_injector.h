@@ -57,7 +57,9 @@ class FaultInjectorEngine final : public ClassifierEngine {
 
   MatchResult classify(const net::HeaderBits& header) const override;
   void classify_batch(std::span<const net::HeaderBits> headers,
-                      std::span<MatchResult> results) const override;
+                      std::span<MatchResult> results,
+                      const BatchOptions& opts) const override;
+  using ClassifierEngine::classify_batch;
   bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
   bool erase_rule(std::size_t index) override;
   EnginePtr clone() const override;

@@ -18,7 +18,8 @@ MatchResult LinearSearchEngine::classify(const net::HeaderBits& header) const {
 }
 
 void LinearSearchEngine::classify_batch(std::span<const net::HeaderBits> headers,
-                                        std::span<MatchResult> results) const {
+                                        std::span<MatchResult> results,
+                                        const BatchOptions& opts) const {
   if (headers.size() != results.size()) {
     throw std::invalid_argument("classify_batch: span size mismatch");
   }
@@ -26,10 +27,13 @@ void LinearSearchEngine::classify_batch(std::span<const net::HeaderBits> headers
   for (std::size_t p = 0; p < headers.size(); ++p) {
     const net::FiveTuple t = headers[p].unpack();
     MatchResult& r = results[p];
-    r.best = MatchResult::kNoMatch;
-    r.multi = util::BitVector(rules.size());
+    r.reset_for(rules.size(), opts.want_multi);
     for (std::size_t i = 0; i < rules.size(); ++i) {
       if (rules[i].matches(t)) {
+        if (!opts.want_multi) {
+          r.best = i;
+          break;  // rules are scanned in priority order
+        }
         r.multi.set(i);
         if (r.best == MatchResult::kNoMatch) r.best = i;
       }

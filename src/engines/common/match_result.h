@@ -21,6 +21,15 @@ struct MatchResult {
 
   bool has_match() const { return best != kNoMatch; }
 
+  /// Resets to "no match" with a zeroed multi vector of `rules` bits
+  /// (or an empty one when `want_multi` is false), reusing the existing
+  /// heap buffer whenever capacity suffices. The batch engines call
+  /// this per packet so a recycled results array never reallocates.
+  void reset_for(std::size_t rules, bool want_multi = true) {
+    best = kNoMatch;
+    multi.assign_zeros(want_multi ? rules : 0);
+  }
+
   std::optional<std::size_t> best_or_nullopt() const {
     return has_match() ? std::optional<std::size_t>(best) : std::nullopt;
   }

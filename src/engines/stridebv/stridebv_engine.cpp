@@ -2,6 +2,10 @@
 
 #include <bit>
 #include <stdexcept>
+#include <utility>
+
+#include "engines/common/scratch.h"
+#include "util/simd.h"
 
 namespace rfipc::engines::stridebv {
 namespace {
@@ -52,18 +56,18 @@ std::string StrideBVEngine::name() const {
 util::BitVector StrideBVEngine::match_entries(const net::HeaderBits& header) const {
   // BVP enters stage 0 as all-ones (Figure 2); each stage ANDs the
   // vector its stride value addresses in stage memory. Erased columns
-  // are all-zero in every stage, so they drop out at stage 0.
+  // are all-zero in every stage, so they drop out at stage 0. Once the
+  // partial vector is all-zero no later stage can resurrect a bit, so
+  // the walk stops — the common case for non-matching traffic.
   util::BitVector bv(entries_.size(), true);
   for (unsigned s = 0; s < table_.num_stages(); ++s) {
-    bv.and_with(table_.bv(s, table_.stride_value(header, s)));
+    if (bv.none_and_with(table_.bv(s, table_.stride_value(header, s)))) break;
   }
   return bv;
 }
 
-void StrideBVEngine::fold_entries(const util::BitVector& entry_bv,
-                                  MatchResult& out) const {
-  out.best = MatchResult::kNoMatch;
-  out.multi = util::BitVector(rules_.size());
+void StrideBVEngine::fold_entries(const util::BitVector& entry_bv, MatchResult& out,
+                                  bool want_multi) const {
   // Word-wise scan of the entry vector: physical order is not priority
   // order after updates, so track the minimum rule index while folding.
   const auto words = entry_bv.words();
@@ -74,7 +78,7 @@ void StrideBVEngine::fold_entries(const util::BitVector& entry_bv,
                             static_cast<std::size_t>(std::countr_zero(word));
       word &= word - 1;
       const std::size_t rule = entry_rule_[e];
-      out.multi.set(rule);
+      if (want_multi) out.multi.set(rule);
       if (rule < out.best) out.best = rule;
     }
   }
@@ -97,20 +101,51 @@ MatchResult StrideBVEngine::classify(const net::HeaderBits& header) const {
 }
 
 void StrideBVEngine::classify_batch(std::span<const net::HeaderBits> headers,
-                                    std::span<MatchResult> results) const {
+                                    std::span<MatchResult> results,
+                                    const BatchOptions& opts) const {
   if (headers.size() != results.size()) {
     throw std::invalid_argument("classify_batch: span size mismatch");
   }
-  // One scratch entry vector reused across the whole batch; priority
-  // extraction is the word-scan fold (functionally identical to the
-  // staged PPE, which models hardware structure, not software speed).
-  util::BitVector bv(entries_.size());
-  for (std::size_t p = 0; p < headers.size(); ++p) {
-    bv.set_all();
-    for (unsigned s = 0; s < table_.num_stages(); ++s) {
-      bv.and_with(table_.bv(s, table_.stride_value(headers[p], s)));
+  if (headers.empty()) return;
+  // Zero-allocation inner loop: one ScratchArena per call holds the
+  // partial-match vector and the per-stage row pointers; the SIMD
+  // multi-row AND kernel folds all stages in one dispatch, exiting
+  // early when the partial vector goes all-zero. Priority extraction
+  // is the word-scan fold (functionally identical to the staged PPE,
+  // which models hardware structure, not software speed).
+  const unsigned stages = table_.num_stages();
+  const std::size_t words = util::ceil_div(entries_.size(), util::kWordBits);
+  const auto& kernels = util::simd::active();
+  ScratchArena arena;
+  arena.entry_bv.assign_zeros(entries_.size());
+  arena.rows.resize(stages);
+  arena.rows_ahead.resize(stages);
+  std::uint64_t* dst = arena.entry_bv.words().data();
+
+  // Gathers the stage rows one packet ahead and prefetches their
+  // leading cache lines, so stage memory for packet p+1 streams in
+  // while packet p's AND chain executes.
+  const auto gather = [&](const net::HeaderBits& h, const std::uint64_t** rows,
+                          bool prefetch) {
+    const std::size_t bytes = words * sizeof(std::uint64_t);
+    for (unsigned s = 0; s < stages; ++s) {
+      rows[s] = table_.bv(s, table_.stride_value(h, s)).words().data();
+      if (prefetch) {
+        const char* line = reinterpret_cast<const char*>(rows[s]);
+        for (std::size_t off = 0; off < bytes && off < 256; off += 64) {
+          __builtin_prefetch(line + off, 0, 1);
+        }
+      }
     }
-    fold_entries(bv, results[p]);
+  };
+
+  gather(headers[0], arena.rows.data(), false);
+  for (std::size_t p = 0; p < headers.size(); ++p) {
+    if (p + 1 < headers.size()) gather(headers[p + 1], arena.rows_ahead.data(), true);
+    const bool any = kernels.and_rows_into(dst, arena.rows.data(), stages, words);
+    results[p].reset_for(rules_.size(), opts.want_multi);
+    if (any) fold_entries(arena.entry_bv, results[p], opts.want_multi);
+    std::swap(arena.rows, arena.rows_ahead);
   }
 }
 

@@ -43,8 +43,14 @@ class StrideBVEngine final : public ClassifierEngine {
   bool supports_update() const override { return true; }
 
   MatchResult classify(const net::HeaderBits& header) const override;
+  /// Vectorized batch path: SIMD-dispatched multi-row AND kernels over
+  /// a per-call ScratchArena (zero heap traffic per packet), early exit
+  /// once the partial vector is all-zero, and stage rows prefetched one
+  /// packet ahead.
   void classify_batch(std::span<const net::HeaderBits> headers,
-                      std::span<MatchResult> results) const override;
+                      std::span<MatchResult> results,
+                      const BatchOptions& opts) const override;
+  using ClassifierEngine::classify_batch;
   /// Incremental update: patches the new entry columns and the PPE tag
   /// mapping; cost does not depend on the stage-memory width W or on a
   /// rebuild of the other N-1 rules' columns.
@@ -77,7 +83,10 @@ class StrideBVEngine final : public ClassifierEngine {
 
  private:
   void rebuild();
-  void fold_entries(const util::BitVector& entry_bv, MatchResult& out) const;
+  /// Folds set entry bits onto rule indices in `out` (best + optionally
+  /// multi). `out` must already be reset via MatchResult::reset_for.
+  void fold_entries(const util::BitVector& entry_bv, MatchResult& out,
+                    bool want_multi) const;
 
   ruleset::RuleSet rules_;
   StrideBVConfig config_;

@@ -42,22 +42,28 @@ MatchResult TcamEngine::classify(const net::HeaderBits& header) const {
 }
 
 void TcamEngine::classify_batch(std::span<const net::HeaderBits> headers,
-                                std::span<MatchResult> results) const {
+                                std::span<MatchResult> results,
+                                const BatchOptions& opts) const {
   if (headers.size() != results.size()) {
     throw std::invalid_argument("classify_batch: span size mismatch");
   }
   for (std::size_t p = 0; p < headers.size(); ++p) {
     const net::HeaderBits& h = headers[p];
     MatchResult& r = results[p];
-    r.best = MatchResult::kNoMatch;
-    r.multi = util::BitVector(rules_.size());
+    r.reset_for(rules_.size(), opts.want_multi);
     // Non-virtual inner loop; fold match lines onto rules on the fly
-    // instead of materializing the per-entry vector.
+    // instead of materializing the per-entry vector. Entries are stored
+    // in priority order, so a best-match-only caller stops at the first
+    // hit.
     for (std::size_t e = 0; e < entries_.size(); ++e) {
       if (entries_[e].matches(h)) {
         const std::size_t rule = entry_rule_[e];
+        if (!opts.want_multi) {
+          r.best = rule;
+          break;
+        }
         r.multi.set(rule);
-        if (r.best == MatchResult::kNoMatch || rule < r.best) r.best = rule;
+        if (rule < r.best) r.best = rule;
       }
     }
   }

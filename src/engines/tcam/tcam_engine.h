@@ -24,8 +24,14 @@ class TcamEngine final : public ClassifierEngine {
   bool supports_update() const override { return true; }
 
   MatchResult classify(const net::HeaderBits& header) const override;
+  /// Batch fast path: zero allocation per packet (results recycle their
+  /// multi buffers); with want_multi off the scan stops at the first
+  /// matching entry, which is the best match because entries are stored
+  /// in priority order.
   void classify_batch(std::span<const net::HeaderBits> headers,
-                      std::span<MatchResult> results) const override;
+                      std::span<MatchResult> results,
+                      const BatchOptions& opts) const override;
+  using ClassifierEngine::classify_batch;
   bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
   bool erase_rule(std::size_t index) override;
   EnginePtr clone() const override { return std::make_unique<TcamEngine>(*this); }

@@ -46,6 +46,7 @@
 #include "runtime/sharded_classifier.h"
 #include "runtime/stats.h"
 
+#include "flow/flow_cache.h"
 #include "flow/generic.h"
 #include "flow/schema.h"
 
@@ -68,6 +69,7 @@
 
 #include "util/bitops.h"
 #include "util/bitvector.h"
+#include "util/simd.h"
 #include "util/cli.h"
 #include "util/prng.h"
 #include "util/str.h"

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "engines/common/factory.h"
+#include "engines/common/scratch.h"
 
 namespace rfipc::runtime {
 namespace {
@@ -38,6 +39,9 @@ ShardedClassifier::ShardedClassifier(ruleset::RuleSet rules, ShardedConfig confi
       pool_(pool_threads(config_, clamped_shards(config_.shards, rules.size()))) {
   if (rules.empty()) throw std::invalid_argument("ShardedClassifier: empty ruleset");
   if (config_.failure.quarantine_after == 0) config_.failure.quarantine_after = 1;
+  if (config_.flow_cache_capacity > 0) {
+    cache_ = std::make_unique<flow::FlowCache>(config_.flow_cache_capacity);
+  }
 
   const std::size_t shards = clamped_shards(config_.shards, rules.size());
   const std::size_t base = rules.size() / shards;
@@ -124,9 +128,17 @@ void ShardedClassifier::record_shard_fault(const Shard& shard,
 }
 
 MatchResult ShardedClassifier::classify(const net::HeaderBits& header) const {
-  auto snap = snapshot_.read();
   MatchResult out;
-  out.multi = util::BitVector(snap->bases.back());
+  std::uint64_t epoch = 0;
+  if (cache_ != nullptr) {
+    epoch = cache_->epoch();  // captured before the slow-path snapshot pin
+    if (cache_->lookup(header, out)) {
+      stats_.record_batch(1, out.has_match() ? 1 : 0);
+      return out;
+    }
+  }
+  auto snap = snapshot_.read();
+  out.reset_for(snap->bases.back());
   for (std::size_t s = 0; s < snap->shards.size(); ++s) {
     const Shard& shard = snap->shards[s];
     if (shard.health->quarantined.load(std::memory_order_acquire)) {
@@ -155,19 +167,18 @@ MatchResult ShardedClassifier::classify(const net::HeaderBits& header) const {
       out.multi.set(snap->bases[s] + b);
     }
   }
+  if (cache_ != nullptr) cache_->insert(header, epoch, out);
   stats_.record_batch(1, out.has_match() ? 1 : 0);
   return out;
 }
 
 void ShardedClassifier::merge(const ShardSet& snap,
                               std::span<const std::vector<MatchResult>> local,
-                              std::span<MatchResult> results) const {
-  std::uint64_t matched = 0;
+                              std::span<MatchResult> results, bool want_multi) const {
   const std::size_t total = snap.bases.back();
   for (std::size_t i = 0; i < results.size(); ++i) {
     MatchResult& out = results[i];
-    out.best = MatchResult::kNoMatch;
-    out.multi = util::BitVector(total);
+    out.reset_for(total, want_multi);
     for (std::size_t s = 0; s < local.size(); ++s) {
       // A faulted or quarantined shard contributed nothing this batch.
       if (local[s].size() != results.size()) continue;
@@ -176,27 +187,23 @@ void ShardedClassifier::merge(const ShardSet& snap,
         const std::size_t global = snap.bases[s] + r.best;
         if (global < out.best) out.best = global;
       }
+      if (!want_multi) continue;
       for (std::size_t b = r.multi.first_set(); b != util::BitVector::npos;
            b = r.multi.next_set(b + 1)) {
         out.multi.set(snap.bases[s] + b);
       }
     }
-    if (out.has_match()) ++matched;
   }
-  stats_.record_batch(results.size(), matched);
 }
 
-void ShardedClassifier::classify_batch(std::span<const net::HeaderBits> headers,
-                                       std::span<MatchResult> results) const {
-  if (headers.size() != results.size()) {
-    throw std::invalid_argument("classify_batch: span size mismatch");
-  }
-  if (headers.empty()) return;
-  auto snap = snapshot_.read();
-  std::vector<std::vector<MatchResult>> local(snap->shards.size());
-  pool_.parallel_for(snap->shards.size(), [&](std::size_t sb, std::size_t se) {
+void ShardedClassifier::fan_out(const ShardSet& snap,
+                                std::span<const net::HeaderBits> headers,
+                                std::span<MatchResult> results,
+                                const engines::BatchOptions& opts) const {
+  std::vector<std::vector<MatchResult>> local(snap.shards.size());
+  pool_.parallel_for(snap.shards.size(), [&](std::size_t sb, std::size_t se) {
     for (std::size_t s = sb; s < se; ++s) {
-      const Shard& shard = snap->shards[s];
+      const Shard& shard = snap.shards[s];
       if (shard.health->quarantined.load(std::memory_order_acquire)) {
         shard.health->degraded_packets.fetch_add(headers.size(),
                                                  std::memory_order_relaxed);
@@ -206,7 +213,7 @@ void ShardedClassifier::classify_batch(std::span<const net::HeaderBits> headers,
       const auto start = std::chrono::steady_clock::now();
       bool good = true;
       try {
-        shard.engine->classify_batch(headers, local[s]);
+        shard.engine->classify_batch(headers, local[s], opts);
       } catch (...) {
         good = false;
       }
@@ -220,7 +227,54 @@ void ShardedClassifier::classify_batch(std::span<const net::HeaderBits> headers,
       stats_.record_shard_batch(shard.id, elapsed_ns(start));
     }
   });
-  merge(*snap, local, results);
+  merge(snap, local, results, opts.want_multi);
+}
+
+void ShardedClassifier::classify_batch(std::span<const net::HeaderBits> headers,
+                                       std::span<MatchResult> results,
+                                       const engines::BatchOptions& opts) const {
+  if (headers.size() != results.size()) {
+    throw std::invalid_argument("classify_batch: span size mismatch");
+  }
+  if (headers.empty()) return;
+
+  if (cache_ == nullptr) {
+    auto snap = snapshot_.read();
+    fan_out(*snap, headers, results, opts);
+  } else {
+    // Flow-cache front end: answer hits in place, compact the misses
+    // into a contiguous sub-batch, and fan only that out to the shards.
+    const std::uint64_t epoch = cache_->epoch();
+    const bool multi_capable = supports_multi_match();
+    engines::ScratchArena arena;
+    arena.headers.reserve(headers.size());
+    arena.indices.reserve(headers.size());
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      // A hit cached by a best-only caller has no multi vector; a
+      // multi-wanting caller must treat it as a miss (and refresh it).
+      if (cache_->lookup(headers[i], results[i]) &&
+          !(opts.want_multi && multi_capable && results[i].multi.empty())) {
+        continue;
+      }
+      arena.indices.push_back(i);
+      arena.headers.push_back(headers[i]);
+    }
+    if (!arena.headers.empty()) {
+      auto snap = snapshot_.read();
+      std::vector<MatchResult> miss(arena.headers.size());
+      fan_out(*snap, arena.headers, miss, opts);
+      for (std::size_t j = 0; j < miss.size(); ++j) {
+        cache_->insert(arena.headers[j], epoch, miss[j]);
+        results[arena.indices[j]] = std::move(miss[j]);
+      }
+    }
+  }
+
+  std::uint64_t matched = 0;
+  for (const MatchResult& r : results) {
+    if (r.has_match()) ++matched;
+  }
+  stats_.record_batch(headers.size(), matched);
 }
 
 std::size_t ShardedClassifier::owning_shard(const std::vector<std::size_t>& bases,
@@ -364,6 +418,11 @@ void ShardedClassifier::apply_batch(std::vector<UpdateQueue::Pending>& batch) {
     }
     stats_.record_swap(ops_applied);
     snapshot_.exchange(std::move(next));
+    // Bump the cache epoch AFTER the swap and BEFORE resolving the
+    // completion promises: a reader that still captures the old epoch
+    // can only pin the retired snapshot concurrently with this update,
+    // and its insert will be rejected (or its entry born stale).
+    if (cache_ != nullptr) cache_->invalidate();
   }
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -425,10 +484,20 @@ void ShardedClassifier::rebuild_shard(std::size_t id, std::uint32_t attempt) {
   next->shards[s].health = std::move(health);
   stats_.record_reinstate();
   snapshot_.exchange(std::move(next));
+  // The reinstated shard's band starts answering again: cached
+  // decisions computed while it was quarantined are now wrong.
+  if (cache_ != nullptr) cache_->invalidate();
 }
 
 StatsSnapshot ShardedClassifier::stats_snapshot() const {
   StatsSnapshot out = stats_.snapshot();
+  if (cache_ != nullptr) {
+    const flow::FlowCache::Stats cs = cache_->stats();
+    out.cache_hits = cs.hits;
+    out.cache_misses = cs.misses;
+    out.cache_evictions = cs.evictions;
+    out.cache_invalidations = cs.invalidations;
+  }
   auto snap = snapshot_.read();
   out.health.reserve(snap->shards.size());
   for (std::size_t s = 0; s < snap->shards.size(); ++s) {

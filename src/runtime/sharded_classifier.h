@@ -38,6 +38,15 @@
 // Erasing the last rule of a band collapses the band (the shard is
 // removed and the bases merge) instead of failing; inserting into a
 // fully drained classifier re-seeds a shard.
+//
+// Flow cache: with flow_cache_capacity > 0 an exact-match 5-tuple
+// cache (flow::FlowCache) fronts the shard fan-out — packets whose
+// packed header hits the cache are answered without touching any
+// shard, and only the misses are compacted into a sub-batch for the
+// pipeline. The cache epoch is bumped on every snapshot publication
+// (update swap or shard reinstatement), so by the time an update's
+// completion future resolves no pre-update decision can still be
+// served; see flow/flow_cache.h for the exact coherence argument.
 #pragma once
 
 #include <future>
@@ -46,6 +55,7 @@
 #include <vector>
 
 #include "engines/common/engine.h"
+#include "flow/flow_cache.h"
 #include "runtime/stats.h"
 #include "runtime/update_queue.h"
 #include "util/rcu.h"
@@ -83,6 +93,9 @@ struct ShardedConfig {
   /// though the op stays queued and may still apply later — callers
   /// needing exact completion should use submit_* futures directly.
   std::uint32_t update_timeout_ms = 0;
+  /// Exact-match flow-cache slots fronting the shard fan-out (rounded
+  /// up to a power of two); 0 disables the cache.
+  std::size_t flow_cache_capacity = 0;
 };
 
 class ShardedClassifier final : public engines::ClassifierEngine {
@@ -99,7 +112,9 @@ class ShardedClassifier final : public engines::ClassifierEngine {
 
   engines::MatchResult classify(const net::HeaderBits& header) const override;
   void classify_batch(std::span<const net::HeaderBits> headers,
-                      std::span<engines::MatchResult> results) const override;
+                      std::span<engines::MatchResult> results,
+                      const engines::BatchOptions& opts) const override;
+  using engines::ClassifierEngine::classify_batch;
 
   /// Synchronous update wrappers: route through the update plane and
   /// wait (up to update_timeout_ms) for the publishing snapshot swap.
@@ -122,6 +137,9 @@ class ShardedClassifier final : public engines::ClassifierEngine {
   /// Borrowed view of shard s's engine. Only valid while no update can
   /// retire the shard — use shard_engine() when updates may be live.
   const engines::ClassifierEngine& shard(std::size_t s) const;
+
+  /// The exact-match front end, or nullptr when disabled.
+  const flow::FlowCache* flow_cache() const { return cache_.get(); }
 
   const RuntimeStats& stats() const { return stats_; }
   /// Counters plus the per-shard health/quarantine digest and the
@@ -169,9 +187,14 @@ class ShardedClassifier final : public engines::ClassifierEngine {
   static std::size_t owning_shard(const std::vector<std::size_t>& bases, std::size_t g);
 
   // Reader plane.
+  /// Fans `headers` out to every healthy shard of `snap` on the thread
+  /// pool and merges by global priority into `results`. No stats.
+  void fan_out(const ShardSet& snap, std::span<const net::HeaderBits> headers,
+               std::span<engines::MatchResult> results,
+               const engines::BatchOptions& opts) const;
   void merge(const ShardSet& snap,
              std::span<const std::vector<engines::MatchResult>> local,
-             std::span<engines::MatchResult> results) const;
+             std::span<engines::MatchResult> results, bool want_multi) const;
   bool validate_results(std::span<const engines::MatchResult> results,
                         std::size_t shard_rules) const;
   void record_shard_fault(const Shard& shard, std::uint64_t packets) const;
@@ -189,6 +212,8 @@ class ShardedClassifier final : public engines::ClassifierEngine {
   ShardedConfig config_;
   mutable RuntimeStats stats_;
   mutable util::ThreadPool pool_;
+  /// Exact-match front end; null when flow_cache_capacity == 0.
+  std::unique_ptr<flow::FlowCache> cache_;
   util::RcuCell<ShardSet> snapshot_;
   /// Shadow rulesets, one per shard, kept in step with the published
   /// snapshot. Writer-plane only; the source of truth for factory

@@ -118,6 +118,12 @@ std::string StatsSnapshot::to_string() const {
                     " updates=" + std::to_string(updates) +
                     " swaps=" + std::to_string(snapshot_swaps) +
                     " faults=" + std::to_string(faults);
+  if (cache_hits + cache_misses + cache_invalidations > 0) {
+    out += " cache{hits=" + std::to_string(cache_hits) +
+           " misses=" + std::to_string(cache_misses) +
+           " evictions=" + std::to_string(cache_evictions) +
+           " invalidations=" + std::to_string(cache_invalidations) + "}";
+  }
   if (degraded) out += " DEGRADED";
   for (const auto& h : health) {
     if (h.quarantined || h.faults > 0 || h.reinstated > 0) {

@@ -62,6 +62,11 @@ struct StatsSnapshot {
   std::uint64_t reinstates = 0;      // shards rebuilt and returned
   std::uint64_t snapshot_swaps = 0;  // RCU snapshot publications
   std::uint64_t coalesced_ops = 0;   // update ops folded into those swaps
+  // Flow-cache front end (all zero when the cache is disabled).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_invalidations = 0;
   /// True while any shard is quarantined: results are still served but
   /// may miss that shard's priority band.
   bool degraded = false;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/simd.h"
+
 namespace rfipc::util {
 
 BitVector::BitVector(std::size_t size, bool value)
@@ -30,9 +32,21 @@ void BitVector::resize(std::size_t size) {
   clear_tail();
 }
 
+void BitVector::assign_zeros(std::size_t size) {
+  size_ = size;
+  words_.assign(ceil_div(size, kWordBits), 0);  // vector::assign reuses capacity
+}
+
 void BitVector::and_with(const BitVector& other) {
   if (other.size_ != size_) throw std::invalid_argument("BitVector::and_with: size mismatch");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::active().and_into(words_.data(), other.words_.data(), words_.size());
+}
+
+bool BitVector::none_and_with(const BitVector& other) {
+  if (other.size_ != size_) {
+    throw std::invalid_argument("BitVector::none_and_with: size mismatch");
+  }
+  return !simd::active().and_into(words_.data(), other.words_.data(), words_.size());
 }
 
 void BitVector::or_with(const BitVector& other) {
@@ -51,9 +65,7 @@ void BitVector::flip() {
 }
 
 std::size_t BitVector::count() const {
-  std::size_t n = 0;
-  for (auto w : words_) n += static_cast<std::size_t>(popcount(w));
-  return n;
+  return simd::active().count(words_.data(), words_.size());
 }
 
 bool BitVector::none() const {
@@ -63,7 +75,10 @@ bool BitVector::none() const {
   return true;
 }
 
-std::size_t BitVector::first_set() const { return next_set(0); }
+std::size_t BitVector::first_set() const {
+  const std::size_t b = simd::active().first_set(words_.data(), words_.size());
+  return b == simd::npos ? npos : b;
+}
 
 std::size_t BitVector::next_set(std::size_t from) const {
   if (from >= size_) return npos;

@@ -45,8 +45,18 @@ class BitVector {
   /// Grows or shrinks to `size` bits; new bits are zero.
   void resize(std::size_t size);
 
+  /// Makes the vector exactly `size` bits, all zero, REUSING the
+  /// existing word buffer whenever its capacity suffices — the
+  /// allocation-free reset the batch data plane leans on (a fresh
+  /// BitVector(size) would heap-allocate per call).
+  void assign_zeros(std::size_t size);
+
   /// Destructive bitwise AND with `other`. Sizes must match.
   void and_with(const BitVector& other);
+  /// Destructive bitwise AND with `other` that also reports whether the
+  /// result is all-zero — the early-exit probe of the stage loop (an
+  /// all-zero partial vector can never match again). Sizes must match.
+  bool none_and_with(const BitVector& other);
   /// Destructive bitwise OR with `other`. Sizes must match.
   void or_with(const BitVector& other);
   /// Destructive bitwise XOR with `other`. Sizes must match.
