@@ -90,9 +90,14 @@ int main() {
                  util::fmt_double(wide_rate / 1e6, 3),
                  util::fmt_double(wide_rate / per_packet_rate, 2), "-", "-"});
 
-  // Sharded runtime across shard counts.
+  // Sharded runtime across shard counts. The 1-shard row exercises the
+  // fan-out bypass: a single eligible shard is classified inline on the
+  // calling thread, straight into the caller's results — no thread-pool
+  // dispatch, no per-shard buffers, no merge — so it should track the
+  // raw engine batch row above.
+  double sharded1_rate = 0;
   double sharded4_rate = 0;
-  for (const std::size_t shards : {2u, 4u, 8u}) {
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
     runtime::ShardedConfig cfg;
     cfg.shards = shards;
     cfg.engine_spec = spec;
@@ -103,6 +108,7 @@ int main() {
       sc.classify_batch({headers.data() + off, len}, {results.data() + off, len});
     }
     const double rate = static_cast<double>(kPackets) / seconds_since(t2);
+    if (shards == 1) sharded1_rate = rate;
     if (shards == 4) sharded4_rate = rate;
     // Worst shard's latency digest — the batch completes when the
     // slowest band does.
@@ -174,6 +180,9 @@ int main() {
     std::printf("\nruntime stats: %s\n", sc.stats_snapshot().to_string().c_str());
   }
 
+  bench::check("single-shard runtime rides the engine batch path (fan-out bypassed)",
+               sharded1_rate >= 0.5 * batched_rate,
+               util::fmt_double(sharded1_rate / batched_rate, 2) + "x of raw batch");
   bench::check("sharded runtime (4 shards, batch 512) beats per-packet classify 3x",
                sharded4_rate >= 3.0 * per_packet_rate,
                util::fmt_double(sharded4_rate / per_packet_rate, 2) + "x at " +

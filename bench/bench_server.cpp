@@ -1,0 +1,218 @@
+// Extension: the classification service over its binary wire protocol.
+//
+// bench_runtime_batch prices the in-process batch path; this bench adds
+// the wire tax on top — framing, the epoll reactor, kernel sockets —
+// by standing a ClassifyServer up on loopback and driving it with
+// concurrent blocking clients (one request in flight per connection,
+// concurrency comes from connection count). Reported per configuration:
+// aggregate Mpkt/s and the client-observed request RTT p50/p99. The
+// functional check replays one client batch against the in-process
+// classifier and requires identical best indices — the wire path must
+// not change a single decision.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "runtime/sharded_classifier.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+#include "server/classify_server.h"
+#include "server/client.h"
+#include "util/table.h"
+
+using namespace rfipc;
+
+namespace {
+
+struct LoadResult {
+  double mpkts = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// Drives `connections` blocking clients against the server for
+/// `seconds`, each cycling batch-sized windows through the trace.
+LoadResult drive(std::uint16_t port, std::span<const net::HeaderBits> headers,
+                 std::size_t connections, std::size_t batch, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> packets{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::vector<double>> rtts(connections);
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      server::ClassifyClient client;
+      if (!client.connect("127.0.0.1", port)) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<std::uint64_t> best;
+      std::size_t off = c * batch;  // stagger the windows across clients
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (off + batch > headers.size()) off = 0;
+        const auto s0 = std::chrono::steady_clock::now();
+        if (!client.classify(headers.subspan(off, batch), best)) {
+          failures.fetch_add(1);
+          return;
+        }
+        rtts[c].push_back(
+            std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                      s0)
+                .count());
+        packets.fetch_add(batch, std::memory_order_relaxed);
+        requests.fetch_add(1, std::memory_order_relaxed);
+        off += batch;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  LoadResult r;
+  std::vector<double> all;
+  for (auto& v : rtts) all.insert(all.end(), v.begin(), v.end());
+  r.mpkts = static_cast<double>(packets.load()) / elapsed / 1e6;
+  r.p50_us = percentile(all, 0.50);
+  r.p99_us = percentile(all, 0.99);
+  r.requests = requests.load();
+  r.failures = failures.load();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Extension — classification service over the wire",
+      "the epoll service adds framing + socket cost on top of the in-process "
+      "batch path; concurrent connections keep the reactor busy");
+  bench::functional_gate(256);
+
+  constexpr std::size_t kRules = 512;
+  constexpr std::size_t kPackets = 8192;
+  constexpr std::size_t kBatch = 512;
+  constexpr double kSeconds = 1.5;
+
+  const auto rules = ruleset::generate_firewall(kRules, 2013);
+  ruleset::TraceConfig tcfg;
+  tcfg.size = kPackets;
+  tcfg.seed = 7;
+  std::vector<net::HeaderBits> headers;
+  headers.reserve(kPackets);
+  for (const auto& t : ruleset::generate_trace(rules, tcfg)) headers.emplace_back(t);
+
+  runtime::ShardedConfig rcfg;
+  rcfg.shards = 2;
+  runtime::ShardedClassifier classifier(rules, rcfg);
+
+  // In-process baseline: what the runtime does before any socket.
+  std::vector<engines::MatchResult> results(kPackets);
+  double inproc_rate = 0;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t done = 0;
+    while (std::chrono::steady_clock::now() - t0 < std::chrono::duration<double>(1.0)) {
+      for (std::size_t off = 0; off + kBatch <= kPackets; off += kBatch) {
+        classifier.classify_batch(
+            std::span<const net::HeaderBits>(headers).subspan(off, kBatch),
+            std::span<engines::MatchResult>(results).subspan(off, kBatch),
+            engines::BatchOptions{.want_multi = false});
+        done += kBatch;
+      }
+    }
+    inproc_rate =
+        static_cast<double>(done) /
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() /
+        1e6;
+  }
+
+  server::ClassifyServer srv(classifier, server::ServerConfig{});
+  std::thread serving([&srv] { srv.run(); });
+
+  // Functional check: the wire replies must mirror the in-process path.
+  bool decisions_match = false;
+  {
+    server::ClassifyClient client;
+    std::vector<std::uint64_t> best;
+    if (client.connect("127.0.0.1", srv.port()) &&
+        client.classify(std::span<const net::HeaderBits>(headers).first(kBatch), best)) {
+      classifier.classify_batch(
+          std::span<const net::HeaderBits>(headers).first(kBatch),
+          std::span<engines::MatchResult>(results).first(kBatch),
+          engines::BatchOptions{.want_multi = false});
+      decisions_match = best.size() == kBatch;
+      for (std::size_t i = 0; i < kBatch && decisions_match; ++i) {
+        const std::uint64_t expect =
+            results[i].has_match() ? results[i].best : server::wire::kNoMatch;
+        decisions_match = best[i] == expect;
+      }
+    }
+  }
+
+  util::TextTable table(
+      {"configuration", "Mpkt/s", "wire tax", "p50 RTT (us)", "p99 RTT (us)"});
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", inproc_rate);
+  table.add_row({"in-process batch " + std::to_string(kBatch), buf, "1.00x", "-", "-"});
+
+  std::uint64_t total_failures = 0;
+  double best_wire_rate = 0;
+  for (const std::size_t conns : {1u, 2u, 4u}) {
+    const LoadResult r = drive(srv.port(), headers, conns, kBatch, kSeconds);
+    total_failures += r.failures;
+    best_wire_rate = std::max(best_wire_rate, r.mpkts);
+    char rate[32];
+    char tax[32];
+    char p50[32];
+    char p99[32];
+    std::snprintf(rate, sizeof(rate), "%.2f", r.mpkts);
+    std::snprintf(tax, sizeof(tax), "%.2fx",
+                  inproc_rate > 0 ? r.mpkts / inproc_rate : 0.0);
+    std::snprintf(p50, sizeof(p50), "%.0f", r.p50_us);
+    std::snprintf(p99, sizeof(p99), "%.0f", r.p99_us);
+    table.add_row({"wire " + std::to_string(conns) + " conn x batch " +
+                   std::to_string(kBatch),
+               rate, tax, p50, p99});
+  }
+
+  srv.request_drain();
+  serving.join();
+
+  bench::emit(table, "server.csv");
+  const auto c = srv.counters();
+  std::printf("\nserver counters: %llu requests, %llu B in, %llu B out, "
+              "%llu shed, %llu decode errors\n",
+              static_cast<unsigned long long>(c.requests),
+              static_cast<unsigned long long>(c.bytes_in),
+              static_cast<unsigned long long>(c.bytes_out),
+              static_cast<unsigned long long>(c.shed),
+              static_cast<unsigned long long>(c.decode_errors));
+
+  bench::check("wire decisions identical to the in-process path", decisions_match,
+               "first batch compared element-wise");
+  bench::check("no client observed a transport or protocol failure",
+               total_failures == 0, std::to_string(total_failures) + " failures");
+  bench::check("the wire path sustains measurable throughput", best_wire_rate > 0.01,
+               "best " + std::to_string(best_wire_rate) + " Mpkt/s");
+  return 0;
+}

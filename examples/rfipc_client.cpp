@@ -1,0 +1,135 @@
+// rfipc_client — command-line client for rfipcd.
+//
+//   $ rfipc_client [--host H] --port P <command> [args]
+//
+// Commands:
+//   ping                      round-trip a PING
+//   classify                  classify a generated trace and summarize
+//     [--rules N] [--seed S] [--count C]   (same generator as rfipcd,
+//     so --rules/--seed must match the server's for meaningful hits)
+//   insert --index I [--rule "SIP DIP SP DP PROTO ACTION"]
+//                             insert a rule (default: the catch-all);
+//                             returns after the snapshot publishes
+//   erase --index I           erase the rule at global index I
+//   stats                     print the server's StatsSnapshot JSON
+//
+// The classify summary prints `hits H/C` and `top-index-share K/C`
+// (packets whose best match is global rule 0) — scripts/server_smoke.sh
+// asserts on those lines around a catch-all insert at index 0.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rfipc.h"
+
+using namespace rfipc;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rfipc_client [--host H] --port P "
+               "<ping|classify|insert|erase|stats> [--rules N] [--seed S] "
+               "[--count C] [--index I] [--rule R]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv,
+                       {"host", "port", "rules", "seed", "count", "index", "rule"});
+  if (flags.positional().size() != 1) return usage();
+  const std::string cmd = flags.positional()[0];
+  const auto port = flags.get_u64("port", 0);
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "rfipc_client: --port is required\n");
+    return 2;
+  }
+
+  server::ClassifyClient client;
+  if (!client.connect(flags.get("host", "127.0.0.1"),
+                      static_cast<std::uint16_t>(port))) {
+    std::fprintf(stderr, "rfipc_client: %s\n", client.error().c_str());
+    return 1;
+  }
+
+  if (cmd == "ping") {
+    if (!client.ping()) {
+      std::fprintf(stderr, "rfipc_client: %s\n", client.error().c_str());
+      return 1;
+    }
+    std::printf("PONG\n");
+    return 0;
+  }
+
+  if (cmd == "classify") {
+    const auto seed = flags.get_u64("seed", 7);
+    ruleset::GeneratorConfig gcfg;
+    gcfg.mode = ruleset::GeneratorMode::kFirewall;
+    gcfg.size = flags.get_u64("rules", 256);
+    gcfg.seed = seed;
+    const auto rules = ruleset::generate(gcfg);
+    ruleset::TraceConfig tcfg;
+    tcfg.size = flags.get_u64("count", 512);
+    tcfg.seed = seed + 1;
+    std::vector<net::HeaderBits> packed;
+    for (const auto& t : ruleset::generate_trace(rules, tcfg)) packed.emplace_back(t);
+
+    std::vector<std::uint64_t> best;
+    if (!client.classify(packed, best)) {
+      std::fprintf(stderr, "rfipc_client: %s (%s)\n", client.error().c_str(),
+                   server::wire::status_name(client.status()));
+      return 1;
+    }
+    std::size_t hits = 0;
+    std::size_t top = 0;
+    for (const std::uint64_t b : best) {
+      hits += (b != server::wire::kNoMatch);
+      top += (b == 0);
+    }
+    std::printf("classified %zu packets: hits %zu/%zu, top-index-share %zu/%zu\n",
+                best.size(), hits, best.size(), top, best.size());
+    return 0;
+  }
+
+  if (cmd == "insert") {
+    ruleset::Rule rule = ruleset::Rule::any();
+    if (const auto text = flags.get("rule", ""); !text.empty()) {
+      const auto parsed = ruleset::Rule::parse(text);
+      if (!parsed) {
+        std::fprintf(stderr, "rfipc_client: unparseable rule: %s\n", text.c_str());
+        return 2;
+      }
+      rule = *parsed;
+    }
+    if (!client.insert_rule(flags.get_u64("index", 0), rule)) {
+      std::fprintf(stderr, "rfipc_client: %s\n", client.error().c_str());
+      return 1;
+    }
+    std::printf("inserted (snapshot published)\n");
+    return 0;
+  }
+
+  if (cmd == "erase") {
+    if (!client.erase_rule(flags.get_u64("index", 0))) {
+      std::fprintf(stderr, "rfipc_client: %s\n", client.error().c_str());
+      return 1;
+    }
+    std::printf("erased (snapshot published)\n");
+    return 0;
+  }
+
+  if (cmd == "stats") {
+    std::string json;
+    if (!client.stats_json(json)) {
+      std::fprintf(stderr, "rfipc_client: %s\n", client.error().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  return usage();
+}

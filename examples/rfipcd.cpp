@@ -1,0 +1,153 @@
+// rfipcd — the classification service daemon.
+//
+//   $ rfipcd [--host H] [--port P] [--rules N] [--shards S]
+//            [--engine SPEC] [--flow-cache N] [--seed S]
+//            [--port-file PATH] [--smoke]
+//
+// Builds a generated ruleset, stands the sharded runtime up behind a
+// ClassifyServer on an epoll reactor, and serves the binary wire
+// protocol (see src/server/wire.h) until SIGTERM/SIGINT, which trigger
+// a graceful drain: stop accepting, flush every outbound queue, let
+// in-flight rule updates publish and reply, then exit.
+//
+// --port defaults to 0 (ephemeral); --port-file writes the bound port
+// to PATH once listening, which is how scripts/server_smoke.sh finds
+// the server without racing on a fixed port.
+//
+// --smoke runs the whole loop in-process: the server serves on a
+// background thread while a ClassifyClient pings, classifies a batch,
+// inserts a catch-all rule at index 0, classifies again (the new rule
+// must now win every packet), fetches stats, and drains. Exit status
+// reports the outcome — this is the ctest entry.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "rfipc.h"
+
+using namespace rfipc;
+
+namespace {
+
+server::ClassifyServer* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_drain();  // async-signal-safe
+}
+
+int run_smoke(server::ClassifyServer& srv, const ruleset::RuleSet& rules,
+              std::uint64_t seed) {
+  std::thread serving([&srv] { srv.run(); });
+  int rc = 1;
+  {
+    server::ClassifyClient client;
+    ruleset::TraceConfig tcfg;
+    tcfg.size = 512;
+    tcfg.seed = seed + 1;
+    std::vector<net::HeaderBits> packed;
+    for (const auto& t : ruleset::generate_trace(rules, tcfg)) packed.emplace_back(t);
+
+    std::vector<std::uint64_t> before;
+    std::vector<std::uint64_t> after;
+    std::string json;
+    const ruleset::Rule catch_all = ruleset::Rule::any();
+
+    if (!client.connect("127.0.0.1", srv.port())) {
+      std::fprintf(stderr, "smoke: connect failed: %s\n", client.error().c_str());
+    } else if (!client.ping()) {
+      std::fprintf(stderr, "smoke: ping failed: %s\n", client.error().c_str());
+    } else if (!client.classify(packed, before)) {
+      std::fprintf(stderr, "smoke: classify failed: %s\n", client.error().c_str());
+    } else if (!client.insert_rule(0, catch_all)) {
+      std::fprintf(stderr, "smoke: insert failed: %s\n", client.error().c_str());
+    } else if (!client.classify(packed, after)) {
+      std::fprintf(stderr, "smoke: re-classify failed: %s\n", client.error().c_str());
+    } else if (!client.stats_json(json) || json.empty()) {
+      std::fprintf(stderr, "smoke: stats failed: %s\n", client.error().c_str());
+    } else {
+      // The catch-all inserted at global index 0 outranks everything:
+      // the OK reply to INSERT_RULE guarantees its snapshot published,
+      // so every later classify must report best = 0.
+      std::size_t wrong = 0;
+      for (const std::uint64_t b : after) wrong += (b != 0);
+      if (wrong != 0) {
+        std::fprintf(stderr, "smoke: %zu packets missed the catch-all\n", wrong);
+      } else {
+        std::printf("smoke: %zu packets classified, catch-all wins post-insert, "
+                    "stats %zu bytes\n",
+                    before.size(), json.size());
+        rc = 0;
+      }
+    }
+  }
+  srv.request_drain();
+  serving.join();
+  const auto c = srv.counters();
+  std::printf("smoke: served %llu requests over %llu connections "
+              "(%llu B in, %llu B out, %llu shed, %llu decode errors)\n",
+              static_cast<unsigned long long>(c.requests),
+              static_cast<unsigned long long>(c.connections_total),
+              static_cast<unsigned long long>(c.bytes_in),
+              static_cast<unsigned long long>(c.bytes_out),
+              static_cast<unsigned long long>(c.shed),
+              static_cast<unsigned long long>(c.decode_errors));
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv,
+                       {"host", "port", "rules", "shards", "engine", "flow-cache",
+                        "seed", "port-file", "smoke"});
+  const auto seed = flags.get_u64("seed", 7);
+
+  ruleset::GeneratorConfig gcfg;
+  gcfg.mode = ruleset::GeneratorMode::kFirewall;
+  gcfg.size = flags.get_u64("rules", 256);
+  gcfg.seed = seed;
+  const auto rules = ruleset::generate(gcfg);
+
+  runtime::ShardedConfig rcfg;
+  rcfg.shards = flags.get_u64("shards", 4);
+  rcfg.engine_spec = flags.get("engine", "stridebv:4");
+  rcfg.flow_cache_capacity = flags.get_u64("flow-cache", 0);
+  runtime::ShardedClassifier classifier(rules, rcfg);
+
+  server::ServerConfig scfg;
+  scfg.host = flags.get("host", "127.0.0.1");
+  scfg.port = static_cast<std::uint16_t>(flags.get_u64("port", 0));
+  server::ClassifyServer srv(classifier, scfg);
+
+  std::printf("rfipcd: %zu rules, %zu shards of %s, listening on %s:%u\n",
+              rules.size(), classifier.shard_count(), rcfg.engine_spec.c_str(),
+              scfg.host.c_str(), srv.port());
+  std::fflush(stdout);
+
+  if (const auto path = flags.get("port-file", ""); !path.empty()) {
+    std::ofstream f(path);
+    f << srv.port() << "\n";
+  }
+
+  if (flags.get_bool("smoke")) return run_smoke(srv, rules, seed);
+
+  g_server = &srv;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  srv.run();
+  g_server = nullptr;
+
+  const auto c = srv.counters();
+  std::printf("rfipcd: drained; served %llu requests over %llu connections "
+              "(%llu B in, %llu B out, %llu shed, %llu decode errors)\n",
+              static_cast<unsigned long long>(c.requests),
+              static_cast<unsigned long long>(c.connections_total),
+              static_cast<unsigned long long>(c.bytes_in),
+              static_cast<unsigned long long>(c.bytes_out),
+              static_cast<unsigned long long>(c.shed),
+              static_cast<unsigned long long>(c.decode_errors));
+  return 0;
+}

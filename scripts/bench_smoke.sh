@@ -1,28 +1,31 @@
 #!/usr/bin/env bash
-# Perf smoke: one quick benchmark run whose numbers are captured as
+# Perf smoke: quick benchmark runs whose numbers are captured as
 # machine-readable JSON, so the throughput trajectory of the software
-# data plane can be tracked across commits.
+# data plane AND the wire service can be tracked across commits.
 #
 #   scripts/bench_smoke.sh [build-dir]
 #
 # Builds (reusing the default ./build unless told otherwise), runs
-# bench_runtime_batch, and converts its runtime_batch.csv into
+# bench_runtime_batch and bench_server, and converts their CSVs into
 # BENCH_runtime.json at the repo root:
 #
 #   {
 #     "bench": "runtime_batch",
 #     "simd": "avx2",
-#     "rows": [ {"configuration": "...", "mpkt_s": 1.99, "speedup": 16.8}, ... ]
+#     "rows": [ {"configuration": "...", "mpkt_s": 1.99, "speedup": 16.8}, ... ],
+#     "server_rows": [ {"configuration": "wire 1 conn x batch 512",
+#                       "mpkt_s": 1.53, "wire_tax": 0.93,
+#                       "p50_rtt_us": 317, "p99_rtt_us": 530}, ... ]
 #   }
 #
-# The bench's own [PASS]/[FAIL] checks gate the exit status, so a perf
+# The benches' own [PASS]/[FAIL] checks gate the exit status, so a perf
 # regression that trips a check fails the smoke too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 cmake -B "${BUILD_DIR}" -S . >/dev/null
-cmake --build "${BUILD_DIR}" -j --target bench_runtime_batch
+cmake --build "${BUILD_DIR}" -j --target bench_runtime_batch bench_server
 
 workdir="${BUILD_DIR}/bench-smoke"
 mkdir -p "${workdir}"
@@ -34,25 +37,52 @@ if grep -q '\[FAIL\]' "${log}"; then
   exit 1
 fi
 
-simd="$(sed -n 's/^SIMD dispatch: //p' "${log}" | head -n1)"
-csv="${workdir}/runtime_batch.csv"
-if [[ ! -f "${csv}" ]]; then
-  echo "bench_smoke: ${csv} was not produced" >&2
+server_log="${workdir}/bench_server.log"
+(cd "${workdir}" && "../bench/bench_server") | tee "${server_log}"
+
+if grep -q '\[FAIL\]' "${server_log}"; then
+  echo "bench_smoke: FAILED check in bench_server" >&2
   exit 1
 fi
 
-awk -v simd="${simd}" -F',' '
+simd="$(sed -n 's/^SIMD dispatch: //p' "${log}" | head -n1)"
+csv="${workdir}/runtime_batch.csv"
+server_csv="${workdir}/server.csv"
+for f in "${csv}" "${server_csv}"; do
+  if [[ ! -f "${f}" ]]; then
+    echo "bench_smoke: ${f} was not produced" >&2
+    exit 1
+  fi
+done
+
+runtime_rows="$(awk -F',' '
   NR == 1 { next }  # header row
   {
     row = sprintf("    {\"configuration\": \"%s\", \"mpkt_s\": %s, \"speedup\": %s}",
                   $1, $2, $3)
     rows = rows == "" ? row : rows ",\n" row
   }
-  END {
-    printf "{\n  \"bench\": \"runtime_batch\",\n  \"simd\": \"%s\",\n", simd
-    printf "  \"rows\": [\n%s\n  ]\n}\n", rows
+  END { print rows }
+' "${csv}")"
+
+# server.csv: configuration, Mpkt/s, wire tax ("0.93x"), p50, p99 — with
+# "-" placeholders on the in-process baseline row.
+server_rows="$(awk -F',' '
+  NR == 1 { next }
+  $1 ~ /^wire / {
+    tax = $3; sub(/x$/, "", tax)
+    row = sprintf("    {\"configuration\": \"%s\", \"mpkt_s\": %s, \"wire_tax\": %s, \"p50_rtt_us\": %s, \"p99_rtt_us\": %s}",
+                  $1, $2, tax, $4, $5)
+    rows = rows == "" ? row : rows ",\n" row
   }
-' "${csv}" > BENCH_runtime.json
+  END { print rows }
+' "${server_csv}")"
+
+{
+  printf '{\n  "bench": "runtime_batch",\n  "simd": "%s",\n' "${simd}"
+  printf '  "rows": [\n%s\n  ],\n' "${runtime_rows}"
+  printf '  "server_rows": [\n%s\n  ]\n}\n' "${server_rows}"
+} > BENCH_runtime.json
 
 echo
 echo "bench_smoke: wrote BENCH_runtime.json ($(grep -c '"configuration"' BENCH_runtime.json) rows, simd=${simd})"

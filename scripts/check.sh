@@ -6,8 +6,8 @@
 #   3. address,undefined — ASan+UBSan build, full ctest
 #   4. thread          — TSan build, concurrency-sensitive tests only
 #      (thread pool, RCU, sharded runtime, concurrent update stress,
-#      fault containment, flow-cache coherence), since TSan triples
-#      runtimes
+#      fault containment, flow-cache coherence, the wire codec and the
+#      classification service E2E), since TSan triples runtimes
 # Each configuration uses its own build directory so the default
 # ./build stays untouched for development.
 set -euo pipefail
@@ -37,9 +37,10 @@ CTEST_ARGS=()
 run build-asan "address,undefined"
 
 CMAKE_ARGS=()
-CTEST_ARGS=(-R 'test_thread_pool|test_runtime|test_rcu|test_fault_containment|test_flow_cache')
+CTEST_ARGS=(-R 'test_thread_pool|test_runtime|test_rcu|test_fault_containment|test_flow_cache|test_wire|test_server')
 run build-tsan "thread" --target test_thread_pool test_runtime test_rcu \
-  test_runtime_concurrent test_fault_containment test_flow_cache
+  test_runtime_concurrent test_fault_containment test_flow_cache \
+  test_wire test_server
 
 echo
 echo "== check.sh: all configurations passed =="

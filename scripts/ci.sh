@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point. Thin wrapper around check.sh so that local runs and the
+# CI entry point. Runs check.sh (tier-1 build + tests in plain,
+# scalar-SIMD-fallback, ASan/UBSan, and TSan configurations) followed by
+# server_smoke.sh (rfipcd launched on loopback and driven over the wire
+# protocol through classify/update/stats/drain). Local runs and the
 # GitHub Actions workflow (.github/workflows/ci.yml) gate on the exact
-# same thing: tier-1 build + tests in plain, scalar-SIMD-fallback,
-# ASan/UBSan, and TSan configurations. Keeping the logic in check.sh
-# means a green local run is a green CI run.
+# same scripts, so a green local run is a green CI run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,4 +13,8 @@ cmake --version | head -n1
 ninja --version 2>/dev/null | sed 's/^/ninja /' || true
 "${CXX:-c++}" --version | head -n1
 
-exec scripts/check.sh
+scripts/check.sh
+
+echo
+echo "== ci.sh: server smoke =="
+scripts/server_smoke.sh

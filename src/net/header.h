@@ -51,6 +51,14 @@ class HeaderBits {
   HeaderBits() = default;
   explicit HeaderBits(const FiveTuple& t);
 
+  /// Rebuilds a header from its packed 13-byte representation (the
+  /// inverse of bytes() — used by the wire codec).
+  static HeaderBits from_bytes(const std::array<std::uint8_t, 13>& raw) {
+    HeaderBits h;
+    h.bytes_ = raw;
+    return h;
+  }
+
   /// Bit at canonical index i (0 = SIP MSB).
   bool bit(unsigned i) const {
     return (bytes_[i >> 3] >> (7 - (i & 7))) & 1u;

@@ -46,6 +46,11 @@
 #include "runtime/sharded_classifier.h"
 #include "runtime/stats.h"
 
+#include "server/classify_server.h"
+#include "server/client.h"
+#include "server/event_loop.h"
+#include "server/wire.h"
+
 #include "flow/flow_cache.h"
 #include "flow/generic.h"
 #include "flow/schema.h"

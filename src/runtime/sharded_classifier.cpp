@@ -141,6 +141,7 @@ MatchResult ShardedClassifier::classify(const net::HeaderBits& header) const {
   out.reset_for(snap->bases.back());
   for (std::size_t s = 0; s < snap->shards.size(); ++s) {
     const Shard& shard = snap->shards[s];
+    if (snap->bases[s + 1] == snap->bases[s]) continue;  // empty band
     if (shard.health->quarantined.load(std::memory_order_acquire)) {
       shard.health->degraded_packets.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -200,33 +201,78 @@ void ShardedClassifier::fan_out(const ShardSet& snap,
                                 std::span<const net::HeaderBits> headers,
                                 std::span<MatchResult> results,
                                 const engines::BatchOptions& opts) const {
-  std::vector<std::vector<MatchResult>> local(snap.shards.size());
-  pool_.parallel_for(snap.shards.size(), [&](std::size_t sb, std::size_t se) {
-    for (std::size_t s = sb; s < se; ++s) {
-      const Shard& shard = snap.shards[s];
-      if (shard.health->quarantined.load(std::memory_order_acquire)) {
-        shard.health->degraded_packets.fetch_add(headers.size(),
-                                                 std::memory_order_relaxed);
-        continue;  // local[s] stays empty; merge skips it
-      }
-      local[s].resize(headers.size());
-      const auto start = std::chrono::steady_clock::now();
-      bool good = true;
-      try {
-        shard.engine->classify_batch(headers, local[s], opts);
-      } catch (...) {
-        good = false;
-      }
-      if (good) good = validate_results(local[s], shard.engine->rule_count());
-      if (!good) {
-        record_shard_fault(shard, headers.size());
-        local[s].clear();
-        continue;
-      }
-      shard.health->consecutive_faults.store(0, std::memory_order_relaxed);
-      stats_.record_shard_batch(shard.id, elapsed_ns(start));
+  // Only shards that can actually contribute take part: empty bands
+  // have nothing to match and quarantined shards are out of service.
+  std::vector<std::size_t> eligible;
+  eligible.reserve(snap.shards.size());
+  for (std::size_t s = 0; s < snap.shards.size(); ++s) {
+    const Shard& shard = snap.shards[s];
+    if (snap.bases[s + 1] == snap.bases[s]) continue;  // empty band
+    if (shard.health->quarantined.load(std::memory_order_acquire)) {
+      shard.health->degraded_packets.fetch_add(headers.size(),
+                                               std::memory_order_relaxed);
+      continue;
     }
-  });
+    eligible.push_back(s);
+  }
+  if (eligible.empty()) {
+    for (auto& r : results) r.reset_for(snap.bases.back(), opts.want_multi);
+    return;
+  }
+
+  // One shard owning the whole priority space needs no rebase and no
+  // merge: classify straight into the caller's results on this thread.
+  if (eligible.size() == 1 && snap.shards.size() == 1) {
+    const Shard& shard = snap.shards[0];
+    const auto start = std::chrono::steady_clock::now();
+    bool good = true;
+    try {
+      shard.engine->classify_batch(headers, results, opts);
+    } catch (...) {
+      good = false;
+    }
+    if (good) good = validate_results(results, shard.engine->rule_count());
+    if (!good) {
+      record_shard_fault(shard, headers.size());
+      for (auto& r : results) r.reset_for(snap.bases.back(), opts.want_multi);
+      return;
+    }
+    shard.health->consecutive_faults.store(0, std::memory_order_relaxed);
+    stats_.record_shard_batch(shard.id, elapsed_ns(start));
+    return;
+  }
+
+  std::vector<std::vector<MatchResult>> local(snap.shards.size());
+  auto run_shard = [&](std::size_t s) {
+    const Shard& shard = snap.shards[s];
+    local[s].resize(headers.size());
+    const auto start = std::chrono::steady_clock::now();
+    bool good = true;
+    try {
+      shard.engine->classify_batch(headers, local[s], opts);
+    } catch (...) {
+      good = false;
+    }
+    if (good) good = validate_results(local[s], shard.engine->rule_count());
+    if (!good) {
+      record_shard_fault(shard, headers.size());
+      local[s].clear();  // merge skips it
+      return;
+    }
+    shard.health->consecutive_faults.store(0, std::memory_order_relaxed);
+    stats_.record_shard_batch(shard.id, elapsed_ns(start));
+  };
+
+  // Thread-pool dispatch only pays off with several eligible shards AND
+  // several workers; otherwise the enqueue/wake/join round-trip per
+  // batch is pure overhead on top of serial execution.
+  if (eligible.size() == 1 || pool_.thread_count() <= 1) {
+    for (const std::size_t s : eligible) run_shard(s);
+  } else {
+    pool_.parallel_for(eligible.size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) run_shard(eligible[i]);
+    });
+  }
   merge(snap, local, results, opts.want_multi);
 }
 

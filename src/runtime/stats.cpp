@@ -111,6 +111,45 @@ void RuntimeStats::reset() {
   for (auto& h : shard_latency_) h.reset();
 }
 
+std::string StatsSnapshot::to_json() const {
+  auto u = [](std::uint64_t v) { return std::to_string(v); };
+  std::string out = "{";
+  out += "\"packets\":" + u(packets) + ",\"batches\":" + u(batches) +
+         ",\"matches\":" + u(matches) + ",\"updates\":" + u(updates) +
+         ",\"faults\":" + u(faults) + ",\"quarantines\":" + u(quarantines) +
+         ",\"reinstates\":" + u(reinstates) +
+         ",\"snapshot_swaps\":" + u(snapshot_swaps) +
+         ",\"coalesced_ops\":" + u(coalesced_ops);
+  out += ",\"cache\":{\"hits\":" + u(cache_hits) + ",\"misses\":" + u(cache_misses) +
+         ",\"evictions\":" + u(cache_evictions) +
+         ",\"invalidations\":" + u(cache_invalidations) + "}";
+  out += ",\"server\":{\"connections\":" + u(server.connections) +
+         ",\"connections_total\":" + u(server.connections_total) +
+         ",\"requests\":" + u(server.requests) + ",\"shed\":" + u(server.shed) +
+         ",\"decode_errors\":" + u(server.decode_errors) +
+         ",\"bytes_in\":" + u(server.bytes_in) +
+         ",\"bytes_out\":" + u(server.bytes_out) + "}";
+  out += std::string(",\"degraded\":") + (degraded ? "true" : "false");
+  out += ",\"shards\":[";
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (s > 0) out += ",";
+    out += "{\"batches\":" + u(shards[s].batches) + ",\"p50_ns\":" + u(shards[s].p50_ns) +
+           ",\"p99_ns\":" + u(shards[s].p99_ns) + "}";
+  }
+  out += "],\"health\":[";
+  for (std::size_t i = 0; i < health.size(); ++i) {
+    const ShardHealthDigest& h = health[i];
+    if (i > 0) out += ",";
+    out += "{\"id\":" + u(h.id) + ",\"rules\":" + u(h.rules) +
+           ",\"faults\":" + u(h.faults) +
+           ",\"degraded_packets\":" + u(h.degraded_packets) +
+           ",\"reinstated\":" + u(h.reinstated) +
+           ",\"quarantined\":" + (h.quarantined ? "true" : "false") + "}";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string StatsSnapshot::to_string() const {
   std::string out = "packets=" + std::to_string(packets) +
                     " matches=" + std::to_string(matches) +
@@ -123,6 +162,15 @@ std::string StatsSnapshot::to_string() const {
            " misses=" + std::to_string(cache_misses) +
            " evictions=" + std::to_string(cache_evictions) +
            " invalidations=" + std::to_string(cache_invalidations) + "}";
+  }
+  if (server.connections_total + server.requests + server.decode_errors > 0) {
+    out += " server{conns=" + std::to_string(server.connections) + "/" +
+           std::to_string(server.connections_total) +
+           " requests=" + std::to_string(server.requests) +
+           " shed=" + std::to_string(server.shed) +
+           " decode_errors=" + std::to_string(server.decode_errors) +
+           " in=" + std::to_string(server.bytes_in) + "B" +
+           " out=" + std::to_string(server.bytes_out) + "B}";
   }
   if (degraded) out += " DEGRADED";
   for (const auto& h : health) {

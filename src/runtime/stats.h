@@ -51,6 +51,19 @@ struct ShardHealthDigest {
   bool quarantined = false;
 };
 
+/// Counters the service layer (src/server/) folds into a snapshot so
+/// the STATS wire op reports the daemon and the data plane in one
+/// response. All zero for in-process (serverless) deployments.
+struct ServerCounters {
+  std::uint64_t connections = 0;        // currently open
+  std::uint64_t connections_total = 0;  // ever accepted
+  std::uint64_t requests = 0;           // well-formed requests handled
+  std::uint64_t shed = 0;               // requests refused by admission control
+  std::uint64_t decode_errors = 0;      // malformed frames / messages
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
 /// A point-in-time copy of every counter, safe to print or diff.
 struct StatsSnapshot {
   std::uint64_t packets = 0;
@@ -67,6 +80,8 @@ struct StatsSnapshot {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_invalidations = 0;
+  /// Service-layer counters (all zero when no server fronts the runtime).
+  ServerCounters server;
   /// True while any shard is quarantined: results are still served but
   /// may miss that shard's priority band.
   bool degraded = false;
@@ -75,6 +90,11 @@ struct StatsSnapshot {
 
   /// "packets=... matches=... updates=... shard0 p50=..us p99=..us ..."
   std::string to_string() const;
+  /// One-line JSON object carrying every counter (including the server
+  /// block, cache block, shard latencies, and health digests), so the
+  /// STATS wire op and scripts can scrape without parsing the text
+  /// table.
+  std::string to_json() const;
 };
 
 class RuntimeStats {

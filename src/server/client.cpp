@@ -1,0 +1,195 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rfipc::server {
+
+ClassifyClient::~ClassifyClient() { close(); }
+
+ClassifyClient::ClassifyClient(ClassifyClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      status_(other.status_),
+      error_(std::move(other.error_)) {}
+
+ClassifyClient& ClassifyClient::operator=(ClassifyClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    status_ = other.status_;
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
+
+void ClassifyClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ClassifyClient::fail(std::string why) {
+  error_ = std::move(why);
+  return false;
+}
+
+bool ClassifyClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return fail(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    return fail("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    close();
+    return fail("connect: " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  error_.clear();
+  return true;
+}
+
+bool ClassifyClient::send_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close();
+    return fail(std::string("send: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+bool ClassifyClient::recv_frame(std::vector<std::uint8_t>& payload) {
+  std::uint8_t prefix[wire::kLenPrefixBytes];
+  std::size_t got = 0;
+  auto recv_exact = [this, &got](std::uint8_t* dst, std::size_t want) {
+    got = 0;
+    while (got < want) {
+      const ssize_t n = ::recv(fd_, dst + got, want - got, 0);
+      if (n > 0) {
+        got += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  };
+  if (!recv_exact(prefix, sizeof(prefix))) {
+    close();
+    return fail("recv: connection closed or failed");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                            static_cast<std::uint32_t>(prefix[1]) << 8 |
+                            static_cast<std::uint32_t>(prefix[2]) << 16 |
+                            static_cast<std::uint32_t>(prefix[3]) << 24;
+  if (len < wire::kMsgHeaderBytes || len > wire::kMaxFrameBytes) {
+    close();
+    return fail("recv: frame length out of bounds");
+  }
+  payload.resize(len);
+  if (!recv_exact(payload.data(), len)) {
+    close();
+    return fail("recv: truncated frame");
+  }
+  return true;
+}
+
+bool ClassifyClient::roundtrip(const wire::Request& req, wire::Response& rsp) {
+  status_ = wire::Status::kOk;
+  if (fd_ < 0) return fail("not connected");
+  send_buf_.clear();
+  wire::encode_request(req, send_buf_);
+  if (!send_all(send_buf_.data(), send_buf_.size())) return false;
+  if (!recv_frame(recv_buf_)) return false;
+  std::string err;
+  if (!wire::decode_response(recv_buf_, rsp, err)) {
+    close();
+    return fail("bad response: " + err);
+  }
+  if (rsp.op != req.op || rsp.id != req.id) {
+    close();
+    return fail("response does not match request");
+  }
+  status_ = rsp.status;
+  if (rsp.status != wire::Status::kOk) {
+    return fail(std::string(wire::status_name(rsp.status)) +
+                (rsp.text.empty() ? "" : ": " + rsp.text));
+  }
+  return true;
+}
+
+bool ClassifyClient::ping() {
+  wire::Request req;
+  req.op = wire::Op::kPing;
+  req.id = next_id_++;
+  wire::Response rsp;
+  return roundtrip(req, rsp);
+}
+
+bool ClassifyClient::classify(std::span<const net::HeaderBits> headers,
+                              std::vector<std::uint64_t>& best) {
+  wire::Request req;
+  req.op = wire::Op::kClassifyBatch;
+  req.id = next_id_++;
+  req.headers.assign(headers.begin(), headers.end());
+  wire::Response rsp;
+  if (!roundtrip(req, rsp)) return false;
+  if (rsp.best.size() != headers.size()) {
+    return fail("classify reply count mismatch");
+  }
+  best = std::move(rsp.best);
+  return true;
+}
+
+bool ClassifyClient::insert_rule(std::uint64_t index, const ruleset::Rule& rule) {
+  wire::Request req;
+  req.op = wire::Op::kInsertRule;
+  req.id = next_id_++;
+  req.index = index;
+  req.rule = rule;
+  wire::Response rsp;
+  return roundtrip(req, rsp);
+}
+
+bool ClassifyClient::erase_rule(std::uint64_t index) {
+  wire::Request req;
+  req.op = wire::Op::kEraseRule;
+  req.id = next_id_++;
+  req.index = index;
+  wire::Response rsp;
+  return roundtrip(req, rsp);
+}
+
+bool ClassifyClient::stats_json(std::string& json) {
+  wire::Request req;
+  req.op = wire::Op::kStats;
+  req.id = next_id_++;
+  wire::Response rsp;
+  if (!roundtrip(req, rsp)) return false;
+  json = std::move(rsp.text);
+  return true;
+}
+
+}  // namespace rfipc::server

@@ -1,0 +1,72 @@
+// A small blocking client for the classification service: one TCP
+// connection, one request in flight at a time (request_id checked on
+// every reply). Intended for tools, tests, and the CLI — the server
+// side is where the concurrency lives.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/header.h"
+#include "ruleset/rule.h"
+#include "server/wire.h"
+
+namespace rfipc::server {
+
+class ClassifyClient {
+ public:
+  ClassifyClient() = default;
+  ~ClassifyClient();
+
+  ClassifyClient(const ClassifyClient&) = delete;
+  ClassifyClient& operator=(const ClassifyClient&) = delete;
+  ClassifyClient(ClassifyClient&& other) noexcept;
+  ClassifyClient& operator=(ClassifyClient&& other) noexcept;
+
+  /// Connects (blocking). False on failure; error() says why.
+  bool connect(const std::string& host, std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Round-trips a PING.
+  bool ping();
+
+  /// Classifies a batch; fills `best` with global rule indices
+  /// (wire::kNoMatch for a miss). False on transport/protocol failure
+  /// OR a non-OK status — check status() to tell a SHED from a broken
+  /// connection.
+  bool classify(std::span<const net::HeaderBits> headers,
+                std::vector<std::uint64_t>& best);
+
+  /// Inserts `rule` at global index `index`; returns once the update's
+  /// snapshot is published (the server replies only after the future
+  /// resolves).
+  bool insert_rule(std::uint64_t index, const ruleset::Rule& rule);
+  bool erase_rule(std::uint64_t index);
+
+  /// Fetches the server's StatsSnapshot JSON.
+  bool stats_json(std::string& json);
+
+  /// Status of the last reply (kOk unless the call returned false).
+  wire::Status status() const { return status_; }
+  /// Human-readable failure reason for the last false return.
+  const std::string& error() const { return error_; }
+
+ private:
+  /// Sends `req`, receives one frame, decodes it, checks op/id/status.
+  bool roundtrip(const wire::Request& req, wire::Response& rsp);
+  bool send_all(const std::uint8_t* data, std::size_t size);
+  bool recv_frame(std::vector<std::uint8_t>& payload);
+  bool fail(std::string why);
+
+  int fd_ = -1;
+  std::uint32_t next_id_ = 1;
+  wire::Status status_ = wire::Status::kOk;
+  std::string error_;
+  std::vector<std::uint8_t> send_buf_;
+  std::vector<std::uint8_t> recv_buf_;
+};
+
+}  // namespace rfipc::server

@@ -1,0 +1,280 @@
+// End-to-end tests for the classification service (run under TSan via
+// scripts/check.sh tsan — the update-visibility test is the acceptance
+// check: concurrent clients must never observe a pre-update decision
+// after the update's OK reply, which the server sends only once the
+// publishing snapshot swap happened).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+#include "runtime/sharded_classifier.h"
+#include "server/classify_server.h"
+#include "server/client.h"
+
+namespace rfipc::server {
+namespace {
+
+constexpr std::size_t kRules = 96;
+constexpr std::uint64_t kSeed = 31;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void start(ServerConfig cfg = {}) {
+    rules_ = ruleset::generate_firewall(kRules, kSeed);
+    runtime::ShardedConfig rcfg;
+    rcfg.shards = 2;
+    classifier_ = std::make_unique<runtime::ShardedClassifier>(rules_, rcfg);
+    srv_ = std::make_unique<ClassifyServer>(*classifier_, std::move(cfg));
+    serving_ = std::thread([this] { srv_->run(); });
+
+    ruleset::TraceConfig tcfg;
+    tcfg.size = 256;
+    tcfg.seed = kSeed + 1;
+    for (const auto& t : ruleset::generate_trace(rules_, tcfg)) {
+      headers_.emplace_back(t);
+    }
+  }
+
+  void TearDown() override {
+    if (srv_) {
+      srv_->request_drain();
+      serving_.join();
+    }
+  }
+
+  ruleset::RuleSet rules_;
+  std::unique_ptr<runtime::ShardedClassifier> classifier_;
+  std::unique_ptr<ClassifyServer> srv_;
+  std::thread serving_;
+  std::vector<net::HeaderBits> headers_;
+};
+
+TEST_F(ServerTest, BasicOpsMatchGolden) {
+  start();
+  ClassifyClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", srv_->port())) << client.error();
+  ASSERT_TRUE(client.ping()) << client.error();
+
+  std::vector<std::uint64_t> best;
+  ASSERT_TRUE(client.classify(headers_, best)) << client.error();
+  ASSERT_EQ(best.size(), headers_.size());
+  // Golden: the highest-priority matching rule by direct evaluation.
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    std::uint64_t expect = wire::kNoMatch;
+    const auto tuple = headers_[i].unpack();
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+      if (rules_[r].matches(tuple)) {
+        expect = r;
+        break;
+      }
+    }
+    EXPECT_EQ(best[i], expect) << "packet " << i;
+  }
+
+  std::string json;
+  ASSERT_TRUE(client.stats_json(json)) << client.error();
+  EXPECT_NE(json.find("\"server\""), std::string::npos);
+  EXPECT_NE(json.find("\"shed\":0"), std::string::npos);
+}
+
+TEST_F(ServerTest, InsertEraseRoundtrip) {
+  start();
+  ClassifyClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", srv_->port())) << client.error();
+
+  ASSERT_TRUE(client.insert_rule(0, ruleset::Rule::any())) << client.error();
+  std::vector<std::uint64_t> best;
+  ASSERT_TRUE(client.classify(headers_, best)) << client.error();
+  for (const std::uint64_t b : best) EXPECT_EQ(b, 0u);
+
+  ASSERT_TRUE(client.erase_rule(0)) << client.error();
+  ASSERT_TRUE(client.classify(headers_, best)) << client.error();
+  std::size_t still_zero = 0;
+  for (const std::uint64_t b : best) still_zero += (b == 0);
+  // With the catch-all gone, rule 0 is the original highest-priority
+  // rule again — it can match some packets but not all 256.
+  EXPECT_LT(still_zero, headers_.size());
+}
+
+// The acceptance test: concurrent clients classify while another
+// client inserts a catch-all at index 0. Once the updater's OK reply
+// has been received, every classify REQUESTED AFTER that moment must
+// see the catch-all win (best == 0 for all packets). The server's OK
+// reply is sent only after the update future resolves, i.e. after the
+// snapshot containing the rule was published, and snapshot publication
+// also invalidates the flow cache — so a stale decision here is a
+// linearization bug, not scheduling noise.
+TEST_F(ServerTest, UpdateVisibilityAcrossConnections) {
+  start();
+  std::atomic<bool> inserted{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> stale{0};
+  std::atomic<std::uint64_t> post_insert_batches{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      ClassifyClient client;
+      ASSERT_TRUE(client.connect("127.0.0.1", srv_->port())) << client.error();
+      std::vector<std::uint64_t> best;
+      while (!stop.load(std::memory_order_acquire)) {
+        const bool after_insert = inserted.load(std::memory_order_acquire);
+        if (!client.classify(headers_, best)) break;  // drain may cut us off
+        if (after_insert) {
+          post_insert_batches.fetch_add(1);
+          for (const std::uint64_t b : best) stale += (b != 0);
+        }
+      }
+    });
+  }
+
+  {
+    ClassifyClient updater;
+    ASSERT_TRUE(updater.connect("127.0.0.1", srv_->port())) << updater.error();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));  // readers warm
+    ASSERT_TRUE(updater.insert_rule(0, ruleset::Rule::any())) << updater.error();
+    inserted.store(true, std::memory_order_release);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(post_insert_batches.load(), 0u);
+  EXPECT_EQ(stale.load(), 0u);
+}
+
+// Saturating a server configured with tiny admission limits must yield
+// explicit SHED replies — not timeouts, not unbounded buffering — and
+// the shed counter must say so. Uses a raw socket so requests can be
+// pipelined without reading replies (the blocking client can't).
+TEST_F(ServerTest, SaturationShedsExplicitly) {
+  ServerConfig cfg;
+  cfg.max_inflight_batches = 2;
+  cfg.outbound_watermark = 4 * 1024;
+  cfg.so_sndbuf = 8 * 1024;  // trip kernel-buffer backpressure fast
+  start(cfg);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 4 * 1024;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // Pipeline many classify batches without consuming a single reply.
+  constexpr std::uint32_t kBatches = 512;
+  wire::Request req;
+  req.op = wire::Op::kClassifyBatch;
+  req.headers = headers_;
+  std::vector<std::uint8_t> out;
+  for (std::uint32_t i = 0; i < kBatches; ++i) {
+    req.id = i;
+    wire::encode_request(req, out);
+  }
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    sent += static_cast<std::size_t>(n);
+  }
+
+  // Hold off reading until the server has handled every request — with
+  // nobody draining, its replies wall up against the kernel buffers and
+  // admission control must start shedding (rather than buffering the
+  // backlog or stalling).
+  for (int spin = 0; spin < 2000 && srv_->counters().requests < kBatches; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(srv_->counters().requests, kBatches) << "server stalled mid-backlog";
+
+  // Now read all replies: every request must be answered, each either
+  // OK or SHED, in order.
+  wire::FrameAssembler fa;
+  std::string err;
+  std::vector<std::uint8_t> payload;
+  std::uint8_t buf[4096];
+  std::uint32_t ok = 0;
+  std::uint32_t shed = 0;
+  std::uint32_t next_id = 0;
+  while (ok + shed < kBatches) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "connection died before all replies arrived";
+    ASSERT_TRUE(fa.feed({buf, static_cast<std::size_t>(n)}, err)) << err;
+    while (fa.next(payload)) {
+      wire::Response rsp;
+      ASSERT_TRUE(wire::decode_response(payload, rsp, err)) << err;
+      EXPECT_EQ(rsp.id, next_id++);
+      if (rsp.status == wire::Status::kOk) {
+        EXPECT_EQ(rsp.best.size(), headers_.size());
+        ++ok;
+      } else {
+        ASSERT_EQ(rsp.status, wire::Status::kShed);
+        ++shed;
+      }
+    }
+  }
+  ::close(fd);
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(shed, 0u) << "saturation should trip admission control";
+  EXPECT_GE(srv_->counters().shed, shed);
+}
+
+TEST_F(ServerTest, MalformedFrameDropsConnectionAndCounts) {
+  start();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const std::uint8_t poison[8] = {0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4};
+  ASSERT_EQ(::send(fd, poison, sizeof(poison), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(poison)));
+  // The server must close on the unrecoverable framing error.
+  std::uint8_t buf[64];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+  EXPECT_GE(srv_->counters().decode_errors, 1u);
+
+  // A bad MESSAGE inside a well-formed frame is survivable: the reply
+  // is BAD_REQUEST and the connection stays up.
+  ClassifyClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", srv_->port())) << client.error();
+  ASSERT_TRUE(client.ping()) << client.error();
+}
+
+TEST_F(ServerTest, DrainRefusesNewConnectionsAndStops) {
+  start();
+  ClassifyClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", srv_->port())) << client.error();
+  ASSERT_TRUE(client.ping()) << client.error();
+
+  srv_->request_drain();
+  serving_.join();  // run() must return on its own
+
+  ClassifyClient late;
+  EXPECT_FALSE(late.connect("127.0.0.1", srv_->port()));
+  srv_.reset();
+  srv_ = nullptr;  // TearDown: nothing left to drain
+}
+
+}  // namespace
+}  // namespace rfipc::server
