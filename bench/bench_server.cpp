@@ -123,6 +123,9 @@ int main() {
 
   runtime::ShardedConfig rcfg;
   rcfg.shards = 2;
+  // The bench co-hosts reactor, waiter, AND the client driver threads
+  // in one process: budget the shard workers accordingly.
+  rcfg.reserved_cores = server::kServiceThreads + 1;
   runtime::ShardedClassifier classifier(rules, rcfg);
 
   // In-process baseline: what the runtime does before any socket.

@@ -102,7 +102,7 @@ int run_smoke(server::ClassifyServer& srv, const ruleset::RuleSet& rules,
 int main(int argc, char** argv) {
   util::CliFlags flags(argc, argv,
                        {"host", "port", "rules", "shards", "engine", "flow-cache",
-                        "seed", "port-file", "smoke"});
+                        "seed", "port-file", "smoke", "budget", "busy-poll", "pin"});
   const auto seed = flags.get_u64("seed", 7);
 
   ruleset::GeneratorConfig gcfg;
@@ -115,6 +115,16 @@ int main(int argc, char** argv) {
   rcfg.shards = flags.get_u64("shards", 4);
   rcfg.engine_spec = flags.get("engine", "stridebv:4");
   rcfg.flow_cache_capacity = flags.get_u64("flow-cache", 0);
+  // One core budget covers the whole process: the epoll reactor and
+  // update waiter come off the top, shard workers get the rest (so a
+  // 1- or 2-core box serves with a fully inline fan-out instead of
+  // oversubscribing itself into the multi-shard slowdown).
+  rcfg.core_budget = flags.get_u64("budget", 0);  // 0 = all cores
+  rcfg.reserved_cores = server::kServiceThreads;
+  if (flags.get_bool("busy-poll")) {
+    rcfg.wait_policy = runtime::ShardWorkerPool::WaitPolicy::kBusyPoll;
+  }
+  rcfg.pin_workers = flags.get_bool("pin");
   runtime::ShardedClassifier classifier(rules, rcfg);
 
   server::ServerConfig scfg;

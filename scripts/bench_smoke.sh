@@ -19,7 +19,11 @@
 #   }
 #
 # The benches' own [PASS]/[FAIL] checks gate the exit status, so a perf
-# regression that trips a check fails the smoke too.
+# regression that trips a check fails the smoke too. That includes the
+# multi-core shard-scaling gate in bench_runtime_batch (4-shard fan-out
+# >= 0.7x linear over 1 shard), which prints [SKIP] and gates nothing
+# on machines with fewer than 4 cores, and the 8-shard no-inversion
+# floor, which gates on every machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -5,9 +5,10 @@
 #      portable fallback data plane stays green alongside the AVX2 one
 #   3. address,undefined — ASan+UBSan build, full ctest
 #   4. thread          — TSan build, concurrency-sensitive tests only
-#      (thread pool, RCU, sharded runtime, concurrent update stress,
-#      fault containment, flow-cache coherence, the wire codec and the
-#      classification service E2E), since TSan triples runtimes
+#      (thread pool, SPSC ring + shard workers, RCU, sharded runtime,
+#      concurrent update stress, fault containment, flow-cache
+#      coherence, the wire codec and the classification service E2E),
+#      since TSan triples runtimes
 # Each configuration uses its own build directory so the default
 # ./build stays untouched for development.
 set -euo pipefail
@@ -37,9 +38,9 @@ CTEST_ARGS=()
 run build-asan "address,undefined"
 
 CMAKE_ARGS=()
-CTEST_ARGS=(-R 'test_thread_pool|test_runtime|test_rcu|test_fault_containment|test_flow_cache|test_wire|test_server')
-run build-tsan "thread" --target test_thread_pool test_runtime test_rcu \
-  test_runtime_concurrent test_fault_containment test_flow_cache \
+CTEST_ARGS=(-R 'test_thread_pool|test_spsc_ring|test_runtime|test_rcu|test_fault_containment|test_flow_cache|test_wire|test_server')
+run build-tsan "thread" --target test_thread_pool test_spsc_ring test_runtime \
+  test_rcu test_runtime_concurrent test_fault_containment test_flow_cache \
   test_wire test_server
 
 echo

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point. Runs check.sh (tier-1 build + tests in plain,
-# scalar-SIMD-fallback, ASan/UBSan, and TSan configurations) followed by
+# scalar-SIMD-fallback, ASan/UBSan, and TSan configurations), then
 # server_smoke.sh (rfipcd launched on loopback and driven over the wire
-# protocol through classify/update/stats/drain). Local runs and the
-# GitHub Actions workflow (.github/workflows/ci.yml) gate on the exact
-# same scripts, so a green local run is a green CI run.
+# protocol through classify/update/stats/drain), then bench_smoke.sh
+# (perf gates: the shard-scaling check — >=0.7x linear at 4 shards on
+# 4+-core machines, auto-skipped below — the single-shard bypass check,
+# and the flow-cache checks, captured into BENCH_runtime.json). Local
+# runs and the GitHub Actions workflow (.github/workflows/ci.yml) gate
+# on the exact same scripts, so a green local run is a green CI run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,3 +21,7 @@ scripts/check.sh
 echo
 echo "== ci.sh: server smoke =="
 scripts/server_smoke.sh
+
+echo
+echo "== ci.sh: bench smoke (perf gates) =="
+scripts/bench_smoke.sh

@@ -7,6 +7,7 @@
 
 #include "engines/common/factory.h"
 #include "engines/common/scratch.h"
+#include "util/affinity.h"
 
 namespace rfipc::runtime {
 namespace {
@@ -18,11 +19,27 @@ std::size_t clamped_shards(std::size_t requested, std::size_t rules) {
   return requested < rules ? requested : rules;
 }
 
-std::size_t pool_threads(const ShardedConfig& cfg, std::size_t shards) {
-  if (cfg.threads != 0) return cfg.threads;
-  std::size_t hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  return shards < hw ? shards : hw;
+/// One core budget → one worker crew: `lanes` ways of parallelism
+/// across shards with the dispatching caller as lane 0, so the crew
+/// holds lanes - 1 threads. An explicit `threads` wins (clamped to the
+/// shard count — more lanes than shards could never run); otherwise
+/// lanes = min(shards, core_budget - reserved_cores), never below one,
+/// so a 1-core box gets a fully inline serial fan-out.
+ShardWorkerPool::Options worker_options(const ShardedConfig& cfg,
+                                        std::size_t shards) {
+  if (shards == 0) shards = 1;
+  std::size_t lanes = cfg.threads != 0
+                          ? (cfg.threads < shards ? cfg.threads : shards)
+                          : util::parallel_lanes(shards, cfg.core_budget,
+                                                 cfg.reserved_cores);
+  if (lanes == 0) lanes = 1;
+  ShardWorkerPool::Options opts;
+  opts.workers = lanes - 1;
+  opts.wait = cfg.wait_policy;
+  opts.pin = cfg.pin_workers;
+  opts.pin_offset = cfg.pin_first_core;
+  opts.ring_capacity = cfg.worker_ring_capacity;
+  return opts;
 }
 
 std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
@@ -36,7 +53,7 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
 ShardedClassifier::ShardedClassifier(ruleset::RuleSet rules, ShardedConfig config)
     : config_(std::move(config)),
       stats_(clamped_shards(config_.shards, rules.size())),
-      pool_(pool_threads(config_, clamped_shards(config_.shards, rules.size()))) {
+      workers_(worker_options(config_, clamped_shards(config_.shards, rules.size()))) {
   if (rules.empty()) throw std::invalid_argument("ShardedClassifier: empty ruleset");
   if (config_.failure.quarantine_after == 0) config_.failure.quarantine_after = 1;
   if (config_.flow_cache_capacity > 0) {
@@ -173,17 +190,19 @@ MatchResult ShardedClassifier::classify(const net::HeaderBits& header) const {
   return out;
 }
 
-void ShardedClassifier::merge(const ShardSet& snap,
-                              std::span<const std::vector<MatchResult>> local,
+void ShardedClassifier::merge(const ShardSet& snap, const FanScratch& scratch,
                               std::span<MatchResult> results, bool want_multi) const {
   const std::size_t total = snap.bases.back();
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    MatchResult& out = results[i];
-    out.reset_for(total, want_multi);
-    for (std::size_t s = 0; s < local.size(); ++s) {
-      // A faulted or quarantined shard contributed nothing this batch.
-      if (local[s].size() != results.size()) continue;
-      const MatchResult& r = local[s][i];
+  for (auto& r : results) r.reset_for(total, want_multi);
+  // Shard-major: each produced buffer streams through once.
+  for (const std::size_t s : scratch.eligible) {
+    // A faulted shard produced nothing this batch (and a stale buffer
+    // from an earlier batch must not leak in).
+    if (scratch.produced[s] == 0) continue;
+    const std::vector<MatchResult>& buf = scratch.local[s];
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const MatchResult& r = buf[i];
+      MatchResult& out = results[i];
       if (r.has_match()) {
         const std::size_t global = snap.bases[s] + r.best;
         if (global < out.best) out.best = global;
@@ -197,14 +216,44 @@ void ShardedClassifier::merge(const ShardSet& snap,
   }
 }
 
+void ShardedClassifier::run_shard(const FanContext& ctx, std::size_t slot) const {
+  FanScratch& scratch = *ctx.scratch;
+  const std::size_t s = scratch.eligible[slot];
+  const Shard& shard = ctx.snap->shards[s];
+  std::vector<MatchResult>& buf = scratch.local[s];
+  if (buf.size() < ctx.headers.size()) buf.resize(ctx.headers.size());
+  const std::span<MatchResult> out(buf.data(), ctx.headers.size());
+  const auto start = std::chrono::steady_clock::now();
+  bool good = true;
+  try {
+    shard.engine->classify_batch(ctx.headers, out, ctx.opts);
+  } catch (...) {
+    good = false;
+  }
+  if (good) good = validate_results(out, shard.engine->rule_count());
+  if (!good) {
+    record_shard_fault(shard, ctx.headers.size());
+    return;  // produced[s] stays 0: merge skips this shard
+  }
+  shard.health->consecutive_faults.store(0, std::memory_order_relaxed);
+  stats_.record_shard_batch(shard.id, elapsed_ns(start));
+  scratch.produced[s] = 1;
+}
+
+void ShardedClassifier::run_shard_entry(void* ctx, std::size_t slot) {
+  const auto* c = static_cast<const FanContext*>(ctx);
+  c->self->run_shard(*c, slot);
+}
+
 void ShardedClassifier::fan_out(const ShardSet& snap,
                                 std::span<const net::HeaderBits> headers,
                                 std::span<MatchResult> results,
-                                const engines::BatchOptions& opts) const {
+                                const engines::BatchOptions& opts,
+                                FanScratch& scratch) const {
   // Only shards that can actually contribute take part: empty bands
   // have nothing to match and quarantined shards are out of service.
-  std::vector<std::size_t> eligible;
-  eligible.reserve(snap.shards.size());
+  std::vector<std::size_t>& eligible = scratch.eligible;
+  eligible.clear();
   for (std::size_t s = 0; s < snap.shards.size(); ++s) {
     const Shard& shard = snap.shards[s];
     if (snap.bases[s + 1] == snap.bases[s]) continue;  // empty band
@@ -242,38 +291,40 @@ void ShardedClassifier::fan_out(const ShardSet& snap,
     return;
   }
 
-  std::vector<std::vector<MatchResult>> local(snap.shards.size());
-  auto run_shard = [&](std::size_t s) {
-    const Shard& shard = snap.shards[s];
-    local[s].resize(headers.size());
-    const auto start = std::chrono::steady_clock::now();
-    bool good = true;
-    try {
-      shard.engine->classify_batch(headers, local[s], opts);
-    } catch (...) {
-      good = false;
-    }
-    if (good) good = validate_results(local[s], shard.engine->rule_count());
-    if (!good) {
-      record_shard_fault(shard, headers.size());
-      local[s].clear();  // merge skips it
-      return;
-    }
-    shard.health->consecutive_faults.store(0, std::memory_order_relaxed);
-    stats_.record_shard_batch(shard.id, elapsed_ns(start));
-  };
-
-  // Thread-pool dispatch only pays off with several eligible shards AND
-  // several workers; otherwise the enqueue/wake/join round-trip per
-  // batch is pure overhead on top of serial execution.
-  if (eligible.size() == 1 || pool_.thread_count() <= 1) {
-    for (const std::size_t s : eligible) run_shard(s);
-  } else {
-    pool_.parallel_for(eligible.size(), [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) run_shard(eligible[i]);
-    });
+  if (scratch.local.size() < snap.shards.size()) {
+    scratch.local.resize(snap.shards.size());
   }
-  merge(snap, local, results, opts.want_multi);
+  scratch.produced.assign(snap.shards.size(), 0);
+
+  FanContext ctx;
+  ctx.self = this;
+  ctx.snap = &snap;
+  ctx.headers = headers;
+  ctx.opts = opts;
+  ctx.scratch = &scratch;
+
+  // Round-robin eligible shards across lanes. Lane 0 is the
+  // dispatching caller itself: it hands lanes 1..L-1 their descriptors
+  // first, runs its own share inline, then waits — run-to-completion,
+  // no per-task futures, no hand-off at all when only one lane exists.
+  // The caller's RCU pin (held across this call) keeps `snap` and the
+  // shard engines alive for the workers.
+  const std::size_t lanes = workers_.worker_count() + 1;
+  if (lanes == 1 || eligible.size() == 1) {
+    for (std::size_t i = 0; i < eligible.size(); ++i) run_shard(ctx, i);
+  } else {
+    ShardWorkerPool::Completion done;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      const std::size_t lane = i % lanes;
+      if (lane != 0) {
+        workers_.dispatch(lane - 1, &ShardedClassifier::run_shard_entry, &ctx, i,
+                          done);
+      }
+    }
+    for (std::size_t i = 0; i < eligible.size(); i += lanes) run_shard(ctx, i);
+    workers_.wait(done);
+  }
+  merge(snap, scratch, results, opts.want_multi);
 }
 
 void ShardedClassifier::classify_batch(std::span<const net::HeaderBits> headers,
@@ -284,17 +335,23 @@ void ShardedClassifier::classify_batch(std::span<const net::HeaderBits> headers,
   }
   if (headers.empty()) return;
 
+  // All per-batch state (eligible set, per-shard buffers, miss
+  // compaction) lives in one pooled scratch: zero allocation per batch
+  // in steady state, re-entrant because each in-flight call borrows
+  // its own entry.
+  std::unique_ptr<FanScratch> scratch = borrow_scratch();
+
   if (cache_ == nullptr) {
     auto snap = snapshot_.read();
-    fan_out(*snap, headers, results, opts);
+    fan_out(*snap, headers, results, opts, *scratch);
   } else {
     // Flow-cache front end: answer hits in place, compact the misses
     // into a contiguous sub-batch, and fan only that out to the shards.
     const std::uint64_t epoch = cache_->epoch();
     const bool multi_capable = supports_multi_match();
-    engines::ScratchArena arena;
-    arena.headers.reserve(headers.size());
-    arena.indices.reserve(headers.size());
+    engines::ScratchArena& arena = scratch->arena;
+    arena.headers.clear();
+    arena.indices.clear();
     for (std::size_t i = 0; i < headers.size(); ++i) {
       // A hit cached by a best-only caller has no multi vector; a
       // multi-wanting caller must treat it as a miss (and refresh it).
@@ -307,20 +364,41 @@ void ShardedClassifier::classify_batch(std::span<const net::HeaderBits> headers,
     }
     if (!arena.headers.empty()) {
       auto snap = snapshot_.read();
-      std::vector<MatchResult> miss(arena.headers.size());
-      fan_out(*snap, arena.headers, miss, opts);
-      for (std::size_t j = 0; j < miss.size(); ++j) {
-        cache_->insert(arena.headers[j], epoch, miss[j]);
-        results[arena.indices[j]] = std::move(miss[j]);
+      std::vector<MatchResult>& miss = scratch->miss;
+      if (miss.size() < arena.headers.size()) miss.resize(arena.headers.size());
+      const std::span<MatchResult> mspan(miss.data(), arena.headers.size());
+      fan_out(*snap, arena.headers, mspan, opts, *scratch);
+      for (std::size_t j = 0; j < mspan.size(); ++j) {
+        cache_->insert(arena.headers[j], epoch, mspan[j]);
+        results[arena.indices[j]] = std::move(mspan[j]);
       }
     }
   }
+  return_scratch(std::move(scratch));
 
   std::uint64_t matched = 0;
   for (const MatchResult& r : results) {
     if (r.has_match()) ++matched;
   }
   stats_.record_batch(headers.size(), matched);
+}
+
+std::unique_ptr<ShardedClassifier::FanScratch> ShardedClassifier::borrow_scratch()
+    const {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    if (!scratch_pool_.empty()) {
+      std::unique_ptr<FanScratch> s = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return s;
+    }
+  }
+  return std::make_unique<FanScratch>();
+}
+
+void ShardedClassifier::return_scratch(std::unique_ptr<FanScratch> scratch) const {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  scratch_pool_.push_back(std::move(scratch));
 }
 
 std::size_t ShardedClassifier::owning_shard(const std::vector<std::size_t>& bases,
@@ -351,8 +429,12 @@ void ShardedClassifier::flush_updates() { queue_->flush(); }
 
 bool ShardedClassifier::wait_update(std::future<bool> f) const {
   if (config_.update_timeout_ms == 0) return f.get();
-  if (f.wait_for(std::chrono::milliseconds(config_.update_timeout_ms)) !=
-      std::future_status::ready) {
+  // One absolute deadline, computed up front: however often the wait
+  // wakes spuriously (or the implementation re-arms internally), the
+  // effective timeout can never stretch past update_timeout_ms.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.update_timeout_ms);
+  if (f.wait_until(deadline) != std::future_status::ready) {
     return false;  // still queued; may apply later
   }
   return f.get();
@@ -557,6 +639,14 @@ StatsSnapshot ShardedClassifier::stats_snapshot() const {
     d.quarantined = shard.health->quarantined.load(std::memory_order_acquire);
     out.degraded = out.degraded || d.quarantined;
     out.health.push_back(d);
+  }
+  for (const ShardWorkerPool::WorkerCounters& c : workers_.counters()) {
+    WorkerDigest w;
+    w.tasks = c.tasks;
+    w.ring_stalls = c.ring_stalls;
+    w.parks = c.parks;
+    w.ring_depth = c.ring_depth;
+    out.workers.push_back(w);
   }
   return out;
 }

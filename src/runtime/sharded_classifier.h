@@ -5,11 +5,17 @@
 // The ruleset is partitioned into S contiguous priority bands; band s
 // becomes an independent shard engine (any spec the factory accepts, so
 // a shard is "one pipeline" of whichever architecture you pick). A
-// batch of packed headers is classified by every shard — in parallel on
-// a util::ThreadPool — and the per-shard results are merged back by
-// GLOBAL priority: the winning rule is the matching shard-local winner
-// with the smallest global index, and the multi-match vector is the
-// union of the shard vectors rebased to global rule indices.
+// batch of packed headers is classified by every shard — spread across
+// long-lived run-to-completion shard workers fed over bounded SPSC
+// rings (runtime/shard_workers.h), with the dispatching caller running
+// its own share inline as lane 0 — and the per-shard results are
+// merged back by GLOBAL priority: the winning rule is the matching
+// shard-local winner with the smallest global index, and the
+// multi-match vector is the union of the shard vectors rebased to
+// global rule indices. Lane count derives from one core budget
+// (threads/core_budget/reserved_cores below); a budget of one core
+// collapses the whole fan-out to an inline serial loop with no
+// hand-off at all.
 //
 // Concurrency contract (lock-free reads, RCU writes): classify() and
 // classify_batch() may be called from any number of threads at any
@@ -55,11 +61,12 @@
 #include <vector>
 
 #include "engines/common/engine.h"
+#include "engines/common/scratch.h"
 #include "flow/flow_cache.h"
+#include "runtime/shard_workers.h"
 #include "runtime/stats.h"
 #include "runtime/update_queue.h"
 #include "util/rcu.h"
-#include "util/thread_pool.h"
 
 namespace rfipc::runtime {
 
@@ -84,8 +91,29 @@ struct ShardedConfig {
   std::size_t shards = 4;
   /// Factory spec every shard engine is built from.
   std::string engine_spec = "stridebv:4";
-  /// Worker threads; 0 = min(shards, hardware_concurrency).
+  /// Parallel lanes across shards, the dispatching caller included —
+  /// so `threads` lanes spawn `threads - 1` run-to-completion shard
+  /// workers. 0 derives lanes from the core budget below; 1 forces
+  /// fully inline (serial) fan-out with no worker threads at all.
   std::size_t threads = 0;
+  /// Total cores this process may spend; 0 = hardware_concurrency().
+  /// Shard workers get what `reserved_cores` leaves over, clamped so a
+  /// starved budget degrades to serial instead of oversubscribing.
+  std::size_t core_budget = 0;
+  /// Cores already spoken for by co-resident threads (epoll reactor,
+  /// update waiter, capture threads, ...). rfipcd passes
+  /// server::kServiceThreads here.
+  std::size_t reserved_cores = 0;
+  /// Dispatcher/worker hand-off wait policy: kBlock parks idle threads
+  /// (default, right when cores are shared); kBusyPoll spins (opt-in
+  /// for latency benches that own their cores).
+  ShardWorkerPool::WaitPolicy wait_policy = ShardWorkerPool::WaitPolicy::kBlock;
+  /// Pin shard workers to consecutive cores starting at
+  /// `pin_first_core` (best effort; silently unpinned where refused).
+  bool pin_workers = false;
+  std::size_t pin_first_core = 0;
+  /// Per-worker SPSC ring slots (rounded up to a power of two).
+  std::size_t worker_ring_capacity = 64;
   /// Shard failure containment knobs.
   FailurePolicy failure;
   /// How long the synchronous insert_rule/erase_rule wrappers wait for
@@ -184,17 +212,51 @@ class ShardedClassifier final : public engines::ClassifierEngine {
     bool dirty = false;
   };
 
+  /// Dispatcher-side per-batch state, pooled via borrow_scratch() so
+  /// the fan-out allocates nothing in steady state (buffers keep their
+  /// capacity across batches; see DESIGN.md "Execution model").
+  struct FanScratch {
+    std::vector<std::size_t> eligible;
+    /// Per-shard result buffers, indexed by shard slot. Grown lazily
+    /// and never shrunk; `produced[s]` marks the buffers the CURRENT
+    /// batch filled (a stale buffer from an earlier batch or a faulted
+    /// shard must not reach merge()).
+    std::vector<std::vector<engines::MatchResult>> local;
+    std::vector<unsigned char> produced;
+    /// Flow-cache miss sub-batch results.
+    std::vector<engines::MatchResult> miss;
+    /// Flow-cache miss compaction (headers + caller indices).
+    engines::ScratchArena arena;
+  };
+
+  /// What a shard worker needs to run one eligible shard of one batch:
+  /// plain data, stack-owned by the dispatcher for the batch's
+  /// duration (the dispatcher's RCU pin keeps `snap` alive).
+  struct FanContext {
+    const ShardedClassifier* self = nullptr;
+    const ShardSet* snap = nullptr;
+    std::span<const net::HeaderBits> headers;
+    engines::BatchOptions opts;
+    FanScratch* scratch = nullptr;
+  };
+
   static std::size_t owning_shard(const std::vector<std::size_t>& bases, std::size_t g);
 
   // Reader plane.
-  /// Fans `headers` out to every healthy shard of `snap` on the thread
-  /// pool and merges by global priority into `results`. No stats.
+  /// Fans `headers` out to every healthy shard of `snap` — across the
+  /// run-to-completion shard workers when lanes > 1, inline otherwise
+  /// — and merges by global priority into `results`. No stats.
   void fan_out(const ShardSet& snap, std::span<const net::HeaderBits> headers,
                std::span<engines::MatchResult> results,
-               const engines::BatchOptions& opts) const;
-  void merge(const ShardSet& snap,
-             std::span<const std::vector<engines::MatchResult>> local,
+               const engines::BatchOptions& opts, FanScratch& scratch) const;
+  /// Classifies eligible shard slot `slot` into its scratch buffer.
+  void run_shard(const FanContext& ctx, std::size_t slot) const;
+  /// ShardWorkerPool task trampoline: ctx is a FanContext.
+  static void run_shard_entry(void* ctx, std::size_t slot);
+  void merge(const ShardSet& snap, const FanScratch& scratch,
              std::span<engines::MatchResult> results, bool want_multi) const;
+  std::unique_ptr<FanScratch> borrow_scratch() const;
+  void return_scratch(std::unique_ptr<FanScratch> scratch) const;
   bool validate_results(std::span<const engines::MatchResult> results,
                         std::size_t shard_rules) const;
   void record_shard_fault(const Shard& shard, std::uint64_t packets) const;
@@ -211,7 +273,14 @@ class ShardedClassifier final : public engines::ClassifierEngine {
 
   ShardedConfig config_;
   mutable RuntimeStats stats_;
-  mutable util::ThreadPool pool_;
+  /// Long-lived run-to-completion shard workers fed over SPSC rings;
+  /// holds `lanes - 1` threads (the dispatching caller is lane 0), so
+  /// it is empty when the core budget only affords serial fan-out.
+  mutable ShardWorkerPool workers_;
+  /// Free list of pooled dispatcher scratch; one entry is borrowed per
+  /// in-flight classify_batch and returned with capacity intact.
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<FanScratch>> scratch_pool_;
   /// Exact-match front end; null when flow_cache_capacity == 0.
   std::unique_ptr<flow::FlowCache> cache_;
   util::RcuCell<ShardSet> snapshot_;

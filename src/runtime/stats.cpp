@@ -146,6 +146,14 @@ std::string StatsSnapshot::to_json() const {
            ",\"reinstated\":" + u(h.reinstated) +
            ",\"quarantined\":" + (h.quarantined ? "true" : "false") + "}";
   }
+  out += "],\"workers\":[";
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (w > 0) out += ",";
+    out += "{\"tasks\":" + u(workers[w].tasks) +
+           ",\"ring_stalls\":" + u(workers[w].ring_stalls) +
+           ",\"parks\":" + u(workers[w].parks) +
+           ",\"ring_depth\":" + u(workers[w].ring_depth) + "}";
+  }
   out += "]}";
   return out;
 }
@@ -184,6 +192,12 @@ std::string StatsSnapshot::to_string() const {
     out += " shard" + std::to_string(s) + "{batches=" + std::to_string(shards[s].batches) +
            " p50=" + std::to_string(shards[s].p50_ns) + "ns" +
            " p99=" + std::to_string(shards[s].p99_ns) + "ns}";
+  }
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    out += " worker" + std::to_string(w) + "{tasks=" + std::to_string(workers[w].tasks) +
+           " stalls=" + std::to_string(workers[w].ring_stalls) +
+           " parks=" + std::to_string(workers[w].parks) +
+           " depth=" + std::to_string(workers[w].ring_depth) + "}";
   }
   return out;
 }

@@ -51,6 +51,16 @@ struct ShardHealthDigest {
   bool quarantined = false;
 };
 
+/// One run-to-completion shard worker's hand-off counters (filled by
+/// the ShardedClassifier from its ShardWorkerPool; empty when the core
+/// budget made the fan-out serial).
+struct WorkerDigest {
+  std::uint64_t tasks = 0;        // shard-batch descriptors executed
+  std::uint64_t ring_stalls = 0;  // dispatches that found the ring full
+  std::uint64_t parks = 0;        // idle sleeps (0 under busy-poll)
+  std::size_t ring_depth = 0;     // descriptors queued at snapshot time
+};
+
 /// Counters the service layer (src/server/) folds into a snapshot so
 /// the STATS wire op reports the daemon and the data plane in one
 /// response. All zero for in-process (serverless) deployments.
@@ -87,6 +97,8 @@ struct StatsSnapshot {
   bool degraded = false;
   std::vector<ShardLatency> shards;
   std::vector<ShardHealthDigest> health;
+  /// Shard-worker hand-off digests, one per long-lived worker thread.
+  std::vector<WorkerDigest> workers;
 
   /// "packets=... matches=... updates=... shard0 p50=..us p99=..us ..."
   std::string to_string() const;

@@ -51,6 +51,14 @@
 
 namespace rfipc::server {
 
+/// Threads the service layer itself runs: the epoll reactor plus the
+/// update-future waiter. Embedders sizing a ShardedClassifier next to
+/// a ClassifyServer must hand this to ShardedConfig::reserved_cores so
+/// shard workers, reactor, and waiter all come out of ONE core budget
+/// — otherwise a small machine oversubscribes and the shard fan-out
+/// runs slower than serial (the BENCH_runtime.json inversion).
+inline constexpr std::size_t kServiceThreads = 2;
+
 struct ServerConfig {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral; read the bound port back via port().

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <exception>
 
+#include "util/affinity.h"
+
 namespace rfipc::util {
 namespace {
 
@@ -13,10 +15,7 @@ thread_local const ThreadPool* t_current_pool = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
+  if (threads == 0) threads = hardware_core_count();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -7,6 +7,7 @@
 // count what actually happened.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 #include "engines/common/factory.h"
@@ -187,6 +188,91 @@ TEST(ShardedClassifier, StatsCountPacketsBatchesAndMatches) {
   EXPECT_FALSE(snap.to_string().empty());
   sc.reset_stats();
   EXPECT_EQ(sc.stats_snapshot().packets, 0u);
+}
+
+// Regression for the scaling inversion: shards > cores must degrade to
+// the inline serial fan-out (or few lanes), never oversubscribe, and
+// stay exactly correct in every lane configuration.
+TEST(ShardedClassifier, ShardsExceedingCoreBudgetStayCorrect) {
+  const auto rules = ruleset::generate_firewall(128, 29);
+  const engines::LinearSearchEngine golden(rules);
+  const auto headers = packed_trace(rules, 200, 30);
+  // (core_budget, explicit threads) pairs: a 1-core box (fully inline),
+  // a 2-core box (dispatcher + 1 worker), and forced lane counts above
+  // and below the shard count.
+  struct Case {
+    std::size_t budget;
+    std::size_t threads;
+  };
+  for (const Case c : {Case{1, 0}, Case{2, 0}, Case{0, 1}, Case{0, 3}, Case{0, 16}}) {
+    ShardedConfig cfg;
+    cfg.shards = 9;  // more shards than any small box has cores
+    cfg.core_budget = c.budget;
+    cfg.threads = c.threads;
+    const ShardedClassifier sc(rules, cfg);
+    std::vector<MatchResult> got(headers.size());
+    sc.classify_batch(headers, got);
+    sc.classify_batch(headers, got);  // pooled-scratch reuse round
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      ASSERT_EQ(got[i].best, golden.classify(headers[i]).best)
+          << "budget=" << c.budget << " threads=" << c.threads << " packet " << i;
+    }
+  }
+}
+
+TEST(ShardedClassifier, WorkerDigestsAppearInStats) {
+  const auto rules = ruleset::generate_firewall(64, 41);
+  ShardedConfig cfg;
+  cfg.shards = 4;
+  cfg.threads = 3;  // dispatcher lane + 2 workers
+  const ShardedClassifier sc(rules, cfg);
+  const auto headers = packed_trace(rules, 256, 42);
+  std::vector<MatchResult> out(headers.size());
+  for (int i = 0; i < 8; ++i) sc.classify_batch(headers, out);
+
+  const auto snap = sc.stats_snapshot();
+  ASSERT_EQ(snap.workers.size(), 2u);
+  std::uint64_t worker_tasks = 0;
+  for (const auto& w : snap.workers) {
+    worker_tasks += w.tasks;
+    EXPECT_EQ(w.ring_depth, 0u);  // drained between batches
+  }
+  // 4 shards round-robined over 3 lanes: lanes 1 and 2 carry work.
+  EXPECT_GT(worker_tasks, 0u);
+  EXPECT_NE(snap.to_json().find("\"workers\""), std::string::npos);
+  EXPECT_NE(snap.to_string().find("worker0"), std::string::npos);
+
+  // A 1-lane classifier reports no worker digests.
+  ShardedConfig serial_cfg;
+  serial_cfg.shards = 4;
+  serial_cfg.threads = 1;
+  const ShardedClassifier serial(rules, serial_cfg);
+  serial.classify_batch(headers, out);
+  EXPECT_TRUE(serial.stats_snapshot().workers.empty());
+}
+
+// Satellite: the update wait computes ONE absolute deadline up front
+// (f.wait_until), so spurious wakeups can't stretch update_timeout_ms
+// into multiples of itself. Observable contract: a healthy queue
+// resolves inside even a tight budget, and the synchronous wrappers
+// stay exact under a timeout config.
+TEST(ShardedClassifier, TimedUpdateWaitResolvesOnHealthyQueue) {
+  auto mirror = ruleset::generate_firewall(24, 51);
+  ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.update_timeout_ms = 2'000;
+  ShardedClassifier sc(mirror, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(sc.insert_rule(0, ruleset::Rule::any()));
+  mirror.insert(0, ruleset::Rule::any());
+  ASSERT_TRUE(sc.erase_rule(5));
+  mirror.erase(5);
+  // Two waits, one deadline each: nowhere near 2x the budget.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(4));
+  const engines::LinearSearchEngine golden(mirror);
+  for (const auto& h : packed_trace(mirror, 60, 52)) {
+    ASSERT_EQ(sc.classify(h).best, golden.classify(h).best);
+  }
 }
 
 TEST(LatencyHistogramTest, QuantilesAreMonotoneAndBucketed) {

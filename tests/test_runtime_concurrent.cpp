@@ -200,6 +200,108 @@ TEST(RuntimeConcurrent, MultipleProducersSerializeThroughTheQueue) {
   EXPECT_EQ(sc.classify(probe).best, 0u);
 }
 
+// The same prefix-consistency invariant, but with the fan-out FORCED
+// through the run-to-completion workers (threads=4 overrides the core
+// budget, so even a 1-core CI box exercises the SPSC hand-off). Under
+// TSan this is the dispatcher/worker/RCU interleaving stress: workers
+// read the snapshot the dispatcher pinned while the writer publishes
+// new ones.
+TEST(RuntimeConcurrent, WorkerFanOutSeesOnlyPrefixConsistentSnapshots) {
+  ShardedConfig cfg;
+  cfg.shards = 3;
+  cfg.threads = 4;  // dispatcher lane + 3 ring-fed workers
+  cfg.engine_spec = "linear";
+  ShardedClassifier sc(base_rules(), cfg);
+
+  const net::HeaderBits probe(probe_tuple());
+  std::atomic<bool> done{false};
+  ReaderReport rep;
+  std::thread reader([&] {
+    std::vector<net::HeaderBits> batch_in(8, probe);
+    std::vector<MatchResult> batch_out(batch_in.size());
+    std::size_t prev_k = 0;
+    bool descending = false;
+    while (!done.load(std::memory_order_acquire) && rep.valid) {
+      // Batches only: every call runs the worker fan-out (3 eligible
+      // shards > 1), and all 8 results must come from ONE snapshot.
+      sc.classify_batch(batch_in, batch_out);
+      const std::size_t k = check_result(batch_out[0], rep);
+      for (std::size_t i = 1; i < batch_out.size() && rep.valid; ++i) {
+        if (batch_out[i].best != batch_out[0].best ||
+            batch_out[i].multi != batch_out[0].multi) {
+          rep.valid = false;
+          rep.error = "torn batch across workers";
+        }
+      }
+      if (!rep.valid) break;
+      if (k < prev_k) descending = true;
+      if (k > prev_k && descending) {
+        rep.valid = false;
+        rep.error = "k rose after falling";
+      }
+      prev_k = k;
+      ++rep.observations;
+    }
+  });
+
+  for (std::size_t v = 0; v < kVersions; ++v) {
+    ASSERT_TRUE(sc.insert_rule(kBase + v, ruleset::Rule::any()));
+  }
+  for (std::size_t v = kVersions; v > 0; --v) {
+    ASSERT_TRUE(sc.erase_rule(kBase + v - 1));
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_TRUE(rep.valid) << rep.error;
+  EXPECT_GT(rep.observations, 0u);
+  EXPECT_EQ(sc.stats_snapshot().faults, 0u);
+  // threads=4 clamps to the 3 shards: dispatcher lane + 2 workers.
+  ASSERT_EQ(sc.stats_snapshot().workers.size(), 2u);
+}
+
+// Worker fan-out under shard QUARANTINE: every shard's engine throws on
+// classify, quarantine trips mid-stress on worker threads, and the
+// runtime must keep serving degraded (no match from dead shards, no
+// crash, no race) while updates stream through.
+TEST(RuntimeConcurrent, WorkerFanOutSurvivesQuarantineUnderUpdates) {
+  ShardedConfig cfg;
+  cfg.shards = 3;
+  cfg.threads = 4;
+  cfg.engine_spec = "faulty(linear):p=1,mode=throw";
+  cfg.failure.quarantine_after = 2;
+  cfg.failure.rebuild = false;  // stay degraded: the worst case
+  ShardedClassifier sc(base_rules(), cfg);
+
+  const net::HeaderBits probe(probe_tuple());
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> batches{0};
+  std::thread reader([&] {
+    std::vector<net::HeaderBits> batch_in(8, probe);
+    std::vector<MatchResult> batch_out(batch_in.size());
+    while (!done.load(std::memory_order_acquire)) {
+      sc.classify_batch(batch_in, batch_out);
+      // Every shard faults, so nothing can ever match.
+      for (const auto& r : batch_out) ASSERT_FALSE(r.has_match());
+      batches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(sc.insert_rule(0, miss_rule(100 + static_cast<std::size_t>(i))));
+  }
+  // Let the reader run against the fully quarantined state for a while.
+  while (batches.load(std::memory_order_relaxed) < 64) std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const auto snap = sc.stats_snapshot();
+  EXPECT_GT(snap.faults, 0u);
+  std::size_t quarantined = 0;
+  for (const auto& h : snap.health) quarantined += h.quarantined ? 1 : 0;
+  EXPECT_GT(quarantined, 0u);
+}
+
 /// Coalescing: async submits issued back-to-back may be folded into
 /// fewer snapshot swaps than ops, and every future still resolves.
 TEST(RuntimeConcurrent, AsyncSubmissionsCoalesceIntoFewerSwaps) {
