@@ -13,11 +13,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "harness.h"
+#include "persist/durable_log.h"
 #include "runtime/sharded_classifier.h"
 #include "ruleset/generator.h"
 #include "ruleset/trace.h"
@@ -99,6 +101,54 @@ LoadResult drive(std::uint16_t port, std::span<const net::HeaderBits> headers,
   return r;
 }
 
+struct UpdateResult {
+  double kupd_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t last_seq = 0;
+};
+
+/// One synchronous client alternating an insert/erase pair at the tail
+/// index — each acked reply implies the journal append (and fsync, per
+/// policy) already happened, so the RTT prices durability end to end.
+UpdateResult drive_updates(std::uint16_t port, const ruleset::Rule& extra,
+                           std::uint64_t base_size, double seconds) {
+  UpdateResult r;
+  server::ClassifyClient client;
+  if (!client.connect("127.0.0.1", port)) {
+    r.failures = 1;
+    return r;
+  }
+  std::vector<double> rtts;
+  bool inserted = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 <
+         std::chrono::duration<double>(seconds)) {
+    const auto s0 = std::chrono::steady_clock::now();
+    const bool ok = inserted ? client.erase_rule(base_size)
+                             : client.insert_rule(base_size, extra);
+    if (!ok) {
+      r.failures += 1;
+      break;
+    }
+    rtts.push_back(
+        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                  s0)
+            .count());
+    inserted = !inserted;
+    r.ops += 1;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  r.kupd_s = static_cast<double>(r.ops) / elapsed / 1e3;
+  r.p50_us = percentile(rtts, 0.50);
+  r.p99_us = percentile(rtts, 0.99);
+  r.last_seq = client.last_seq();
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -173,7 +223,7 @@ int main() {
   }
 
   util::TextTable table(
-      {"configuration", "Mpkt/s", "wire tax", "p50 RTT (us)", "p99 RTT (us)"});
+      {"configuration", "Mpkt/s | Kupd/s", "wire tax", "p50 RTT (us)", "p99 RTT (us)"});
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.2f", inproc_rate);
   table.add_row({"in-process batch " + std::to_string(kBatch), buf, "1.00x", "-", "-"});
@@ -201,6 +251,76 @@ int main() {
   srv.request_drain();
   serving.join();
 
+  // Durable update latency: one fresh journaled server per fsync
+  // policy, a single synchronous client hammering insert/erase pairs.
+  // The acked RTT is the full durability price — publish + journal
+  // append + fsync-per-policy — since OK replies are withheld until
+  // the record is on disk.
+  constexpr double kUpdateSeconds = 0.6;
+  bool updates_clean = true;
+  for (const auto policy :
+       {persist::FsyncPolicy::kNone, persist::FsyncPolicy::kBatch,
+        persist::FsyncPolicy::kAlways}) {
+    const char* name = policy == persist::FsyncPolicy::kNone     ? "none"
+                       : policy == persist::FsyncPolicy::kBatch ? "batch"
+                                                                : "always";
+    const std::filesystem::path dir =
+        std::filesystem::path("bench-journal-") += name;
+    std::filesystem::remove_all(dir);
+
+    persist::DurableLogConfig pcfg;
+    pcfg.dir = dir.string();
+    pcfg.fsync = policy;
+    std::string err;
+    auto log = persist::DurableLog::open(pcfg, err);
+    if (log == nullptr || !log->seed(rules, err)) {
+      std::fprintf(stderr, "bench_server: journal setup (%s) failed: %s\n", name,
+                   err.c_str());
+      updates_clean = false;
+      continue;
+    }
+
+    runtime::ShardedConfig ucfg = rcfg;
+    persist::DurableLog* raw = log.get();
+    ucfg.durability_hook = [raw](std::span<const runtime::UpdateOp> ops) {
+      std::vector<persist::RuleOp> jops;
+      jops.reserve(ops.size());
+      for (const auto& op : ops) {
+        jops.push_back(op.kind == runtime::UpdateOp::Kind::kInsert
+                           ? persist::RuleOp::insert(op.index, op.rule, op.token)
+                           : persist::RuleOp::erase(op.index, op.token));
+      }
+      std::string hook_err;
+      if (!raw->append_ops(jops, hook_err)) {
+        std::fprintf(stderr, "bench_server: journal append failed: %s\n",
+                     hook_err.c_str());
+      }
+    };
+    runtime::ShardedClassifier uclassifier(rules, ucfg);
+    server::ServerConfig uscfg;
+    uscfg.durable = raw;
+    server::ClassifyServer usrv(uclassifier, uscfg);
+    std::thread userving([&usrv] { usrv.run(); });
+
+    const UpdateResult u =
+        drive_updates(usrv.port(), rules[0], rules.size(), kUpdateSeconds);
+    usrv.request_drain();
+    userving.join();
+
+    updates_clean = updates_clean && u.failures == 0 && u.ops > 0 &&
+                    u.last_seq == u.ops;
+    char rate[32];
+    char p50[32];
+    char p99[32];
+    std::snprintf(rate, sizeof(rate), "%.2f", u.kupd_s);
+    std::snprintf(p50, sizeof(p50), "%.0f", u.p50_us);
+    std::snprintf(p99, sizeof(p99), "%.0f", u.p99_us);
+    table.add_row({std::string("update fsync=") + name, rate, "-", p50, p99});
+
+    log.reset();
+    std::filesystem::remove_all(dir);
+  }
+
   bench::emit(table, "server.csv");
   const auto c = srv.counters();
   std::printf("\nserver counters: %llu requests, %llu B in, %llu B out, "
@@ -217,5 +337,7 @@ int main() {
                total_failures == 0, std::to_string(total_failures) + " failures");
   bench::check("the wire path sustains measurable throughput", best_wire_rate > 0.01,
                "best " + std::to_string(best_wire_rate) + " Mpkt/s");
+  bench::check("durable updates acked cleanly under every fsync policy",
+               updates_clean, "ack seq == op count, zero failures");
   return 0;
 }

@@ -1,0 +1,295 @@
+// crash_chaos — the durability chaos harness for rfipcd.
+//
+//   $ crash_chaos --mode burst --port P --rules N --seed S
+//                 --trace PATH [--ops K]
+//   $ crash_chaos --mode verify --port P --rules N --seed S
+//                 --trace PATH [--packets M]
+//
+// Two halves of one experiment, driven by scripts/crash_recovery_smoke.sh:
+//
+// burst  — connects to a journaled rfipcd and fires a stream of random
+//          rule updates. Before each send it records a `try` line, and
+//          after each OK reply an `ack <seq>` line, fflushed so the
+//          trace on disk never lags what the server acked. The server
+//          is SIGKILLed mid-burst; the client then reports how many
+//          updates were acked and exits 0 (exit 1 only means it never
+//          reached the server at all).
+//
+// verify — after the server restarts from its journal, replays the
+//          trace against a local reference: base ruleset (regenerated
+//          from --rules/--seed, exactly what the server seeded) plus
+//          every acked op in order. The ClassifyClient is synchronous,
+//          so at most ONE op was in flight at the kill — if the
+//          server's persisted last_seq is one past the last ack, that
+//          trailing `try` op landed and is applied too. It then
+//          asserts:
+//            1. last_seq >= last acked seq — no acked update was lost;
+//            2. a differential classify over a generated packet trace
+//               matches RuleSet::first_match on the reference exactly.
+//          Any acked-but-forgotten update fails (1) outright or shows
+//          up as a decision mismatch in (2).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rfipc.h"
+
+using namespace rfipc;
+
+namespace {
+
+struct TracedOp {
+  bool insert = true;
+  std::uint64_t index = 0;
+  std::uint64_t seq = 0;  // 0 for a try line
+  ruleset::Rule rule;     // insert only
+};
+
+std::string op_text(const TracedOp& op) {
+  std::ostringstream os;
+  os << (op.insert ? "I " : "E ") << op.index;
+  if (op.insert) os << ' ' << op.rule.to_string();
+  return os.str();
+}
+
+bool parse_op_text(std::istringstream& is, TracedOp& op) {
+  std::string kind;
+  if (!(is >> kind >> op.index)) return false;
+  op.insert = kind == "I";
+  if (!op.insert && kind != "E") return false;
+  if (op.insert) {
+    std::string rest;
+    std::getline(is, rest);
+    const auto rule = ruleset::Rule::parse(rest);
+    if (!rule) return false;
+    op.rule = *rule;
+  }
+  return true;
+}
+
+ruleset::RuleSet base_ruleset(const util::CliFlags& flags) {
+  ruleset::GeneratorConfig gcfg;
+  gcfg.mode = ruleset::GeneratorMode::kFirewall;
+  gcfg.size = flags.get_u64("rules", 256);
+  gcfg.seed = flags.get_u64("seed", 7);
+  return ruleset::generate(gcfg);
+}
+
+int run_burst(const util::CliFlags& flags, const std::string& host,
+              std::uint16_t port, const std::string& trace_path) {
+  const auto ops = flags.get_u64("ops", 100000);
+  std::FILE* trace = std::fopen(trace_path.c_str(), "w");
+  if (trace == nullptr) {
+    std::fprintf(stderr, "burst: cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+
+  server::ClientOptions copts;
+  copts.auto_reconnect = false;  // server death ends the burst
+  copts.max_retries = 2;         // but SHED still retries
+  server::ClassifyClient client(copts);
+  if (!client.connect(host, port)) {
+    std::fprintf(stderr, "burst: connect failed: %s\n", client.error().c_str());
+    std::fclose(trace);
+    return 1;
+  }
+
+  // Fresh rules to insert, distinct from the server's base set.
+  ruleset::GeneratorConfig pool_cfg;
+  pool_cfg.mode = ruleset::GeneratorMode::kFirewall;
+  pool_cfg.size = ops;
+  pool_cfg.seed = flags.get_u64("seed", 7) + 1000003;
+  const auto pool = ruleset::generate(pool_cfg);
+
+  std::mt19937_64 rng(flags.get_u64("seed", 7) ^ 0x9E3779B97F4A7C15ull);
+  std::uint64_t size = base_ruleset(flags).size();
+  std::uint64_t acked = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    TracedOp op;
+    op.insert = size == 0 || rng() % 5 != 0;  // ~80% inserts
+    if (op.insert) {
+      op.index = rng() % (size + 1);
+      op.rule = pool[i % pool.size()];
+    } else {
+      op.index = rng() % size;
+    }
+    std::fprintf(trace, "try %s\n", op_text(op).c_str());
+    std::fflush(trace);
+
+    const bool ok = op.insert ? client.insert_rule(op.index, op.rule)
+                              : client.erase_rule(op.index);
+    if (!ok) {
+      std::fprintf(stderr, "burst: update failed after %llu acks: %s\n",
+                   static_cast<unsigned long long>(acked),
+                   client.error().c_str());
+      break;
+    }
+    std::fprintf(trace, "ack %llu %s\n",
+                 static_cast<unsigned long long>(client.last_seq()),
+                 op_text(op).c_str());
+    std::fflush(trace);
+    ++acked;
+    size += op.insert ? 1 : std::uint64_t(-1);
+  }
+  std::fclose(trace);
+  std::printf("burst: acked %llu updates\n",
+              static_cast<unsigned long long>(acked));
+  return acked > 0 ? 0 : 1;
+}
+
+int run_verify(const util::CliFlags& flags, const std::string& host,
+               std::uint16_t port, const std::string& trace_path) {
+  std::ifstream trace(trace_path);
+  if (!trace) {
+    std::fprintf(stderr, "verify: cannot read %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::vector<TracedOp> acked;
+  TracedOp pending;  // last try without a matching ack
+  bool has_pending = false;
+  std::string line;
+  while (std::getline(trace, line)) {
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    TracedOp op;
+    if (tag == "try") {
+      if (!parse_op_text(is, op)) {
+        std::fprintf(stderr, "verify: bad try line: %s\n", line.c_str());
+        return 1;
+      }
+      pending = op;
+      has_pending = true;
+    } else if (tag == "ack") {
+      if (!(is >> op.seq) || !parse_op_text(is, op)) {
+        std::fprintf(stderr, "verify: bad ack line: %s\n", line.c_str());
+        return 1;
+      }
+      acked.push_back(op);
+      has_pending = false;
+    }
+  }
+  const std::uint64_t last_acked_seq = acked.empty() ? 0 : acked.back().seq;
+
+  // The reference: what the server MUST still know after the crash.
+  ruleset::RuleSet ref = base_ruleset(flags);
+  for (const auto& op : acked) {
+    if (op.insert) {
+      ref.insert(op.index, op.rule);
+    } else {
+      ref.erase(op.index);
+    }
+  }
+
+  server::ClassifyClient client;
+  if (!client.connect(host, port)) {
+    std::fprintf(stderr, "verify: connect failed: %s\n", client.error().c_str());
+    return 1;
+  }
+  std::string json;
+  if (!client.stats_json(json)) {
+    std::fprintf(stderr, "verify: stats failed: %s\n", client.error().c_str());
+    return 1;
+  }
+  const auto persist_at = json.find("\"persist\":{");
+  auto seq_at = persist_at == std::string::npos
+                    ? std::string::npos
+                    : json.find("\"last_seq\":", persist_at);
+  std::uint64_t last_seq = 0;
+  if (seq_at != std::string::npos) {
+    last_seq = std::strtoull(json.c_str() + seq_at + std::strlen("\"last_seq\":"),
+                             nullptr, 10);
+  }
+
+  // Invariant 1: every acked seq survived the crash.
+  if (last_seq < last_acked_seq) {
+    std::fprintf(stderr,
+                 "verify: FAIL — acked update lost: server last_seq=%llu < "
+                 "last acked seq=%llu\n",
+                 static_cast<unsigned long long>(last_seq),
+                 static_cast<unsigned long long>(last_acked_seq));
+    return 1;
+  }
+  // At most one op was in flight at the kill; if it landed, include it.
+  if (last_seq > last_acked_seq + 1) {
+    std::fprintf(stderr,
+                 "verify: FAIL — server last_seq=%llu is more than one past "
+                 "last acked seq=%llu\n",
+                 static_cast<unsigned long long>(last_seq),
+                 static_cast<unsigned long long>(last_acked_seq));
+    return 1;
+  }
+  if (last_seq == last_acked_seq + 1) {
+    if (!has_pending) {
+      std::fprintf(stderr, "verify: FAIL — server has one extra seq but the "
+                           "trace has no in-flight op\n");
+      return 1;
+    }
+    if (pending.insert) {
+      ref.insert(pending.index, pending.rule);
+    } else {
+      ref.erase(pending.index);
+    }
+  }
+
+  // Invariant 2: the recovered classifier decides exactly like the
+  // reference — byte-identical decisions over a differential trace.
+  ruleset::TraceConfig tcfg;
+  tcfg.size = flags.get_u64("packets", 2000);
+  tcfg.seed = flags.get_u64("seed", 7) + 77;
+  const auto packets = ruleset::generate_trace(ref, tcfg);
+  std::vector<net::HeaderBits> packed;
+  packed.reserve(packets.size());
+  for (const auto& p : packets) packed.emplace_back(p);
+  std::vector<std::uint64_t> best;
+  if (!client.classify(packed, best)) {
+    std::fprintf(stderr, "verify: classify failed: %s\n", client.error().c_str());
+    return 1;
+  }
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto expect = ref.first_match(packets[i]);
+    const std::uint64_t want = expect ? *expect : server::wire::kNoMatch;
+    if (best[i] != want && ++mismatches <= 5) {
+      std::fprintf(stderr, "verify: packet %zu: server says %llu, reference "
+                           "says %llu\n",
+                   i, static_cast<unsigned long long>(best[i]),
+                   static_cast<unsigned long long>(want));
+    }
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "verify: FAIL — %zu/%zu decisions diverge from the reference\n",
+                 mismatches, packets.size());
+    return 1;
+  }
+  std::printf("verify: OK — %zu acked updates survived (last_seq=%llu), "
+              "%zu/%zu decisions match\n",
+              acked.size(), static_cast<unsigned long long>(last_seq),
+              packets.size(), packets.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv, {"mode", "host", "port", "rules", "seed",
+                                    "trace", "ops", "packets"});
+  const auto mode = flags.get("mode", "");
+  const auto host = flags.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(flags.get_u64("port", 0));
+  const auto trace = flags.get("trace", "");
+  if (port == 0 || trace.empty() || (mode != "burst" && mode != "verify")) {
+    std::fprintf(stderr,
+                 "usage: crash_chaos --mode burst|verify --port P --trace PATH "
+                 "[--host H] [--rules N] [--seed S] [--ops K] [--packets M]\n");
+    return 2;
+  }
+  return mode == "burst" ? run_burst(flags, host, port, trace)
+                         : run_verify(flags, host, port, trace);
+}

@@ -3,6 +3,8 @@
 //   $ rfipcd [--host H] [--port P] [--rules N] [--shards S]
 //            [--engine SPEC] [--flow-cache N] [--seed S]
 //            [--port-file PATH] [--smoke]
+//            [--journal DIR] [--fsync none|batch|always]
+//            [--checkpoint-every N] [--force-empty]
 //
 // Builds a generated ruleset, stands the sharded runtime up behind a
 // ClassifyServer on an epoll reactor, and serves the binary wire
@@ -14,6 +16,16 @@
 // to PATH once listening, which is how scripts/server_smoke.sh finds
 // the server without racing on a fixed port.
 //
+// --journal DIR makes rule state durable: on a fresh directory the
+// generated ruleset is seeded as a checkpoint, and every acked update
+// is write-ahead journaled (fsync per --fsync) BEFORE its OK reply —
+// so an acked update survives kill -9. On restart the daemon ignores
+// --rules/--seed and recovers the ruleset from DIR (checkpoint +
+// journal tail replay; a torn tail is salvaged, and startup refuses on
+// a corrupt checkpoint unless --force-empty archives it aside).
+// --checkpoint-every N compacts the journal into a fresh checkpoint
+// every N records (0 = size-triggered only).
+//
 // --smoke runs the whole loop in-process: the server serves on a
 // background thread while a ClassifyClient pings, classifies a batch,
 // inserts a catch-all rule at index 0, classifies again (the new rule
@@ -23,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -102,14 +115,52 @@ int run_smoke(server::ClassifyServer& srv, const ruleset::RuleSet& rules,
 int main(int argc, char** argv) {
   util::CliFlags flags(argc, argv,
                        {"host", "port", "rules", "shards", "engine", "flow-cache",
-                        "seed", "port-file", "smoke", "budget", "busy-poll", "pin"});
+                        "seed", "port-file", "smoke", "budget", "busy-poll", "pin",
+                        "journal", "fsync", "checkpoint-every", "force-empty"});
   const auto seed = flags.get_u64("seed", 7);
 
   ruleset::GeneratorConfig gcfg;
   gcfg.mode = ruleset::GeneratorMode::kFirewall;
   gcfg.size = flags.get_u64("rules", 256);
   gcfg.seed = seed;
-  const auto rules = ruleset::generate(gcfg);
+  ruleset::RuleSet rules = ruleset::generate(gcfg);
+
+  // Durable log first: recovered state replaces the generated ruleset,
+  // and the log must outlive the classifier whose hook appends to it.
+  std::unique_ptr<persist::DurableLog> durable;
+  if (const auto dir = flags.get("journal", ""); !dir.empty()) {
+    persist::DurableLogConfig pcfg;
+    pcfg.dir = dir;
+    const auto policy = persist::parse_fsync_policy(flags.get("fsync", "batch"));
+    if (!policy) {
+      std::fprintf(stderr, "rfipcd: --fsync must be none, batch, or always\n");
+      return 2;
+    }
+    pcfg.fsync = *policy;
+    pcfg.checkpoint_every_records = flags.get_u64("checkpoint-every", 8192);
+    pcfg.force_empty = flags.get_bool("force-empty");
+    std::string err;
+    durable = persist::DurableLog::open(pcfg, err);
+    if (durable == nullptr) {
+      std::fprintf(stderr, "rfipcd: cannot open journal %s: %s\n", dir.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    const auto& rec = durable->recovery();
+    if (rec.checkpoint_loaded || rec.last_seq > 0) {
+      rules = durable->rules_snapshot();
+      std::printf("rfipcd: recovered %zu rules from %s (%s)\n", rules.size(),
+                  dir.c_str(), rec.to_string().c_str());
+    } else {
+      if (!durable->seed(rules, err)) {
+        std::fprintf(stderr, "rfipcd: cannot seed journal %s: %s\n", dir.c_str(),
+                     err.c_str());
+        return 2;
+      }
+      std::printf("rfipcd: seeded %s with %zu generated rules\n", dir.c_str(),
+                  rules.size());
+    }
+  }
 
   runtime::ShardedConfig rcfg;
   rcfg.shards = flags.get_u64("shards", 4);
@@ -125,16 +176,40 @@ int main(int argc, char** argv) {
     rcfg.wait_policy = runtime::ShardWorkerPool::WaitPolicy::kBusyPoll;
   }
   rcfg.pin_workers = flags.get_bool("pin");
+  if (durable != nullptr) {
+    // Runs on the applier thread after each batch publishes but before
+    // its futures resolve: an OK wire reply implies the journal append
+    // (and fsync, per policy) already happened.
+    persist::DurableLog* log = durable.get();
+    rcfg.durability_hook = [log](std::span<const runtime::UpdateOp> ops) {
+      std::vector<persist::RuleOp> journal_ops;
+      journal_ops.reserve(ops.size());
+      for (const auto& op : ops) {
+        journal_ops.push_back(op.kind == runtime::UpdateOp::Kind::kInsert
+                                  ? persist::RuleOp::insert(op.index, op.rule,
+                                                            op.token)
+                                  : persist::RuleOp::erase(op.index, op.token));
+      }
+      std::string err;
+      if (!log->append_ops(journal_ops, err)) {
+        std::fprintf(stderr,
+                     "rfipcd: journal append failed, serving memory-only: %s\n",
+                     err.c_str());
+      }
+    };
+  }
   runtime::ShardedClassifier classifier(rules, rcfg);
 
   server::ServerConfig scfg;
   scfg.host = flags.get("host", "127.0.0.1");
   scfg.port = static_cast<std::uint16_t>(flags.get_u64("port", 0));
+  scfg.durable = durable.get();
   server::ClassifyServer srv(classifier, scfg);
 
-  std::printf("rfipcd: %zu rules, %zu shards of %s, listening on %s:%u\n",
+  std::printf("rfipcd: %zu rules, %zu shards of %s, listening on %s:%u%s\n",
               rules.size(), classifier.shard_count(), rcfg.engine_spec.c_str(),
-              scfg.host.c_str(), srv.port());
+              scfg.host.c_str(), srv.port(),
+              durable != nullptr ? " (journaled)" : "");
   std::fflush(stdout);
 
   if (const auto path = flags.get("port-file", ""); !path.empty()) {

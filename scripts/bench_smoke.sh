@@ -15,8 +15,15 @@
 #     "rows": [ {"configuration": "...", "mpkt_s": 1.99, "speedup": 16.8}, ... ],
 #     "server_rows": [ {"configuration": "wire 1 conn x batch 512",
 #                       "mpkt_s": 1.53, "wire_tax": 0.93,
-#                       "p50_rtt_us": 317, "p99_rtt_us": 530}, ... ]
+#                       "p50_rtt_us": 317, "p99_rtt_us": 530}, ... ],
+#     "update_rows": [ {"configuration": "update fsync=always",
+#                       "kupd_s": 5.04, "p50_rtt_us": 182,
+#                       "p99_rtt_us": 373}, ... ]
 #   }
+#
+# update_rows price durable rule updates end to end (publish + journal
+# append + fsync per policy; the server acks only after the record is
+# on disk), one row per --fsync policy of rfipcd's journal.
 #
 # The benches' own [PASS]/[FAIL] checks gate the exit status, so a perf
 # regression that trips a check fails the smoke too. That includes the
@@ -69,8 +76,10 @@ runtime_rows="$(awk -F',' '
   END { print rows }
 ' "${csv}")"
 
-# server.csv: configuration, Mpkt/s, wire tax ("0.93x"), p50, p99 — with
-# "-" placeholders on the in-process baseline row.
+# server.csv: configuration, Mpkt/s | Kupd/s, wire tax ("0.93x"), p50,
+# p99 — with "-" placeholders on the in-process baseline row. "wire"
+# rows carry Mpkt/s + wire tax; "update fsync=..." rows carry Kupd/s
+# with no tax column.
 server_rows="$(awk -F',' '
   NR == 1 { next }
   $1 ~ /^wire / {
@@ -82,10 +91,26 @@ server_rows="$(awk -F',' '
   END { print rows }
 ' "${server_csv}")"
 
+update_rows="$(awk -F',' '
+  NR == 1 { next }
+  $1 ~ /^update / {
+    row = sprintf("    {\"configuration\": \"%s\", \"kupd_s\": %s, \"p50_rtt_us\": %s, \"p99_rtt_us\": %s}",
+                  $1, $2, $4, $5)
+    rows = rows == "" ? row : rows ",\n" row
+  }
+  END { print rows }
+' "${server_csv}")"
+
+if [[ -z "${update_rows}" ]]; then
+  echo "bench_smoke: bench_server emitted no update fsync rows" >&2
+  exit 1
+fi
+
 {
   printf '{\n  "bench": "runtime_batch",\n  "simd": "%s",\n' "${simd}"
   printf '  "rows": [\n%s\n  ],\n' "${runtime_rows}"
-  printf '  "server_rows": [\n%s\n  ]\n}\n' "${server_rows}"
+  printf '  "server_rows": [\n%s\n  ],\n' "${server_rows}"
+  printf '  "update_rows": [\n%s\n  ]\n}\n' "${update_rows}"
 } > BENCH_runtime.json
 
 echo

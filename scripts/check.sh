@@ -3,12 +3,14 @@
 #   1. plain           — the default RelWithDebInfo build, full ctest
 #   2. scalar          — RFIPC_DISABLE_SIMD=ON, full ctest, so the
 #      portable fallback data plane stays green alongside the AVX2 one
-#   3. address,undefined — ASan+UBSan build, full ctest
+#   3. address,undefined — ASan+UBSan build, full ctest (includes the
+#      persist journal/recovery and resilient-client suites)
 #   4. thread          — TSan build, concurrency-sensitive tests only
 #      (thread pool, SPSC ring + shard workers, RCU, sharded runtime,
 #      concurrent update stress, fault containment, flow-cache
-#      coherence, the wire codec and the classification service E2E),
-#      since TSan triples runtimes
+#      coherence, the wire codec, the classification service E2E, the
+#      durable log's applier/checkpoint-thread interplay, and the
+#      deadline/retry client), since TSan triples runtimes
 # Each configuration uses its own build directory so the default
 # ./build stays untouched for development.
 set -euo pipefail
@@ -38,10 +40,10 @@ CTEST_ARGS=()
 run build-asan "address,undefined"
 
 CMAKE_ARGS=()
-CTEST_ARGS=(-R 'test_thread_pool|test_spsc_ring|test_runtime|test_rcu|test_fault_containment|test_flow_cache|test_wire|test_server')
+CTEST_ARGS=(-R 'test_thread_pool|test_spsc_ring|test_runtime|test_rcu|test_fault_containment|test_flow_cache|test_wire|test_server|test_persist|test_resilient_client')
 run build-tsan "thread" --target test_thread_pool test_spsc_ring test_runtime \
   test_rcu test_runtime_concurrent test_fault_containment test_flow_cache \
-  test_wire test_server
+  test_wire test_server test_persist test_resilient_client
 
 echo
 echo "== check.sh: all configurations passed =="

@@ -2,7 +2,9 @@
 # CI entry point. Runs check.sh (tier-1 build + tests in plain,
 # scalar-SIMD-fallback, ASan/UBSan, and TSan configurations), then
 # server_smoke.sh (rfipcd launched on loopback and driven over the wire
-# protocol through classify/update/stats/drain), then bench_smoke.sh
+# protocol through classify/update/stats/drain), then
+# crash_recovery_smoke.sh (journaled rfipcd SIGKILLed mid-update-burst
+# and restarted twice; no acked update may be lost), then bench_smoke.sh
 # (perf gates: the shard-scaling check — >=0.7x linear at 4 shards on
 # 4+-core machines, auto-skipped below — the single-shard bypass check,
 # and the flow-cache checks, captured into BENCH_runtime.json). Local
@@ -21,6 +23,10 @@ scripts/check.sh
 echo
 echo "== ci.sh: server smoke =="
 scripts/server_smoke.sh
+
+echo
+echo "== ci.sh: crash recovery smoke (durability gate) =="
+scripts/crash_recovery_smoke.sh
 
 echo
 echo "== ci.sh: bench smoke (perf gates) =="

@@ -1,0 +1,139 @@
+#include "persist/checkpoint.h"
+
+#include <fcntl.h>
+#include <stdio.h>
+
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "persist/io.h"
+#include "ruleset/rule_codec.h"
+#include "util/crc32.h"
+
+namespace rfipc::persist {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'R', 'F', 'C', 'K'};
+constexpr std::size_t kHeaderBytes = 24;  // magic+version+pad+seq+count
+constexpr std::size_t kCrcBytes = 4;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return get_u32(p) | (std::uint64_t{get_u32(p + 4)} << 32);
+}
+
+}  // namespace
+
+bool write_checkpoint(const std::string& path, const ruleset::RuleSet& rules,
+                      std::uint64_t seq, std::string& err) {
+  std::vector<std::uint8_t> img;
+  img.reserve(kHeaderBytes + rules.size() * ruleset::kRuleWireBytes + kCrcBytes);
+  img.insert(img.end(), kMagic, kMagic + 4);
+  img.push_back(kCheckpointVersion);
+  img.push_back(0);
+  img.push_back(0);
+  img.push_back(0);
+  put_u64(img, seq);
+  put_u64(img, rules.size());
+  for (const auto& r : rules) {
+    const auto raw = ruleset::encode_rule(r);
+    img.insert(img.end(), raw.begin(), raw.end());
+  }
+  put_u32(img, util::crc32(img));
+
+  const std::string tmp = path + ".tmp";
+  {
+    File f;
+    if (!f.open(tmp, O_WRONLY | O_CREAT | O_TRUNC, err)) return false;
+    if (!f.write_all(img, err) || !f.datasync(err)) {
+      f.close();
+      ::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    err = errno_msg("rename " + tmp);
+    ::remove(tmp.c_str());
+    return false;
+  }
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  return sync_dir(dir.empty() ? "." : dir, err);
+}
+
+CheckpointLoad load_checkpoint(const std::string& path) {
+  CheckpointLoad out;
+  std::vector<std::uint8_t> buf;
+  std::string err;
+  if (!read_file(path, buf, err)) {
+    out.error = err;
+    return out;
+  }
+  if (buf.size() < kHeaderBytes + kCrcBytes) {
+    out.error = "checkpoint too short";
+    return out;
+  }
+  if (std::memcmp(buf.data(), kMagic, 4) != 0) {
+    out.error = "bad checkpoint magic";
+    return out;
+  }
+  if (buf[4] != kCheckpointVersion) {
+    out.error = "unsupported checkpoint version " + std::to_string(buf[4]);
+    return out;
+  }
+  if (buf[5] != 0 || buf[6] != 0 || buf[7] != 0) {
+    out.error = "nonzero reserved bytes";
+    return out;
+  }
+  const std::uint32_t stored_crc = get_u32(buf.data() + buf.size() - kCrcBytes);
+  const std::uint32_t actual_crc = util::crc32(
+      std::span<const std::uint8_t>(buf.data(), buf.size() - kCrcBytes));
+  if (stored_crc != actual_crc) {
+    out.error = "checkpoint crc mismatch";
+    return out;
+  }
+  out.seq = get_u64(buf.data() + 8);
+  const std::uint64_t count = get_u64(buf.data() + 16);
+  const std::uint64_t body = buf.size() - kHeaderBytes - kCrcBytes;
+  // Division form sidesteps overflow on an adversarial 2^60-ish count.
+  if (body % ruleset::kRuleWireBytes != 0 || count != body / ruleset::kRuleWireBytes) {
+    out.error = "rule count disagrees with file size";
+    return out;
+  }
+  std::vector<ruleset::Rule> rules;
+  rules.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ruleset::Rule r;
+    std::string rule_err;
+    const std::uint8_t* p = buf.data() + kHeaderBytes + i * ruleset::kRuleWireBytes;
+    if (!ruleset::decode_rule(
+            std::span<const std::uint8_t, ruleset::kRuleWireBytes>(
+                p, ruleset::kRuleWireBytes),
+            r, rule_err)) {
+      out.error = "rule " + std::to_string(i) + ": " + rule_err;
+      return out;
+    }
+    rules.push_back(r);
+  }
+  out.rules = ruleset::RuleSet(std::move(rules));
+  out.ok = true;
+  return out;
+}
+
+}  // namespace rfipc::persist

@@ -1,0 +1,46 @@
+// Checkpoint images: a full serialized ruleset snapshot at a known
+// journal sequence number, written atomically (tmp file + fdatasync +
+// rename + directory fsync) so a crash mid-checkpoint leaves the
+// previous image intact.
+//
+// File layout (little-endian):
+//
+//     "RFCK" | u8 version (=1) | u8[3] reserved (=0) |
+//     u64 seq | u64 rule_count |
+//     rule_count x 24-byte rules (priority order) |
+//     u32 crc32 (over everything before it)
+//
+// Unlike the journal, a checkpoint is all-or-nothing: any corruption
+// (bad magic, short file, CRC mismatch, undecodable rule) fails the
+// load — there is no meaningful "prefix" of a ruleset snapshot to
+// salvage, and silently starting from a partial base would violate the
+// recovery contract. DurableLog turns a failed load into a refusal to
+// start (see --force-empty).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ruleset/ruleset.h"
+
+namespace rfipc::persist {
+
+inline constexpr std::uint8_t kCheckpointVersion = 1;
+
+/// Atomically replaces the checkpoint at `path` with a snapshot of
+/// `rules` covering journal records up to and including `seq`.
+bool write_checkpoint(const std::string& path, const ruleset::RuleSet& rules,
+                      std::uint64_t seq, std::string& err);
+
+struct CheckpointLoad {
+  bool ok = false;
+  std::uint64_t seq = 0;
+  ruleset::RuleSet rules;
+  std::string error;  // set when !ok
+};
+
+/// Loads and validates the checkpoint at `path`. All-or-nothing: on
+/// any corruption `ok` is false and `error` says why.
+CheckpointLoad load_checkpoint(const std::string& path);
+
+}  // namespace rfipc::persist

@@ -1,0 +1,93 @@
+#include "persist/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rfipc::persist {
+
+std::string errno_msg(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool File::open(const std::string& path, int flags, std::string& err) {
+  close();
+  fd_ = ::open(path.c_str(), flags | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    err = errno_msg("open " + path);
+    return false;
+  }
+  return true;
+}
+
+void File::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool File::write_all(std::span<const std::uint8_t> data, std::string& err) {
+  const std::uint8_t* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      err = errno_msg("write");
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool File::datasync(std::string& err) {
+  if (::fdatasync(fd_) != 0) {
+    err = errno_msg("fdatasync");
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out,
+               std::string& err) {
+  File f;
+  if (!f.open(path, O_RDONLY, err)) return false;
+  out.clear();
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(f.fd(), buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      err = errno_msg("read " + path);
+      return false;
+    }
+    if (n == 0) return true;
+    out.insert(out.end(), buf, buf + n);
+  }
+}
+
+bool sync_dir(const std::string& dir, std::string& err) {
+  File d;
+  if (!d.open(dir, O_RDONLY | O_DIRECTORY, err)) return false;
+  if (::fsync(d.fd()) != 0) {
+    err = errno_msg("fsync dir " + dir);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rfipc::persist

@@ -1,0 +1,51 @@
+// Internal POSIX file helpers for the persistence layer: short-write
+// safe append, fdatasync/fsync wrappers, and directory-entry
+// durability (fsync of the parent directory after create/rename, which
+// is what actually pins a rename into the metadata journal).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rfipc::persist {
+
+/// RAII'd POSIX fd. Invalid when fd() < 0.
+class File {
+ public:
+  File() = default;
+  ~File() { close(); }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  File(File&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  File& operator=(File&& other) noexcept;
+
+  /// open(2) with `flags` (O_CLOEXEC added), creating with 0644.
+  /// False + err on failure.
+  bool open(const std::string& path, int flags, std::string& err);
+  void close();
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Appends every byte (loops over short writes / EINTR).
+  bool write_all(std::span<const std::uint8_t> data, std::string& err);
+  /// fdatasync(2) — data + size durable, mtime not guaranteed.
+  bool datasync(std::string& err);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Reads the whole file into `out`. False + err on open/read failure.
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out,
+               std::string& err);
+
+/// fsync(2) of the directory `dir` itself, so entries created or
+/// renamed into it survive a crash.
+bool sync_dir(const std::string& dir, std::string& err);
+
+/// strerror(errno) with the failing operation prefixed.
+std::string errno_msg(const std::string& what);
+
+}  // namespace rfipc::persist

@@ -1,0 +1,193 @@
+#include "persist/journal.h"
+
+#include <fcntl.h>
+
+#include <cstring>
+
+#include "ruleset/rule_codec.h"
+#include "util/crc32.h"
+
+namespace rfipc::persist {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'R', 'F', 'J', 'L'};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return get_u32(p) | (std::uint64_t{get_u32(p + 4)} << 32);
+}
+
+}  // namespace
+
+const char* fsync_policy_name(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kNone: return "none";
+    case FsyncPolicy::kBatch: return "batch";
+    case FsyncPolicy::kAlways: return "always";
+  }
+  return "?";
+}
+
+std::optional<FsyncPolicy> parse_fsync_policy(const std::string& s) {
+  if (s == "none") return FsyncPolicy::kNone;
+  if (s == "batch") return FsyncPolicy::kBatch;
+  if (s == "always") return FsyncPolicy::kAlways;
+  return std::nullopt;
+}
+
+void encode_record(const JournalRecord& rec, std::vector<std::uint8_t>& out) {
+  const bool insert = rec.kind == RecordKind::kInsert;
+  const std::uint32_t body_len =
+      static_cast<std::uint32_t>(insert ? kInsertBodyBytes : kEraseBodyBytes);
+  put_u32(out, body_len);
+  const std::size_t crc_at = out.size();
+  put_u32(out, 0);  // patched below
+  const std::size_t body_at = out.size();
+  out.push_back(static_cast<std::uint8_t>(rec.kind));
+  out.push_back(0);  // flags
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  put_u64(out, rec.seq);
+  put_u64(out, rec.token);
+  put_u64(out, rec.index);
+  if (insert) {
+    const auto raw = ruleset::encode_rule(rec.rule);
+    out.insert(out.end(), raw.begin(), raw.end());
+  }
+  const std::uint32_t crc = util::crc32(
+      std::span<const std::uint8_t>(out.data() + body_at, out.size() - body_at));
+  out[crc_at] = static_cast<std::uint8_t>(crc);
+  out[crc_at + 1] = static_cast<std::uint8_t>(crc >> 8);
+  out[crc_at + 2] = static_cast<std::uint8_t>(crc >> 16);
+  out[crc_at + 3] = static_cast<std::uint8_t>(crc >> 24);
+}
+
+bool JournalWriter::create(const std::string& path, std::uint64_t start_seq,
+                           std::string& err) {
+  if (!file_.open(path, O_WRONLY | O_CREAT | O_TRUNC, err)) return false;
+  path_ = path;
+  start_seq_ = start_seq;
+  records_ = 0;
+  std::vector<std::uint8_t> hdr;
+  hdr.insert(hdr.end(), kMagic, kMagic + 4);
+  hdr.push_back(kJournalVersion);
+  hdr.push_back(0);
+  hdr.push_back(0);
+  hdr.push_back(0);
+  put_u64(hdr, start_seq);
+  if (!file_.write_all(hdr, err)) return false;
+  bytes_ = hdr.size();
+  return true;
+}
+
+bool JournalWriter::append(const JournalRecord& rec, std::string& err) {
+  scratch_.clear();
+  encode_record(rec, scratch_);
+  if (!file_.write_all(scratch_, err)) return false;
+  ++records_;
+  bytes_ += scratch_.size();
+  return true;
+}
+
+bool JournalWriter::sync(std::string& err) { return file_.datasync(err); }
+
+SegmentScan scan_segment(const std::string& path) {
+  SegmentScan scan;
+  std::vector<std::uint8_t> buf;
+  std::string err;
+  if (!read_file(path, buf, err)) {
+    scan.clean = false;
+    scan.note = err;
+    return scan;
+  }
+  if (buf.size() < kSegmentHeaderBytes || std::memcmp(buf.data(), kMagic, 4) != 0 ||
+      buf[4] != kJournalVersion || buf[5] != 0 || buf[6] != 0 || buf[7] != 0) {
+    scan.clean = false;
+    scan.dropped_bytes = buf.size();
+    scan.note = "bad segment header";
+    return scan;
+  }
+  scan.header_ok = true;
+  scan.start_seq = get_u64(buf.data() + 8);
+
+  std::size_t pos = kSegmentHeaderBytes;
+  std::uint64_t expect_seq = scan.start_seq;
+  const auto stop = [&](const std::string& why) {
+    scan.clean = false;
+    scan.dropped_bytes = buf.size() - pos;
+    scan.note = why;
+  };
+  while (pos < buf.size()) {
+    if (buf.size() - pos < kRecordPrefixBytes) {
+      stop("torn record prefix");
+      break;
+    }
+    const std::uint32_t body_len = get_u32(buf.data() + pos);
+    const std::uint32_t crc = get_u32(buf.data() + pos + 4);
+    if (body_len != kEraseBodyBytes && body_len != kInsertBodyBytes) {
+      stop("bad record length " + std::to_string(body_len));
+      break;
+    }
+    if (buf.size() - pos - kRecordPrefixBytes < body_len) {
+      stop("torn record body");
+      break;
+    }
+    const std::uint8_t* body = buf.data() + pos + kRecordPrefixBytes;
+    if (util::crc32(std::span<const std::uint8_t>(body, body_len)) != crc) {
+      stop("crc mismatch");
+      break;
+    }
+    JournalRecord rec;
+    const std::uint8_t kind = body[0];
+    if ((kind != static_cast<std::uint8_t>(RecordKind::kInsert) &&
+         kind != static_cast<std::uint8_t>(RecordKind::kErase)) ||
+        body[1] != 0 || body[2] != 0 || body[3] != 0) {
+      stop("bad record kind/flags");
+      break;
+    }
+    rec.kind = static_cast<RecordKind>(kind);
+    if ((rec.kind == RecordKind::kInsert) != (body_len == kInsertBodyBytes)) {
+      stop("record length disagrees with kind");
+      break;
+    }
+    rec.seq = get_u64(body + 4);
+    rec.token = get_u64(body + 12);
+    rec.index = get_u64(body + 20);
+    if (rec.seq != expect_seq) {
+      stop("sequence gap: expected " + std::to_string(expect_seq) + ", found " +
+           std::to_string(rec.seq));
+      break;
+    }
+    if (rec.kind == RecordKind::kInsert) {
+      std::string rule_err;
+      if (!ruleset::decode_rule(
+              std::span<const std::uint8_t, ruleset::kRuleWireBytes>(body + 28, 24),
+              rec.rule, rule_err)) {
+        stop("bad rule: " + rule_err);
+        break;
+      }
+    }
+    scan.records.push_back(std::move(rec));
+    ++expect_seq;
+    pos += kRecordPrefixBytes + body_len;
+  }
+  return scan;
+}
+
+}  // namespace rfipc::persist

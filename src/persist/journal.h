@@ -1,0 +1,116 @@
+// The write-ahead rule journal: an append-only stream of INSERT/ERASE
+// records with monotonic sequence numbers, stored as segment files
+// (one per compaction epoch).
+//
+// Segment file layout:
+//
+//     16-byte header:  "RFJL" | u8 version (=1) | u8[3] reserved (=0) |
+//                      u64le start_seq
+//     then records:    u32le body_len | u32le crc32(body) | body
+//
+// Record body (little-endian):
+//
+//     u8 kind (1=INSERT, 2=ERASE) | u8 flags (=0) | u16 reserved (=0) |
+//     u64 seq | u64 token | u64 index | [24-byte rule, INSERT only]
+//
+// Sequence numbers are contiguous within a segment, starting at the
+// header's start_seq; the reader enforces this, so a gap reads as
+// corruption. Kind values start at 1 so a zero-filled disk region
+// (a torn append on a filesystem that extended the file) can never
+// parse as a record.
+//
+// Scanning is salvage-oriented: scan_segment() reads records until the
+// first short read, bad CRC, or malformed body, then STOPS — the valid
+// prefix is returned, the remainder is reported as dropped bytes. This
+// is the documented torn-tail tolerance: a crash mid-append loses at
+// most the record(s) being written, never the prefix.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/io.h"
+#include "ruleset/rule.h"
+
+namespace rfipc::persist {
+
+inline constexpr std::size_t kSegmentHeaderBytes = 16;
+inline constexpr std::uint8_t kJournalVersion = 1;
+/// u32 body_len + u32 crc prefix on every record.
+inline constexpr std::size_t kRecordPrefixBytes = 8;
+/// Fixed body sizes (kind..index = 28 bytes, + 24-byte rule on INSERT).
+inline constexpr std::size_t kEraseBodyBytes = 28;
+inline constexpr std::size_t kInsertBodyBytes = 52;
+
+enum class RecordKind : std::uint8_t { kInsert = 1, kErase = 2 };
+
+struct JournalRecord {
+  RecordKind kind = RecordKind::kInsert;
+  std::uint64_t seq = 0;
+  std::uint64_t token = 0;  // client idempotency token, 0 = none
+  std::uint64_t index = 0;
+  ruleset::Rule rule;  // kInsert only
+};
+
+/// How aggressively the journal flushes to stable storage.
+enum class FsyncPolicy : std::uint8_t {
+  kNone = 0,   // never fsync: an ack implies journaled, not durable
+  kBatch = 1,  // one fdatasync per append batch (default)
+  kAlways = 2  // fdatasync after every record
+};
+
+const char* fsync_policy_name(FsyncPolicy p);
+std::optional<FsyncPolicy> parse_fsync_policy(const std::string& s);
+
+/// Serializes `rec` (prefix + body) into `out`, appending.
+void encode_record(const JournalRecord& rec, std::vector<std::uint8_t>& out);
+
+/// Appends records to one segment file. Not thread-safe; DurableLog
+/// serializes access.
+class JournalWriter {
+ public:
+  /// Creates (truncating) `path` and writes the segment header for
+  /// records starting at `start_seq`. The header is written but not
+  /// synced; the first synced append covers it (fdatasync flushes all
+  /// dirty data pages of the file).
+  bool create(const std::string& path, std::uint64_t start_seq, std::string& err);
+
+  /// Appends one encoded record (no sync).
+  bool append(const JournalRecord& rec, std::string& err);
+  /// fdatasync(2) of the segment.
+  bool sync(std::string& err);
+  void close() { file_.close(); }
+
+  bool valid() const { return file_.valid(); }
+  const std::string& path() const { return path_; }
+  std::uint64_t start_seq() const { return start_seq_; }
+  std::uint64_t records() const { return records_; }
+  std::uint64_t bytes() const { return bytes_; }  // includes header
+
+ private:
+  File file_;
+  std::string path_;
+  std::uint64_t start_seq_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::vector<std::uint8_t> scratch_;
+};
+
+/// Result of salvage-scanning one segment file.
+struct SegmentScan {
+  bool header_ok = false;     // false: unreadable/corrupt header, 0 records
+  bool clean = true;          // false: stopped early (torn/corrupt tail)
+  std::uint64_t start_seq = 0;
+  std::vector<JournalRecord> records;  // the valid prefix
+  std::uint64_t dropped_bytes = 0;     // bytes after the salvage point
+  std::string note;                    // why the scan stopped, if !clean
+};
+
+/// Reads `path` and salvages its valid record prefix. I/O errors and
+/// corruption both land in the scan result (header_ok/clean/note);
+/// this never throws.
+SegmentScan scan_segment(const std::string& path);
+
+}  // namespace rfipc::persist

@@ -84,7 +84,33 @@ RuleSet load_ruleset(const std::string& path) {
   if (!f) throw std::runtime_error("cannot open ruleset file: " + path);
   std::ostringstream buf;
   buf << f.rdbuf();
+  if (f.bad() || buf.fail()) {
+    throw std::runtime_error("read error on ruleset file: " + path);
+  }
   return parse_auto(buf.str());
+}
+
+bool try_parse_auto(std::string_view text, RuleSet& out, std::string& err) {
+  try {
+    // Parse into a local first: `out` is only touched on full success.
+    RuleSet parsed = parse_auto(text);
+    out = std::move(parsed);
+    return true;
+  } catch (const std::exception& e) {
+    err = e.what();
+    return false;
+  }
+}
+
+bool try_load_ruleset(const std::string& path, RuleSet& out, std::string& err) {
+  try {
+    RuleSet parsed = load_ruleset(path);
+    out = std::move(parsed);
+    return true;
+  } catch (const std::exception& e) {
+    err = e.what();
+    return false;
+  }
 }
 
 std::string to_classbench(const RuleSet& rs) {

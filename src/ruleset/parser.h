@@ -42,6 +42,14 @@ RuleSet parse_auto(std::string_view text);
 /// I/O failure and ParseError on syntax errors.
 RuleSet load_ruleset(const std::string& path);
 
+/// Non-throwing variants for callers on an error-code path (daemons,
+/// tools). On success, replaces `out` and returns true. On ANY failure
+/// — unreadable file, read error mid-stream, syntax error — returns
+/// false, fills `err`, and leaves `out` untouched: a failed load can
+/// never leave a partially-populated ruleset behind.
+bool try_parse_auto(std::string_view text, RuleSet& out, std::string& err);
+bool try_load_ruleset(const std::string& path, RuleSet& out, std::string& err);
+
 /// Serializes in ClassBench format (round-trips through
 /// parse_classbench).
 std::string to_classbench(const RuleSet& rs);

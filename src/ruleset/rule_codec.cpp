@@ -1,0 +1,76 @@
+#include "ruleset/rule_codec.h"
+
+namespace rfipc::ruleset {
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  put_u16(p, static_cast<std::uint16_t>(v));
+  put_u16(p + 2, static_cast<std::uint16_t>(v >> 16));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return get_u16(p) | (std::uint32_t{get_u16(p + 2)} << 16);
+}
+
+}  // namespace
+
+RuleWireBytes encode_rule(const Rule& rule) {
+  RuleWireBytes out{};
+  put_u32(&out[0], rule.src_ip.addr.value);
+  out[4] = rule.src_ip.length;
+  put_u32(&out[5], rule.dst_ip.addr.value);
+  out[9] = rule.dst_ip.length;
+  put_u16(&out[10], rule.src_port.lo);
+  put_u16(&out[12], rule.src_port.hi);
+  put_u16(&out[14], rule.dst_port.lo);
+  put_u16(&out[16], rule.dst_port.hi);
+  out[18] = rule.protocol.value;
+  out[19] = rule.protocol.wildcard ? 1 : 0;
+  out[20] = static_cast<std::uint8_t>(rule.action.kind);
+  out[21] = 0;  // pad, must be zero
+  put_u16(&out[22], rule.action.port);
+  return out;
+}
+
+bool decode_rule(std::span<const std::uint8_t, kRuleWireBytes> raw, Rule& rule,
+                 std::string& err) {
+  rule.src_ip.addr.value = get_u32(&raw[0]);
+  rule.src_ip.length = raw[4];
+  rule.dst_ip.addr.value = get_u32(&raw[5]);
+  rule.dst_ip.length = raw[9];
+  rule.src_port.lo = get_u16(&raw[10]);
+  rule.src_port.hi = get_u16(&raw[12]);
+  rule.dst_port.lo = get_u16(&raw[14]);
+  rule.dst_port.hi = get_u16(&raw[16]);
+  rule.protocol.value = raw[18];
+  const std::uint8_t proto_wild = raw[19];
+  const std::uint8_t action_kind = raw[20];
+  const std::uint8_t pad = raw[21];
+  if (rule.src_ip.length > 32 || rule.dst_ip.length > 32) {
+    err = "prefix length > 32";
+    return false;
+  }
+  if (rule.src_port.lo > rule.src_port.hi || rule.dst_port.lo > rule.dst_port.hi) {
+    err = "inverted port range";
+    return false;
+  }
+  if (proto_wild > 1 || action_kind > 1 || pad != 0) {
+    err = "bad rule flag byte";
+    return false;
+  }
+  rule.protocol.wildcard = proto_wild != 0;
+  rule.action.kind = static_cast<Action::Kind>(action_kind);
+  rule.action.port = get_u16(&raw[22]);
+  return true;
+}
+
+}  // namespace rfipc::ruleset

@@ -1,0 +1,42 @@
+// Canonical 24-byte binary encoding of a Rule, shared by the wire
+// protocol (INSERT_RULE bodies) and the persistence layer (journal
+// records, checkpoint images) so a rule serialized by either is
+// readable by both.
+//
+// Layout (all integers little-endian):
+//
+//     u32 src_ip | u8 src_len | u32 dst_ip | u8 dst_len |
+//     u16 sp_lo | u16 sp_hi | u16 dp_lo | u16 dp_hi |
+//     u8 proto | u8 proto_wildcard (0/1) | u8 action_kind (0/1) |
+//     u8 pad (=0) | u16 action_port
+//
+// decode_rule validates semantic invariants (prefix length <= 32,
+// non-inverted port ranges, flag bytes in {0,1}, zero pad) so a
+// corrupted or adversarial buffer can never produce a Rule the
+// engines would choke on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "ruleset/rule.h"
+
+namespace rfipc::ruleset {
+
+/// Bytes of one encoded rule.
+inline constexpr std::size_t kRuleWireBytes = 24;
+
+using RuleWireBytes = std::array<std::uint8_t, kRuleWireBytes>;
+
+/// Encodes `rule` into its canonical 24-byte form.
+RuleWireBytes encode_rule(const Rule& rule);
+
+/// Decodes exactly kRuleWireBytes from `raw` into `rule`. Returns
+/// false and sets `err` on any invariant violation; `rule` is
+/// unspecified on failure.
+bool decode_rule(std::span<const std::uint8_t, kRuleWireBytes> raw, Rule& rule,
+                 std::string& err);
+
+}  // namespace rfipc::ruleset

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 
@@ -417,12 +418,14 @@ bool ShardedClassifier::erase_rule(std::size_t index) {
 }
 
 std::future<bool> ShardedClassifier::submit_insert(std::size_t index,
-                                                   ruleset::Rule rule) {
-  return queue_->submit(UpdateOp::insert(index, std::move(rule)));
+                                                   ruleset::Rule rule,
+                                                   std::uint64_t token) {
+  return queue_->submit(UpdateOp::insert(index, std::move(rule), token));
 }
 
-std::future<bool> ShardedClassifier::submit_erase(std::size_t index) {
-  return queue_->submit(UpdateOp::erase(index));
+std::future<bool> ShardedClassifier::submit_erase(std::size_t index,
+                                                  std::uint64_t token) {
+  return queue_->submit(UpdateOp::erase(index, token));
 }
 
 void ShardedClassifier::flush_updates() { queue_->flush(); }
@@ -551,6 +554,26 @@ void ShardedClassifier::apply_batch(std::vector<UpdateQueue::Pending>& batch) {
     // can only pin the retired snapshot concurrently with this update,
     // and its insert will be rejected (or its entry born stale).
     if (cache_ != nullptr) cache_->invalidate();
+  }
+
+  // Write-ahead durability: journal the applied ops while their
+  // completion futures are still unresolved, so "future resolved" (and
+  // the wire OK it produces) implies both published AND durable. The
+  // snapshot cannot be unpublished, so a failing hook must not wedge
+  // the update plane — log and resolve anyway.
+  if (config_.durability_hook && ops_applied > 0) {
+    std::vector<UpdateOp> durable;
+    durable.reserve(ops_applied);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (applied[i]) durable.push_back(batch[i].op);
+    }
+    try {
+      config_.durability_hook(durable);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rfipc: durability hook failed: %s\n", e.what());
+    } catch (...) {
+      std::fprintf(stderr, "rfipc: durability hook failed\n");
+    }
   }
 
   for (std::size_t i = 0; i < batch.size(); ++i) {

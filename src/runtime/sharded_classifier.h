@@ -55,8 +55,10 @@
 // served; see flow/flow_cache.h for the exact coherence argument.
 #pragma once
 
+#include <functional>
 #include <future>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -124,6 +126,16 @@ struct ShardedConfig {
   /// Exact-match flow-cache slots fronting the shard fan-out (rounded
   /// up to a power of two); 0 disables the cache.
   std::size_t flow_cache_capacity = 0;
+  /// Durability hook (write-ahead persistence). Called on the applier
+  /// thread with the ops a batch actually applied, AFTER the new
+  /// snapshot is published (flow cache already invalidated) but BEFORE
+  /// the batch's completion futures resolve — so when the hook
+  /// journals + fsyncs, a resolved future (and therefore a wire OK)
+  /// implies the op is both published and durable. Exceptions are
+  /// contained: the snapshot cannot be unpublished, so a throwing hook
+  /// is logged and the futures still resolve (the service degrades to
+  /// memory-only durability rather than wedging the update plane).
+  std::function<void(std::span<const UpdateOp>)> durability_hook;
 };
 
 class ShardedClassifier final : public engines::ClassifierEngine {
@@ -151,9 +163,11 @@ class ShardedClassifier final : public engines::ClassifierEngine {
   bool erase_rule(std::size_t index) override;
 
   /// Asynchronous updates: the future resolves to the op's validation
-  /// result once the snapshot containing it is published.
-  std::future<bool> submit_insert(std::size_t index, ruleset::Rule rule);
-  std::future<bool> submit_erase(std::size_t index);
+  /// result once the snapshot containing it is published. `token` is
+  /// the optional idempotency token handed to the durability hook.
+  std::future<bool> submit_insert(std::size_t index, ruleset::Rule rule,
+                                  std::uint64_t token = 0);
+  std::future<bool> submit_erase(std::size_t index, std::uint64_t token = 0);
   /// Blocks until every previously submitted update has been applied.
   void flush_updates();
 

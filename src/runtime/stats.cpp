@@ -129,6 +129,17 @@ std::string StatsSnapshot::to_json() const {
          ",\"decode_errors\":" + u(server.decode_errors) +
          ",\"bytes_in\":" + u(server.bytes_in) +
          ",\"bytes_out\":" + u(server.bytes_out) + "}";
+  out += ",\"persist\":{\"enabled\":" + std::string(persist.enabled ? "true" : "false") +
+         ",\"last_seq\":" + u(persist.last_seq) +
+         ",\"last_checkpoint_seq\":" + u(persist.last_checkpoint_seq) +
+         ",\"records_appended\":" + u(persist.records_appended) +
+         ",\"bytes_appended\":" + u(persist.bytes_appended) +
+         ",\"fsyncs\":" + u(persist.fsyncs) +
+         ",\"checkpoints\":" + u(persist.checkpoints) +
+         ",\"checkpoint_failures\":" + u(persist.checkpoint_failures) +
+         ",\"append_failures\":" + u(persist.append_failures) +
+         ",\"segments_removed\":" + u(persist.segments_removed) +
+         ",\"dedupe_hits\":" + u(persist.dedupe_hits) + "}";
   out += std::string(",\"degraded\":") + (degraded ? "true" : "false");
   out += ",\"shards\":[";
   for (std::size_t s = 0; s < shards.size(); ++s) {
@@ -179,6 +190,14 @@ std::string StatsSnapshot::to_string() const {
            " decode_errors=" + std::to_string(server.decode_errors) +
            " in=" + std::to_string(server.bytes_in) + "B" +
            " out=" + std::to_string(server.bytes_out) + "B}";
+  }
+  if (persist.enabled) {
+    out += " persist{last_seq=" + std::to_string(persist.last_seq) +
+           " ckpt_seq=" + std::to_string(persist.last_checkpoint_seq) +
+           " records=" + std::to_string(persist.records_appended) +
+           " fsyncs=" + std::to_string(persist.fsyncs) +
+           " checkpoints=" + std::to_string(persist.checkpoints) +
+           " dedupe_hits=" + std::to_string(persist.dedupe_hits) + "}";
   }
   if (degraded) out += " DEGRADED";
   for (const auto& h : health) {

@@ -74,6 +74,23 @@ struct ServerCounters {
   std::uint64_t bytes_out = 0;
 };
 
+/// Durability-layer counters the service folds into a snapshot when a
+/// write-ahead journal backs the ruleset (src/persist/). All zero —
+/// and `enabled` false — for memory-only deployments.
+struct PersistCounters {
+  bool enabled = false;
+  std::uint64_t last_seq = 0;            // newest journaled sequence number
+  std::uint64_t last_checkpoint_seq = 0;
+  std::uint64_t records_appended = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_failures = 0;
+  std::uint64_t append_failures = 0;
+  std::uint64_t segments_removed = 0;   // journal segments compacted away
+  std::uint64_t dedupe_hits = 0;        // retried updates answered from the log
+};
+
 /// A point-in-time copy of every counter, safe to print or diff.
 struct StatsSnapshot {
   std::uint64_t packets = 0;
@@ -92,6 +109,8 @@ struct StatsSnapshot {
   std::uint64_t cache_invalidations = 0;
   /// Service-layer counters (all zero when no server fronts the runtime).
   ServerCounters server;
+  /// Durability-layer counters (enabled=false when no journal).
+  PersistCounters persist;
   /// True while any shard is quarantined: results are still served but
   /// may miss that shard's priority band.
   bool degraded = false;

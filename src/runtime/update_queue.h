@@ -36,13 +36,18 @@ struct UpdateOp {
 
   Kind kind = Kind::kInsert;
   std::size_t index = 0;
+  /// Client idempotency token carried through to the durability hook
+  /// (persist journals it; a retried op with the same token can be
+  /// answered from the journal instead of re-applied). 0 = none.
+  std::uint64_t token = 0;
   ruleset::Rule rule;  // meaningful for kInsert
 
-  static UpdateOp insert(std::size_t index, ruleset::Rule rule) {
-    return UpdateOp{Kind::kInsert, index, std::move(rule)};
+  static UpdateOp insert(std::size_t index, ruleset::Rule rule,
+                         std::uint64_t token = 0) {
+    return UpdateOp{Kind::kInsert, index, token, std::move(rule)};
   }
-  static UpdateOp erase(std::size_t index) {
-    return UpdateOp{Kind::kErase, index, {}};
+  static UpdateOp erase(std::size_t index, std::uint64_t token = 0) {
+    return UpdateOp{Kind::kErase, index, token, {}};
   }
 };
 

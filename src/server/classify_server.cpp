@@ -181,11 +181,11 @@ void ClassifyServer::handle_frame(Connection& conn,
   requests_.fetch_add(1, std::memory_order_relaxed);
   switch (req_.op) {
     case wire::Op::kPing:
-      rsp_ = wire::Response{req_.op, wire::Status::kOk, req_.id, {}, {}};
+      rsp_ = wire::Response{req_.op, wire::Status::kOk, req_.id, {}, 0, {}};
       enqueue_response(conn, rsp_);
       return;
     case wire::Op::kStats:
-      rsp_ = wire::Response{req_.op, wire::Status::kOk, req_.id, {},
+      rsp_ = wire::Response{req_.op, wire::Status::kOk, req_.id, {}, 0,
                             stats_snapshot().to_json()};
       enqueue_response(conn, rsp_);
       return;
@@ -234,6 +234,29 @@ void ClassifyServer::handle_classify(Connection& conn, const wire::Request& req)
 }
 
 void ClassifyServer::handle_update(Connection& conn, const wire::Request& req) {
+  // Idempotent resubmission: a token the journal already remembers was
+  // applied AND acked durable — answer with the original outcome
+  // instead of applying it twice (the client lost the reply, not the
+  // update).
+  if (config_.durable != nullptr && req.token != 0) {
+    if (const auto seq = config_.durable->seq_for_token(req.token)) {
+      config_.durable->record_dedupe_hit();
+      rsp_.op = req.op;
+      rsp_.status = wire::Status::kOk;
+      rsp_.id = req.id;
+      rsp_.best.clear();
+      rsp_.text.clear();
+      rsp_.seq = *seq;
+      enqueue_response(conn, rsp_);
+      return;
+    }
+    // The original is still in flight (submitted, not yet published):
+    // SHED the duplicate — retryable — rather than double-apply.
+    if (inflight_tokens_.count(req.token) != 0) {
+      shed(conn, req, "update with this token in flight");
+      return;
+    }
+  }
   if (outstanding_updates_ >= config_.max_pending_updates) {
     shed(conn, req, "too many pending updates");
     return;
@@ -242,12 +265,16 @@ void ClassifyServer::handle_update(Connection& conn, const wire::Request& req) {
   p.fd = conn.fd;
   p.serial = conn.serial;
   p.request_id = req.id;
+  p.token = req.token;
   p.op = req.op;
   p.done = req.op == wire::Op::kInsertRule
-               ? classifier_.submit_insert(static_cast<std::size_t>(req.index), req.rule)
-               : classifier_.submit_erase(static_cast<std::size_t>(req.index));
+               ? classifier_.submit_insert(static_cast<std::size_t>(req.index),
+                                           req.rule, req.token)
+               : classifier_.submit_erase(static_cast<std::size_t>(req.index),
+                                          req.token);
   ++outstanding_updates_;
   ++conn.pending_updates;
+  if (req.token != 0) inflight_tokens_.insert(req.token);
   {
     std::lock_guard<std::mutex> lock(update_mu_);
     pending_updates_.push_back(std::move(p));
@@ -345,9 +372,17 @@ void ClassifyServer::waiter_loop() {
     } catch (...) {
       applied = false;
     }
+    // The durability hook ran before the future resolved, so by now an
+    // applied op's token is in the journal's map — its seq is what the
+    // ack advertises (and what a retry will be answered with).
+    std::uint64_t seq = 0;
+    if (applied && p.token != 0 && config_.durable != nullptr) {
+      seq = config_.durable->seq_for_token(p.token).value_or(0);
+    }
     {
       std::lock_guard<std::mutex> lock(update_mu_);
-      completed_updates_.push_back({p.fd, p.serial, p.request_id, p.op, applied});
+      completed_updates_.push_back(
+          {p.fd, p.serial, p.request_id, p.token, seq, p.op, applied});
     }
     update_notifier_.signal();
   }
@@ -361,6 +396,7 @@ void ClassifyServer::on_updates_completed() {
   }
   for (const CompletedUpdate& c : done) {
     --outstanding_updates_;
+    if (c.token != 0) inflight_tokens_.erase(c.token);
     const auto it = conns_.find(c.fd);
     if (it == conns_.end() || it->second->serial != c.serial) continue;
     Connection& conn = *it->second;
@@ -369,6 +405,7 @@ void ClassifyServer::on_updates_completed() {
     rsp_.status = c.applied ? wire::Status::kOk : wire::Status::kError;
     rsp_.id = c.request_id;
     rsp_.best.clear();
+    rsp_.seq = c.seq;
     rsp_.text = c.applied ? "" : "update rejected";
     enqueue_response(conn, rsp_);
   }
@@ -437,6 +474,20 @@ runtime::ServerCounters ClassifyServer::counters() const {
 runtime::StatsSnapshot ClassifyServer::stats_snapshot() const {
   runtime::StatsSnapshot snap = classifier_.stats_snapshot();
   snap.server = counters();
+  if (config_.durable != nullptr) {
+    const persist::PersistStats p = config_.durable->stats();
+    snap.persist.enabled = true;
+    snap.persist.last_seq = p.last_seq;
+    snap.persist.last_checkpoint_seq = p.last_checkpoint_seq;
+    snap.persist.records_appended = p.records_appended;
+    snap.persist.bytes_appended = p.bytes_appended;
+    snap.persist.fsyncs = p.fsyncs;
+    snap.persist.checkpoints = p.checkpoints;
+    snap.persist.checkpoint_failures = p.checkpoint_failures;
+    snap.persist.append_failures = p.append_failures;
+    snap.persist.segments_removed = p.segments_removed;
+    snap.persist.dedupe_hits = p.dedupe_hits;
+  }
   return snap;
 }
 

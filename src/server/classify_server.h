@@ -43,8 +43,10 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "persist/durable_log.h"
 #include "runtime/sharded_classifier.h"
 #include "server/event_loop.h"
 #include "server/wire.h"
@@ -83,6 +85,13 @@ struct ServerConfig {
   std::uint32_t tick_ms = 100;
   /// Upper bound on a graceful drain before the loop stops regardless.
   std::uint32_t drain_timeout_ms = 5'000;
+  /// Write-ahead journal backing the ruleset, or nullptr for a
+  /// memory-only server. NOT owned; must outlive the server. The owner
+  /// (rfipcd) also installs the matching ShardedConfig durability_hook
+  /// — the server only reads it: token dedupe for retried updates
+  /// (seq_for_token) and the persist stats block. Must be the same log
+  /// the hook appends to, or acked seqs will lie.
+  persist::DurableLog* durable = nullptr;
 };
 
 class ClassifyServer {
@@ -131,6 +140,7 @@ class ClassifyServer {
     int fd = -1;
     std::uint64_t serial = 0;
     std::uint32_t request_id = 0;
+    std::uint64_t token = 0;
     wire::Op op = wire::Op::kInsertRule;
     bool stop = false;  // sentinel: waiter exits
   };
@@ -139,6 +149,8 @@ class ClassifyServer {
     int fd = -1;
     std::uint64_t serial = 0;
     std::uint32_t request_id = 0;
+    std::uint64_t token = 0;
+    std::uint64_t seq = 0;  // journal seq (0 = no journal / rejected)
     wire::Op op = wire::Op::kInsertRule;
     bool applied = false;
   };
@@ -180,6 +192,11 @@ class ClassifyServer {
   std::vector<std::uint8_t> read_buf_;
 
   std::size_t inflight_classify_ = 0;  // loop thread only
+  /// Tokens of updates submitted but not yet acked (loop thread only).
+  /// A duplicate token arriving while the original is still in flight
+  /// is SHED (retryable) instead of double-applied; once the original
+  /// lands, retries are answered from the journal's token map.
+  std::unordered_set<std::uint64_t> inflight_tokens_;
 
   // Update plane hand-off.
   Notifier update_notifier_;

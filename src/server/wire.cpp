@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "ruleset/rule_codec.h"
+
 namespace rfipc::server::wire {
 namespace {
 
@@ -124,50 +126,21 @@ bool get_msg_header(Reader& r, Op& op, Status& status, std::uint32_t& id,
   return true;
 }
 
+// The 24-byte rule body is the canonical encoding shared with the
+// persistence layer (ruleset/rule_codec.h) — a rule on the wire and a
+// rule in the journal are byte-identical.
 void put_rule(Writer& w, const ruleset::Rule& rule) {
-  w.u32(rule.src_ip.addr.value);
-  w.u8(rule.src_ip.length);
-  w.u32(rule.dst_ip.addr.value);
-  w.u8(rule.dst_ip.length);
-  w.u16(rule.src_port.lo);
-  w.u16(rule.src_port.hi);
-  w.u16(rule.dst_port.lo);
-  w.u16(rule.dst_port.hi);
-  w.u8(rule.protocol.value);
-  w.u8(rule.protocol.wildcard ? 1 : 0);
-  w.u8(static_cast<std::uint8_t>(rule.action.kind));
-  w.u8(0);  // pad, must be zero
-  w.u16(rule.action.port);
+  const auto raw = ruleset::encode_rule(rule);
+  w.bytes(raw.data(), raw.size());
 }
 
 bool get_rule(Reader& r, ruleset::Rule& rule, std::string& err) {
-  std::uint8_t proto_wild = 0;
-  std::uint8_t action_kind = 0;
-  std::uint8_t pad = 0;
-  if (!r.u32(rule.src_ip.addr.value) || !r.u8(rule.src_ip.length) ||
-      !r.u32(rule.dst_ip.addr.value) || !r.u8(rule.dst_ip.length) ||
-      !r.u16(rule.src_port.lo) || !r.u16(rule.src_port.hi) ||
-      !r.u16(rule.dst_port.lo) || !r.u16(rule.dst_port.hi) ||
-      !r.u8(rule.protocol.value) || !r.u8(proto_wild) || !r.u8(action_kind) ||
-      !r.u8(pad) || !r.u16(rule.action.port)) {
+  ruleset::RuleWireBytes raw{};
+  if (!r.bytes(raw.data(), raw.size())) {
     err = "truncated rule";
     return false;
   }
-  if (rule.src_ip.length > 32 || rule.dst_ip.length > 32) {
-    err = "prefix length > 32";
-    return false;
-  }
-  if (rule.src_port.lo > rule.src_port.hi || rule.dst_port.lo > rule.dst_port.hi) {
-    err = "inverted port range";
-    return false;
-  }
-  if (proto_wild > 1 || action_kind > 1 || pad != 0) {
-    err = "bad rule flag byte";
-    return false;
-  }
-  rule.protocol.wildcard = proto_wild != 0;
-  rule.action.kind = static_cast<ruleset::Action::Kind>(action_kind);
-  return true;
+  return ruleset::decode_rule(raw, rule, err);
 }
 
 /// Writes the 4-byte length prefix for everything appended after
@@ -223,9 +196,11 @@ void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
     case Op::kInsertRule:
       w.u64(req.index);
       put_rule(w, req.rule);
+      w.u64(req.token);
       break;
     case Op::kEraseRule:
       w.u64(req.index);
+      w.u64(req.token);
       break;
   }
   finish_frame(out, start);
@@ -246,9 +221,11 @@ void encode_response(const Response& rsp, std::vector<std::uint8_t>& out) {
       case Op::kStats:
         w.bytes(rsp.text.data(), rsp.text.size());
         break;
-      case Op::kPing:
       case Op::kInsertRule:
       case Op::kEraseRule:
+        w.u64(rsp.seq);
+        break;
+      case Op::kPing:
         break;
     }
   }
@@ -266,6 +243,7 @@ bool decode_request(std::span<const std::uint8_t> payload, Request& req,
   }
   req.headers.clear();
   req.index = 0;
+  req.token = 0;
   req.rule = ruleset::Rule{};
   switch (req.op) {
     case Op::kPing:
@@ -305,10 +283,18 @@ bool decode_request(std::span<const std::uint8_t> payload, Request& req,
         return false;
       }
       if (!get_rule(r, req.rule, err)) return false;
+      if (!r.u64(req.token)) {
+        err = "truncated token";
+        return false;
+      }
       break;
     case Op::kEraseRule:
       if (!r.u64(req.index)) {
         err = "truncated index";
+        return false;
+      }
+      if (!r.u64(req.token)) {
+        err = "truncated token";
         return false;
       }
       break;
@@ -326,14 +312,20 @@ bool decode_response(std::span<const std::uint8_t> payload, Response& rsp,
   if (!get_msg_header(r, rsp.op, rsp.status, rsp.id, err)) return false;
   rsp.best.clear();
   rsp.text.clear();
+  rsp.seq = 0;
   if (rsp.status != Status::kOk) {
     rsp.text.resize(r.remaining());
     return rsp.text.empty() || r.bytes(rsp.text.data(), rsp.text.size());
   }
   switch (rsp.op) {
     case Op::kPing:
+      break;
     case Op::kInsertRule:
     case Op::kEraseRule:
+      if (!r.u64(rsp.seq)) {
+        err = "truncated seq";
+        return false;
+      }
       break;
     case Op::kClassifyBatch: {
       std::uint32_t count = 0;

@@ -6,7 +6,7 @@
 //
 // and every payload starts with the same 8-byte message header:
 //
-//     u8 version (=1) | u8 opcode | u8 status | u8 reserved (=0) |
+//     u8 version (=2) | u8 opcode | u8 status | u8 reserved (=0) |
 //     u32le request_id
 //
 // followed by an op-specific body (all integers little-endian, packed
@@ -16,10 +16,20 @@
 //     CLASSIFY_BATCH  request: u32 count, count x 13-byte header
 //                     reply:   u32 count, count x u64 best global rule
 //                              index (kNoMatch = all-ones for a miss)
-//     INSERT_RULE     request: u64 index, 24-byte rule   reply: empty
-//     ERASE_RULE      request: u64 index                 reply: empty
+//     INSERT_RULE     request: u64 index, 24-byte rule, u64 token
+//                     reply:   u64 seq
+//     ERASE_RULE      request: u64 index, u64 token
+//                     reply:   u64 seq
 //     STATS           request: empty          reply: UTF-8 JSON bytes
 //                              (runtime::StatsSnapshot::to_json())
+//
+// Update requests carry a client-chosen idempotency `token` (0 = none):
+// a client that lost the reply can resend the same request with the
+// same token and the server answers with the ORIGINAL outcome instead
+// of applying it twice (the dedupe window is the persistence layer's
+// token history). Update OK replies carry `seq`, the journal sequence
+// number the op landed at — 0 when the server runs without a journal.
+// Version history: v1 had token-less updates and empty update replies.
 //
 // `status` is 0 in requests; replies carry Status (kOk, kShed for
 // admission-control refusals, kBadRequest for malformed messages,
@@ -43,7 +53,7 @@
 
 namespace rfipc::server::wire {
 
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
 /// Frame layout constants.
 inline constexpr std::size_t kLenPrefixBytes = 4;
 inline constexpr std::size_t kMsgHeaderBytes = 8;
@@ -83,16 +93,18 @@ struct Request {
   std::uint32_t id = 0;
   std::vector<net::HeaderBits> headers;  // kClassifyBatch
   std::uint64_t index = 0;               // kInsertRule / kEraseRule
+  std::uint64_t token = 0;               // update idempotency token, 0 = none
   ruleset::Rule rule;                    // kInsertRule
 };
 
 /// A decoded reply. `best` for kClassifyBatch, `text` for kStats JSON
-/// or the error reason of a non-kOk status.
+/// or the error reason of a non-kOk status, `seq` for update acks.
 struct Response {
   Op op = Op::kPing;
   Status status = Status::kOk;
   std::uint32_t id = 0;
   std::vector<std::uint64_t> best;
+  std::uint64_t seq = 0;  // journal seq of an acked update (0 = no journal)
   std::string text;
 };
 

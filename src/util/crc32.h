@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+// spans. Used by the persistence layer to checksum journal records and
+// checkpoint images; table-driven, no hardware dependency, and byte-
+// order independent (the checksum is over bytes, not words).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rfipc::util {
+
+/// One-shot CRC-32 of `data`. Equivalent to crc32_update(0xFFFFFFFF,
+/// data) finalized — matches zlib's crc32().
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental form: seed with kCrc32Init, fold chunks with
+/// crc32_update, finish with crc32_final.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data);
+inline constexpr std::uint32_t crc32_final(std::uint32_t state) { return ~state; }
+
+}  // namespace rfipc::util

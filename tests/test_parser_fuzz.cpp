@@ -3,6 +3,8 @@
 // wrong rule — and valid inputs must round-trip bit-exactly.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "net/ipv4.h"
@@ -99,6 +101,68 @@ TEST(ParserFuzz, GeneratedRulesetsRoundTripBothFormats) {
       EXPECT_EQ(cb[i].protocol, rules[i].protocol) << i;
     }
   }
+}
+
+// Error-path corpus: known-nasty inputs collected from fuzzing and the
+// field. Every one must fail cleanly through the non-throwing API and
+// must NOT disturb the caller's ruleset — a failed load leaves no
+// partially-populated state behind.
+TEST(ParserFuzz, ErrorCorpusLeavesRulesetUntouched) {
+  static const char* kCorpus[] = {
+      // Good prefix, bad tail: the parser must not keep the good rules.
+      "* * * * * DROP\n* * * * * DROP\nthis is not a rule\n",
+      // ClassBench marker but native body.
+      "@* * * * * DROP\n",
+      // ClassBench with missing fields / bad separators.
+      "@1.2.3.0/24 5.6.7.0/24 0 : 65535\n",
+      "@1.2.3.0/24 5.6.7.0/24 0 x 65535 0 : 65535 0x06/0xFF\n",
+      // Out-of-range numbers.
+      "@1.2.3.0/24 5.6.7.0/24 0 : 99999 0 : 65535 0x06/0xFF\n",
+      "1.2.3.0/40 * * * * DROP\n",
+      // Inverted port range.
+      "* * 100:50 * * DROP\n",
+      // Action garbage.
+      "* * * * * LAUNCH\n",
+      // Embedded NUL and control characters.
+      "* * * * * DROP\n\x01\x02\x03\n",
+  };
+  const auto sentinel = generate_firewall(8, 9);
+  for (const char* text : kCorpus) {
+    RuleSet out = sentinel;  // pre-populated on purpose
+    std::string err;
+    EXPECT_FALSE(try_parse_auto(text, out, err)) << text;
+    EXPECT_FALSE(err.empty()) << text;
+    // Untouched: still exactly the sentinel.
+    ASSERT_EQ(out.size(), sentinel.size()) << text;
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], sentinel[i]);
+  }
+}
+
+TEST(ParserFuzz, TryLoadRulesetErrorPaths) {
+  RuleSet out;
+  std::string err;
+  // Missing file: clean error, no state.
+  EXPECT_FALSE(try_load_ruleset("/nonexistent/rfipc-rules.txt", out, err));
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+  EXPECT_TRUE(out.empty());
+
+  // Valid file loads; a later failed load keeps the previous contents.
+  const std::string path = ::testing::TempDir() + "/rfipc_parser_fuzz_rules.txt";
+  {
+    std::ofstream f(path);
+    f << "* * * * * DROP\n1.2.3.0/24 * * * TCP PORT 3\n";
+  }
+  ASSERT_TRUE(try_load_ruleset(path, out, err)) << err;
+  ASSERT_EQ(out.size(), 2u);
+  {
+    std::ofstream f(path);
+    f << "* * * * * DROP\ngarbage line\n";
+  }
+  err.clear();
+  EXPECT_FALSE(try_load_ruleset(path, out, err));
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_EQ(out.size(), 2u);  // previous ruleset intact
+  std::remove(path.c_str());
 }
 
 TEST(ParserFuzz, HugeLineAndManyLines) {

@@ -14,10 +14,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "persist/durable_log.h"
 #include "ruleset/generator.h"
 #include "ruleset/trace.h"
 #include "runtime/sharded_classifier.h"
@@ -33,19 +35,64 @@ constexpr std::uint64_t kSeed = 31;
 class ServerTest : public ::testing::Test {
  protected:
   void start(ServerConfig cfg = {}) {
-    rules_ = ruleset::generate_firewall(kRules, kSeed);
+    rules_ = durable_ != nullptr ? durable_->rules_snapshot()
+                                 : ruleset::generate_firewall(kRules, kSeed);
     runtime::ShardedConfig rcfg;
     rcfg.shards = 2;
+    if (durable_ != nullptr) {
+      // The production wiring from rfipcd: journal on the applier
+      // thread before futures resolve, server reads the log for dedupe.
+      persist::DurableLog* log = durable_.get();
+      rcfg.durability_hook = [log](std::span<const runtime::UpdateOp> ops) {
+        std::vector<persist::RuleOp> journal_ops;
+        for (const auto& op : ops) {
+          journal_ops.push_back(
+              op.kind == runtime::UpdateOp::Kind::kInsert
+                  ? persist::RuleOp::insert(op.index, op.rule, op.token)
+                  : persist::RuleOp::erase(op.index, op.token));
+        }
+        std::string err;
+        ASSERT_TRUE(log->append_ops(journal_ops, err)) << err;
+      };
+      cfg.durable = log;
+    }
     classifier_ = std::make_unique<runtime::ShardedClassifier>(rules_, rcfg);
     srv_ = std::make_unique<ClassifyServer>(*classifier_, std::move(cfg));
     serving_ = std::thread([this] { srv_->run(); });
 
-    ruleset::TraceConfig tcfg;
-    tcfg.size = 256;
-    tcfg.seed = kSeed + 1;
-    for (const auto& t : ruleset::generate_trace(rules_, tcfg)) {
-      headers_.emplace_back(t);
+    if (headers_.empty()) {
+      ruleset::TraceConfig tcfg;
+      tcfg.size = 256;
+      tcfg.seed = kSeed + 1;
+      for (const auto& t : ruleset::generate_trace(rules_, tcfg)) {
+        headers_.emplace_back(t);
+      }
     }
+  }
+
+  /// start() with a freshly seeded (or recovered) DurableLog in `dir`.
+  void start_durable(const std::string& dir, ServerConfig cfg = {}) {
+    persist::DurableLogConfig pcfg;
+    pcfg.dir = dir;
+    pcfg.fsync = persist::FsyncPolicy::kNone;  // logic under test, not disks
+    std::string err;
+    durable_ = persist::DurableLog::open(std::move(pcfg), err);
+    ASSERT_NE(durable_, nullptr) << err;
+    if (!durable_->recovery().checkpoint_loaded && durable_->last_seq() == 0) {
+      ASSERT_TRUE(durable_->seed(ruleset::generate_firewall(kRules, kSeed), err))
+          << err;
+    }
+    start(std::move(cfg));
+  }
+
+  void stop() {
+    if (srv_) {
+      srv_->request_drain();
+      serving_.join();
+      srv_.reset();
+    }
+    classifier_.reset();
+    durable_.reset();
   }
 
   void TearDown() override {
@@ -55,7 +102,19 @@ class ServerTest : public ::testing::Test {
     }
   }
 
+  std::string temp_dir() {
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) /
+        ("rfipc_server_" +
+         std::string(
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+  }
+
   ruleset::RuleSet rules_;
+  std::unique_ptr<persist::DurableLog> durable_;  // before classifier_: hook outlives
   std::unique_ptr<runtime::ShardedClassifier> classifier_;
   std::unique_ptr<ClassifyServer> srv_;
   std::thread serving_;
@@ -259,6 +318,104 @@ TEST_F(ServerTest, MalformedFrameDropsConnectionAndCounts) {
   ClassifyClient client;
   ASSERT_TRUE(client.connect("127.0.0.1", srv_->port())) << client.error();
   ASSERT_TRUE(client.ping()) << client.error();
+}
+
+// A journaled server's OK reply carries the journal seq, and the state
+// it acked must be there after a clean stop + recovery — the wire-level
+// half of the durability contract (the kill -9 half lives in
+// scripts/crash_recovery_smoke.sh).
+TEST_F(ServerTest, DurableAckSurvivesRestart) {
+  const auto dir = temp_dir();
+  start_durable(dir);
+  {
+    ClassifyClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", srv_->port())) << client.error();
+    ASSERT_TRUE(client.insert_rule(0, ruleset::Rule::any())) << client.error();
+    // The ack names where in the journal the update landed.
+    EXPECT_GT(client.last_seq(), 0u);
+    ASSERT_TRUE(client.erase_rule(1)) << client.error();
+    EXPECT_EQ(client.last_seq(), 2u);
+    std::string json;
+    ASSERT_TRUE(client.stats_json(json)) << client.error();
+    EXPECT_NE(json.find("\"persist\":{\"enabled\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"last_seq\":2"), std::string::npos);
+  }
+  stop();
+
+  // Restart from the directory alone: the catch-all must still win.
+  start_durable(dir);
+  EXPECT_EQ(durable_->last_seq(), 2u);
+  ClassifyClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", srv_->port())) << client.error();
+  std::vector<std::uint64_t> best;
+  ASSERT_TRUE(client.classify(headers_, best)) << client.error();
+  for (const std::uint64_t b : best) EXPECT_EQ(b, 0u);
+}
+
+// A retried update (same idempotency token) must be answered with the
+// ORIGINAL ack instead of applying twice. Uses a raw socket: the real
+// client never reuses a token except on an actual retry.
+TEST_F(ServerTest, DuplicateTokenIsAnsweredFromJournal) {
+  start_durable(temp_dir());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const auto roundtrip = [&](std::uint32_t id, wire::Response& rsp) {
+    wire::Request req;
+    req.op = wire::Op::kInsertRule;
+    req.id = id;
+    req.index = 0;
+    req.rule = ruleset::Rule::any();
+    req.token = 0xFEEDFACE;  // the SAME token both times
+    std::vector<std::uint8_t> out;
+    wire::encode_request(req, out);
+    ASSERT_EQ(::send(fd, out.data(), out.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(out.size()));
+    wire::FrameAssembler fa;
+    std::vector<std::uint8_t> payload;
+    std::uint8_t buf[512];
+    std::string err;
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      ASSERT_TRUE(fa.feed({buf, static_cast<std::size_t>(n)}, err)) << err;
+      if (fa.next(payload)) break;
+    }
+    ASSERT_TRUE(wire::decode_response(payload, rsp, err)) << err;
+  };
+
+  wire::Response first;
+  roundtrip(1, first);
+  ASSERT_EQ(first.status, wire::Status::kOk);
+  EXPECT_EQ(first.seq, 1u);
+
+  wire::Response second;
+  roundtrip(2, second);
+  ::close(fd);
+  ASSERT_EQ(second.status, wire::Status::kOk);
+  EXPECT_EQ(second.seq, first.seq) << "retry must get the ORIGINAL ack";
+  // Applied once: the journal assigned one seq, the mirror grew by one.
+  EXPECT_EQ(durable_->last_seq(), 1u);
+  EXPECT_EQ(durable_->rules_snapshot().size(), kRules + 1);
+  EXPECT_EQ(durable_->stats().dedupe_hits, 1u);
+}
+
+// Without a journal, updates still work and replies carry seq=0 — the
+// client can tell it is talking to a memory-only server.
+TEST_F(ServerTest, MemoryOnlyServerAcksSeqZero) {
+  start();
+  ClassifyClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", srv_->port())) << client.error();
+  ASSERT_TRUE(client.insert_rule(0, ruleset::Rule::any())) << client.error();
+  EXPECT_EQ(client.last_seq(), 0u);
+  std::string json;
+  ASSERT_TRUE(client.stats_json(json)) << client.error();
+  EXPECT_NE(json.find("\"persist\":{\"enabled\":false"), std::string::npos);
 }
 
 TEST_F(ServerTest, DrainRefusesNewConnectionsAndStops) {

@@ -52,7 +52,10 @@ TEST(WireRoundtrip, AllRequestOps) {
     if (op == Op::kClassifyBatch) {
       for (std::uint32_t i = 0; i < 17; ++i) req.headers.push_back(sample_header(i));
     }
-    if (op == Op::kInsertRule || op == Op::kEraseRule) req.index = 42;
+    if (op == Op::kInsertRule || op == Op::kEraseRule) {
+      req.index = 42;
+      req.token = 0x1122334455667788ull;
+    }
     if (op == Op::kInsertRule) req.rule = sample_rule();
 
     std::vector<std::uint8_t> frame;
@@ -68,7 +71,59 @@ TEST(WireRoundtrip, AllRequestOps) {
     }
     EXPECT_EQ(back.index, req.index);
     EXPECT_EQ(back.rule, req.rule);
+    EXPECT_EQ(back.token, req.token);
   }
+}
+
+// v2 additions: updates carry an idempotency token on the request and a
+// journal seq on the OK reply — both 64-bit, both must survive the
+// roundtrip exactly, and a frame cut inside either must be rejected.
+TEST(WireRoundtrip, UpdateTokenAndAckSeq) {
+  for (const Op op : {Op::kInsertRule, Op::kEraseRule}) {
+    Request req;
+    req.op = op;
+    req.id = 3;
+    req.index = 1;
+    req.token = ~std::uint64_t{0};  // all-ones must not be special
+    if (op == Op::kInsertRule) req.rule = sample_rule();
+    std::vector<std::uint8_t> frame;
+    encode_request(req, frame);
+    auto payload = payload_of(frame);
+    Request back;
+    std::string err;
+    ASSERT_TRUE(decode_request(payload, back, err)) << err;
+    EXPECT_EQ(back.token, req.token);
+    // Cut mid-token: the token is the LAST request field.
+    payload.resize(payload.size() - 3);
+    EXPECT_FALSE(decode_request(payload, back, err));
+    EXPECT_EQ(err, "truncated token");
+
+    Response rsp;
+    rsp.op = op;
+    rsp.id = 3;
+    rsp.seq = 0xDEADBEEFCAFEF00Dull;
+    std::vector<std::uint8_t> rframe;
+    encode_response(rsp, rframe);
+    auto rpayload = payload_of(rframe);
+    Response rback;
+    ASSERT_TRUE(decode_response(rpayload, rback, err)) << err;
+    EXPECT_EQ(rback.seq, rsp.seq);
+    EXPECT_EQ(rback.status, Status::kOk);
+    rpayload.resize(rpayload.size() - 3);
+    EXPECT_FALSE(decode_response(rpayload, rback, err));
+    EXPECT_EQ(err, "truncated seq");
+  }
+  // Non-update replies carry no seq and decode to 0.
+  Response pong;
+  pong.op = Op::kPing;
+  pong.id = 1;
+  pong.seq = 999;  // encoder must NOT leak this for ping
+  std::vector<std::uint8_t> f;
+  encode_response(pong, f);
+  Response back;
+  std::string err;
+  ASSERT_TRUE(decode_response(payload_of(f), back, err)) << err;
+  EXPECT_EQ(back.seq, 0u);
 }
 
 TEST(WireRoundtrip, AllResponseShapes) {
