@@ -18,8 +18,21 @@
 #                       "p50_rtt_us": 317, "p99_rtt_us": 530}, ... ],
 #     "update_rows": [ {"configuration": "update fsync=always",
 #                       "kupd_s": 5.04, "p50_rtt_us": 182,
-#                       "p99_rtt_us": 373}, ... ]
+#                       "p99_rtt_us": 373}, ... ],
+#     "large_n": 16384,
+#     "large_n_rows": [ {"configuration": "prefilter(linear) N=16384",
+#                        "mpkt_s": 1.266, "vs_raw": 5.72,
+#                        "bytes_per_rule": 153.6}, ... ],
+#     "large_n_update_rows": [ {"configuration": "update insert banded ...",
+#                               "kupd_s": 33.3, "us_per_op": 30.1}, ... ]
 #   }
+#
+# The large_n leg runs bench_large_n at a reduced N (RFIPC_LARGE_N,
+# default 16384, vs the full run's 131072) so the prefilter-vs-raw
+# floor (>= 5x at the smoke size) gates every push without the full
+# run's cost. bench_large_n auto-skips itself (prints [SKIP], exits 0)
+# when compiled under ASan/TSan, where the gate would measure the
+# sanitizer; the smoke tolerates that by emitting empty large_n arrays.
 #
 # update_rows price durable rule updates end to end (publish + journal
 # append + fsync per policy; the server acks only after the record is
@@ -35,8 +48,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
+LARGE_N="${RFIPC_LARGE_N:-16384}"
 cmake -B "${BUILD_DIR}" -S . >/dev/null
-cmake --build "${BUILD_DIR}" -j --target bench_runtime_batch bench_server
+cmake --build "${BUILD_DIR}" -j --target bench_runtime_batch bench_server bench_large_n
 
 workdir="${BUILD_DIR}/bench-smoke"
 mkdir -p "${workdir}"
@@ -53,6 +67,14 @@ server_log="${workdir}/bench_server.log"
 
 if grep -q '\[FAIL\]' "${server_log}"; then
   echo "bench_smoke: FAILED check in bench_server" >&2
+  exit 1
+fi
+
+large_n_log="${workdir}/bench_large_n.log"
+(cd "${workdir}" && RFIPC_LARGE_N="${LARGE_N}" "../bench/bench_large_n") | tee "${large_n_log}"
+
+if grep -q '\[FAIL\]' "${large_n_log}"; then
+  echo "bench_smoke: FAILED check in bench_large_n" >&2
   exit 1
 fi
 
@@ -106,11 +128,52 @@ if [[ -z "${update_rows}" ]]; then
   exit 1
 fi
 
+# large_n.csv: configuration, Mpkt/s | Kupd/s, vs raw, bytes/rule,
+# build (s) | us/op. Throughput rows carry Mpkt/s + vs-raw +
+# bytes/rule; "update ..." rows carry Kupd/s + us/op. "-" marks a
+# column a row doesn't price (e.g. the baseline row's vs-raw), so
+# fields are emitted only when numeric. Absent entirely (sanitizer
+# [SKIP] run) the arrays stay empty.
+large_n_csv="${workdir}/large_n.csv"
+large_n_rows=""
+large_n_update_rows=""
+if [[ -f "${large_n_csv}" ]]; then
+  large_n_rows="$(awk -F',' '
+    NR == 1 { next }
+    $1 ~ /^update / { next }
+    {
+      row = sprintf("    {\"configuration\": \"%s\", \"mpkt_s\": %s", $1, $2)
+      if ($3 != "-") row = row sprintf(", \"vs_raw\": %s", $3)
+      if ($4 != "-") row = row sprintf(", \"bytes_per_rule\": %s", $4)
+      row = row "}"
+      rows = rows == "" ? row : rows ",\n" row
+    }
+    END { print rows }
+  ' "${large_n_csv}")"
+  large_n_update_rows="$(awk -F',' '
+    NR == 1 { next }
+    $1 !~ /^update / { next }
+    {
+      row = sprintf("    {\"configuration\": \"%s\", \"kupd_s\": %s, \"us_per_op\": %s",
+                    $1, $2, $5)
+      row = row "}"
+      rows = rows == "" ? row : rows ",\n" row
+    }
+    END { print rows }
+  ' "${large_n_csv}")"
+elif ! grep -q '\[SKIP\] bench_large_n' "${large_n_log}"; then
+  echo "bench_smoke: ${large_n_csv} was not produced" >&2
+  exit 1
+fi
+
 {
   printf '{\n  "bench": "runtime_batch",\n  "simd": "%s",\n' "${simd}"
   printf '  "rows": [\n%s\n  ],\n' "${runtime_rows}"
   printf '  "server_rows": [\n%s\n  ],\n' "${server_rows}"
-  printf '  "update_rows": [\n%s\n  ]\n}\n' "${update_rows}"
+  printf '  "update_rows": [\n%s\n  ],\n' "${update_rows}"
+  printf '  "large_n": %s,\n' "${LARGE_N}"
+  printf '  "large_n_rows": [\n%s\n  ],\n' "${large_n_rows}"
+  printf '  "large_n_update_rows": [\n%s\n  ]\n}\n' "${large_n_update_rows}"
 } > BENCH_runtime.json
 
 echo

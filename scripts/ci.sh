@@ -4,10 +4,13 @@
 # server_smoke.sh (rfipcd launched on loopback and driven over the wire
 # protocol through classify/update/stats/drain), then
 # crash_recovery_smoke.sh (journaled rfipcd SIGKILLed mid-update-burst
-# and restarted twice; no acked update may be lost), then bench_smoke.sh
+# and restarted twice; no acked update may be lost), then the large_n
+# smoke (the sanitizer build of bench_large_n must auto-[SKIP] itself —
+# perf numbers under ASan measure the sanitizer), then bench_smoke.sh
 # (perf gates: the shard-scaling check — >=0.7x linear at 4 shards on
 # 4+-core machines, auto-skipped below — the single-shard bypass check,
-# and the flow-cache checks, captured into BENCH_runtime.json). Local
+# the flow-cache checks, and the reduced-N large_n leg — prefilter >=
+# 5x raw StrideBV at N=16384 — captured into BENCH_runtime.json). Local
 # runs and the GitHub Actions workflow (.github/workflows/ci.yml) gate
 # on the exact same scripts, so a green local run is a green CI run.
 set -euo pipefail
@@ -29,5 +32,17 @@ echo "== ci.sh: crash recovery smoke (durability gate) =="
 scripts/crash_recovery_smoke.sh
 
 echo
-echo "== ci.sh: bench smoke (perf gates) =="
+echo "== ci.sh: large_n smoke (sanitizer auto-skip gate) =="
+# The reduced-N perf floor itself runs inside bench_smoke.sh below on
+# the plain build; here the ASan build (left behind by check.sh) must
+# refuse to emit perf rows at all.
+cmake --build build-asan -j --target bench_large_n >/dev/null
+if ! (cd build-asan/bench && ./bench_large_n) | grep -q '\[SKIP\] bench_large_n'; then
+  echo "large_n_smoke: sanitizer build of bench_large_n did not auto-skip" >&2
+  exit 1
+fi
+echo "large_n_smoke: sanitizer auto-skip verified"
+
+echo
+echo "== ci.sh: bench smoke (perf gates, incl. reduced-N large_n leg) =="
 scripts/bench_smoke.sh

@@ -7,6 +7,7 @@
 // overload packs on the fly.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -67,6 +68,13 @@ class ClassifierEngine {
   /// Removes the rule at priority `index`. Returns false when
   /// unsupported.
   virtual bool erase_rule(std::size_t index);
+
+  /// Approximate heap footprint of the engine's rules plus derived
+  /// match state, in bytes. Estimates (capacity-based, hash-node
+  /// overheads included) rather than allocator-exact numbers; engines
+  /// that have not sized themselves return 0. Surfaces as bytes/rule in
+  /// StatsSnapshot and the STATS wire reply.
+  virtual std::uint64_t memory_bytes() const { return 0; }
 
   /// Deep copy of the engine's current state (rules + derived tables),
   /// or nullptr when the engine cannot be copied. The concurrent

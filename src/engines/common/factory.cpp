@@ -9,6 +9,7 @@
 #include "engines/common/fault_injector.h"
 #include "engines/common/linear_engine.h"
 #include "engines/hybrid/fsbv_hybrid.h"
+#include "engines/prefilter/prefilter_engine.h"
 #include "engines/stridebv/range_engine.h"
 #include "engines/stridebv/stridebv_engine.h"
 #include "engines/tcam/partitioned_tcam.h"
@@ -124,6 +125,58 @@ constexpr SpecEntry kSpecTable[] = {
            colon == std::string::npos ? std::string() : spec.substr(colon + 1);
        return std::make_unique<FaultInjectorEngine>(make_engine(inner, std::move(rules)),
                                                     parse_fault_profile(opts));
+     }},
+    {"prefilter",
+     {"prefilter(linear)", "prefilter(stridebv:4):q=8,min=64"},
+     "tuple-space hash pre-filter: prefilter(<resolver spec>):q=<quantum>,min=<class floor>",
+     [](const std::string& spec, std::size_t colon, ruleset::RuleSet rules) -> EnginePtr {
+       const std::size_t open = spec.find('(');
+       const std::size_t close = spec.rfind(')');
+       if (open == std::string::npos || close == std::string::npos || close < open + 2) {
+         throw std::invalid_argument("prefilter: expected prefilter(<resolver spec>): " +
+                                     spec);
+       }
+       if (close + 1 != spec.size() && (colon == std::string::npos || colon != close + 1)) {
+         throw std::invalid_argument("prefilter: junk after ')': " + spec);
+       }
+       prefilter::PrefilterConfig cfg;
+       cfg.resolver_spec = spec.substr(open + 1, close - open - 1);
+       if (colon != std::string::npos) {
+         // Keep the options substring alive for the string_views split() returns.
+         const std::string opts = spec.substr(colon + 1);
+         for (const auto field : util::split(opts, ',')) {
+           const auto eq = field.find('=');
+           if (eq == std::string_view::npos) {
+             throw std::invalid_argument("prefilter: expected k=v option, got '" +
+                                         std::string(field) + "'");
+           }
+           const auto key = util::trim(field.substr(0, eq));
+           const auto value = util::trim(field.substr(eq + 1));
+           if (key == "q") {
+             const auto q = util::parse_u64(value, 32);
+             if (!q || *q < 1) throw std::invalid_argument("prefilter: bad q in " + spec);
+             cfg.quantum = static_cast<unsigned>(*q);
+           } else if (key == "min") {
+             const auto m = util::parse_u64(value);
+             if (!m || *m < 1) {
+               throw std::invalid_argument("prefilter: bad min in " + spec);
+             }
+             cfg.min_class_rules = static_cast<std::size_t>(*m);
+           } else {
+             throw std::invalid_argument("prefilter: unknown option '" +
+                                         std::string(key) + "' in " + spec);
+           }
+         }
+       }
+       // Validate the resolver spec eagerly even when nothing spills —
+       // on a one-rule set, since some engines reject empty rulesets.
+       {
+         ruleset::RuleSet probe;
+         probe.add(ruleset::Rule::any());
+         make_engine(cfg.resolver_spec, std::move(probe));
+       }
+       return std::make_unique<prefilter::TupleSpacePrefilterEngine>(std::move(rules),
+                                                                     std::move(cfg));
      }},
     {"tcam-part",
      {"tcam-part:3", ""},

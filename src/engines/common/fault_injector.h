@@ -63,6 +63,7 @@ class FaultInjectorEngine final : public ClassifierEngine {
   bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
   bool erase_rule(std::size_t index) override;
   EnginePtr clone() const override;
+  std::uint64_t memory_bytes() const override { return inner_->memory_bytes(); }
 
   const FaultProfile& profile() const { return profile_; }
   std::uint64_t faults_injected() const { return faults_.load(std::memory_order_relaxed); }

@@ -27,6 +27,11 @@ class LinearSearchEngine final : public ClassifierEngine {
   bool erase_rule(std::size_t index) override;
   EnginePtr clone() const override { return std::make_unique<LinearSearchEngine>(*this); }
 
+  /// Decoded rule storage; a linear scan derives no other state.
+  std::uint64_t memory_bytes() const override {
+    return static_cast<std::uint64_t>(rules_.size()) * sizeof(ruleset::Rule);
+  }
+
   const ruleset::RuleSet& rules() const { return rules_; }
 
  private:

@@ -1,0 +1,361 @@
+#include "engines/prefilter/prefilter_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "engines/common/factory.h"
+#include "util/prng.h"
+
+namespace rfipc::engines::prefilter {
+namespace {
+
+constexpr std::uint32_t mask32(unsigned len) {
+  return len == 0 ? 0
+         : len >= 32 ? ~std::uint32_t{0}
+                     : ~((std::uint32_t{1} << (32 - len)) - 1);
+}
+
+}  // namespace
+
+std::size_t TupleSpacePrefilterEngine::MaskedKeyHash::operator()(
+    const MaskedKey& k) const {
+  std::uint64_t state = (std::uint64_t{k.sip} << 32) ^ (std::uint64_t{k.dip} << 9) ^
+                        std::uint64_t{k.proto};
+  return static_cast<std::size_t>(util::splitmix64(state));
+}
+
+TupleSpacePrefilterEngine::TupleSpacePrefilterEngine(ruleset::RuleSet rules,
+                                                     PrefilterConfig config)
+    : rules_(std::move(rules)), config_(std::move(config)) {
+  if (config_.quantum < 1 || config_.quantum > 32) {
+    throw std::invalid_argument("prefilter: quantum must be in 1..32");
+  }
+  if (config_.min_class_rules == 0) config_.min_class_rules = 1;
+  build();
+}
+
+TupleSpacePrefilterEngine::TupleSpacePrefilterEngine(
+    const TupleSpacePrefilterEngine& other)
+    : rules_(other.rules_),
+      config_(other.config_),
+      classes_(other.classes_),
+      class_index_(other.class_index_),
+      spill_global_(other.spill_global_) {
+  if (other.resolver_ != nullptr) {
+    resolver_ = other.resolver_->clone();
+    if (resolver_ == nullptr) rebuild_resolver();
+  }
+}
+
+std::string TupleSpacePrefilterEngine::name() const {
+  return "Prefilter(q=" + std::to_string(config_.quantum) +
+         ",min=" + std::to_string(config_.min_class_rules) + " -> " +
+         config_.resolver_spec + ")";
+}
+
+std::uint32_t TupleSpacePrefilterEngine::class_id(const ruleset::Rule& r) const {
+  return (std::uint32_t{quantize(r.src_ip.length)} << 9) |
+         (std::uint32_t{quantize(r.dst_ip.length)} << 1) |
+         (r.protocol.wildcard ? 0u : 1u);
+}
+
+TupleSpacePrefilterEngine::MaskedKey TupleSpacePrefilterEngine::rule_key(
+    const TupleClass& c, const ruleset::Rule& r) const {
+  MaskedKey k;
+  k.sip = r.src_ip.addr.value & mask32(c.sip_len);
+  k.dip = r.dst_ip.addr.value & mask32(c.dip_len);
+  k.proto = c.proto_care ? static_cast<std::uint16_t>(0x100u | r.protocol.value) : 0;
+  return k;
+}
+
+TupleSpacePrefilterEngine::MaskedKey TupleSpacePrefilterEngine::probe_key(
+    const TupleClass& c, const net::FiveTuple& t) const {
+  MaskedKey k;
+  k.sip = t.src_ip.value & mask32(c.sip_len);
+  k.dip = t.dst_ip.value & mask32(c.dip_len);
+  k.proto = c.proto_care ? static_cast<std::uint16_t>(0x100u | t.protocol) : 0;
+  return k;
+}
+
+void TupleSpacePrefilterEngine::build() {
+  classes_.clear();
+  class_index_.clear();
+  spill_global_.clear();
+  resolver_.reset();
+
+  // Pass 1: how many rules would each tuple class hold?
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  for (const auto& r : rules_) ++counts[class_id(r)];
+
+  for (const auto& [id, count] : counts) {
+    if (count < config_.min_class_rules) continue;  // spills
+    TupleClass c;
+    c.sip_len = static_cast<std::uint8_t>(id >> 9);
+    c.dip_len = static_cast<std::uint8_t>((id >> 1) & 0xff);
+    c.proto_care = (id & 1) != 0;
+    class_index_.emplace(id, classes_.size());
+    classes_.push_back(std::move(c));
+  }
+
+  // Pass 2: route every rule to its bucket or the spill list.
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const auto it = class_index_.find(class_id(rules_[i]));
+    if (it == class_index_.end()) {
+      spill_global_.push_back(i);
+      continue;
+    }
+    TupleClass& c = classes_[it->second];
+    c.buckets[rule_key(c, rules_[i])].push_back(i);
+    ++c.rules;
+  }
+  if (!spill_global_.empty()) rebuild_resolver();
+  rebuild_probes();
+}
+
+void TupleSpacePrefilterEngine::rebuild_probe(TupleClass& c) {
+  c.pool.clear();
+  c.pool.reserve(c.rules);
+  // <= 50% load keeps linear-probe chains short; power-of-two size
+  // turns the modulo into a mask.
+  std::size_t cap = 4;
+  while (cap < c.buckets.size() * 2) cap <<= 1;
+  c.slots.assign(cap, ProbeSlot{});
+  const std::size_t mask = cap - 1;
+  for (const auto& [key, vec] : c.buckets) {
+    const auto off = static_cast<std::uint32_t>(c.pool.size());
+    for (const std::size_t g : vec) c.pool.push_back(static_cast<std::uint32_t>(g));
+    std::size_t s = MaskedKeyHash{}(key) & mask;
+    while (c.slots[s].len != 0) s = (s + 1) & mask;
+    c.slots[s] = ProbeSlot{key, off, static_cast<std::uint32_t>(vec.size())};
+  }
+}
+
+void TupleSpacePrefilterEngine::rebuild_probes() {
+  for (TupleClass& c : classes_) rebuild_probe(c);
+}
+
+void TupleSpacePrefilterEngine::rebuild_resolver() {
+  if (spill_global_.empty()) {
+    resolver_.reset();
+    return;
+  }
+  ruleset::RuleSet spilled;
+  for (const std::size_t g : spill_global_) spilled.add(rules_[g]);
+  resolver_ = make_engine(config_.resolver_spec, std::move(spilled));
+}
+
+void TupleSpacePrefilterEngine::probe(const net::FiveTuple& t, MatchResult& out,
+                                      bool want_multi) const {
+  for (const TupleClass& c : classes_) {
+    const ProbeSlot* slot = find_slot(c, probe_key(c, t));
+    if (slot == nullptr) continue;
+    // Candidates are ascending, so a best-only probe can stop at the
+    // first verified rule (and skip the bucket once it cannot win).
+    for (std::uint32_t j = slot->off; j < slot->off + slot->len; ++j) {
+      const std::size_t idx = c.pool[j];
+      if (!want_multi && idx >= out.best) break;
+      if (!rules_[idx].matches(t)) continue;
+      if (idx < out.best) out.best = idx;
+      if (!want_multi) break;
+      out.multi.set(idx);
+    }
+  }
+}
+
+void TupleSpacePrefilterEngine::merge_resolver(const MatchResult& local,
+                                               MatchResult& out,
+                                               bool want_multi) const {
+  if (local.has_match()) {
+    const std::size_t global = spill_global_[local.best];
+    if (global < out.best) out.best = global;
+  }
+  if (!want_multi) return;
+  for (std::size_t b = local.multi.first_set(); b != util::BitVector::npos;
+       b = local.multi.next_set(b + 1)) {
+    out.multi.set(spill_global_[b]);
+  }
+}
+
+MatchResult TupleSpacePrefilterEngine::classify(const net::HeaderBits& header) const {
+  MatchResult out;
+  out.reset_for(rules_.size());
+  probe(header.unpack(), out, /*want_multi=*/true);
+  if (resolver_ != nullptr) {
+    merge_resolver(resolver_->classify(header), out, /*want_multi=*/true);
+  }
+  return out;
+}
+
+void TupleSpacePrefilterEngine::classify_batch(
+    std::span<const net::HeaderBits> headers, std::span<MatchResult> results,
+    const BatchOptions& opts) const {
+  if (headers.size() != results.size()) {
+    throw std::invalid_argument("classify_batch: span size mismatch");
+  }
+  // One resolver sub-batch for the whole span (the resolver's own batch
+  // fast path applies), then the class probes merge on top.
+  std::vector<MatchResult> resolved;
+  if (resolver_ != nullptr) {
+    resolved.resize(headers.size());
+    resolver_->classify_batch(headers, {resolved.data(), resolved.size()}, opts);
+  }
+  // Per-call scratch (zero heap traffic per packet): headers unpack
+  // once, not once per tuple class.
+  std::vector<net::FiveTuple> tuples;
+  tuples.reserve(headers.size());
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    tuples.push_back(headers[i].unpack());
+    MatchResult& out = results[i];
+    out.reset_for(rules_.size(), opts.want_multi);
+    if (resolver_ != nullptr) merge_resolver(resolved[i], out, opts.want_multi);
+  }
+  // Class-major probe order: the batch walks one class table at a time,
+  // so its hash nodes stay cache-hot across all packets instead of
+  // being evicted 25 times per packet by the other classes' tables.
+  // Correctness is order-independent — best is a running min and multi
+  // a set — which is what makes the interchange legal.
+  for (const TupleClass& c : classes_) {
+    const std::uint32_t smask = mask32(c.sip_len);
+    const std::uint32_t dmask = mask32(c.dip_len);
+    for (std::size_t i = 0; i < tuples.size(); ++i) {
+      MatchResult& out = results[i];
+      MaskedKey k;
+      k.sip = tuples[i].src_ip.value & smask;
+      k.dip = tuples[i].dst_ip.value & dmask;
+      k.proto =
+          c.proto_care ? static_cast<std::uint16_t>(0x100u | tuples[i].protocol) : 0;
+      const ProbeSlot* slot = find_slot(c, k);
+      if (slot == nullptr) continue;
+      for (std::uint32_t j = slot->off; j < slot->off + slot->len; ++j) {
+        const std::size_t idx = c.pool[j];
+        if (!opts.want_multi && idx >= out.best) break;
+        if (!rules_[idx].matches(tuples[i])) continue;
+        if (idx < out.best) out.best = idx;
+        if (!opts.want_multi) break;
+        out.multi.set(idx);
+      }
+    }
+  }
+}
+
+void TupleSpacePrefilterEngine::shift_indices_up(std::size_t index) {
+  for (TupleClass& c : classes_) {
+    for (auto& [key, vec] : c.buckets) {
+      for (std::size_t& g : vec) {
+        if (g >= index) ++g;
+      }
+    }
+  }
+  for (std::size_t& g : spill_global_) {
+    if (g >= index) ++g;
+  }
+}
+
+void TupleSpacePrefilterEngine::shift_indices_down(std::size_t index) {
+  for (TupleClass& c : classes_) {
+    for (auto& [key, vec] : c.buckets) {
+      for (std::size_t& g : vec) {
+        if (g > index) --g;
+      }
+    }
+  }
+  for (std::size_t& g : spill_global_) {
+    if (g > index) --g;
+  }
+}
+
+bool TupleSpacePrefilterEngine::insert_rule(std::size_t index,
+                                            const ruleset::Rule& rule) {
+  if (index > rules_.size()) return false;
+  shift_indices_up(index);
+  rules_.insert(index, rule);
+
+  const auto it = class_index_.find(class_id(rule));
+  if (it != class_index_.end()) {
+    TupleClass& c = classes_[it->second];
+    std::vector<std::size_t>& vec = c.buckets[rule_key(c, rule)];
+    vec.insert(std::lower_bound(vec.begin(), vec.end(), index), index);
+    ++c.rules;
+    rebuild_probes();  // the shift above moved indices in every class
+    return true;
+  }
+
+  // The rule's class spilled at build time (or never existed): it
+  // joins the resolver at the local slot its global priority implies.
+  const auto pos = std::lower_bound(spill_global_.begin(), spill_global_.end(), index);
+  const std::size_t local = static_cast<std::size_t>(pos - spill_global_.begin());
+  spill_global_.insert(pos, index);
+  if (resolver_ == nullptr || !resolver_->insert_rule(local, rule)) {
+    rebuild_resolver();
+  }
+  rebuild_probes();
+  return true;
+}
+
+bool TupleSpacePrefilterEngine::erase_rule(std::size_t index) {
+  if (index >= rules_.size()) return false;
+  const ruleset::Rule rule = rules_[index];
+
+  bool spilled = false;
+  std::size_t local = 0;
+  const auto it = class_index_.find(class_id(rule));
+  if (it != class_index_.end()) {
+    TupleClass& c = classes_[it->second];
+    const auto bucket = c.buckets.find(rule_key(c, rule));
+    const auto pos = bucket == c.buckets.end()
+                         ? std::vector<std::size_t>::iterator{}
+                         : std::lower_bound(bucket->second.begin(),
+                                            bucket->second.end(), index);
+    if (bucket == c.buckets.end() || pos == bucket->second.end() || *pos != index) {
+      // The rule straddled into the resolver when its class table
+      // rejected it — fall through to the spill path below.
+      spilled = true;
+    } else {
+      bucket->second.erase(pos);
+      if (bucket->second.empty()) c.buckets.erase(bucket);
+      --c.rules;
+    }
+  } else {
+    spilled = true;
+  }
+
+  if (spilled) {
+    const auto pos = std::lower_bound(spill_global_.begin(), spill_global_.end(), index);
+    if (pos == spill_global_.end() || *pos != index) return false;  // corrupt state
+    local = static_cast<std::size_t>(pos - spill_global_.begin());
+    spill_global_.erase(pos);
+  }
+
+  rules_.erase(index);
+  shift_indices_down(index);
+
+  if (spilled) {
+    if (spill_global_.empty()) {
+      resolver_.reset();
+    } else if (resolver_ == nullptr || !resolver_->erase_rule(local)) {
+      rebuild_resolver();
+    }
+  }
+  rebuild_probes();
+  return true;
+}
+
+std::uint64_t TupleSpacePrefilterEngine::memory_bytes() const {
+  std::uint64_t bytes = rules_.size() * sizeof(ruleset::Rule);
+  for (const TupleClass& c : classes_) {
+    bytes += sizeof(TupleClass);
+    // Hash node estimate: key + bucket header + table slot pointer.
+    bytes += c.buckets.size() * (sizeof(MaskedKey) + sizeof(std::vector<std::size_t>) +
+                                 2 * sizeof(void*));
+    for (const auto& [key, vec] : c.buckets) {
+      bytes += vec.capacity() * sizeof(std::size_t);
+    }
+    bytes += c.slots.capacity() * sizeof(ProbeSlot);
+    bytes += c.pool.capacity() * sizeof(std::uint32_t);
+  }
+  bytes += spill_global_.capacity() * sizeof(std::size_t);
+  if (resolver_ != nullptr) bytes += resolver_->memory_bytes();
+  return bytes;
+}
+
+}  // namespace rfipc::engines::prefilter

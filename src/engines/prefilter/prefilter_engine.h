@@ -1,0 +1,177 @@
+// Tuple-space hash pre-filter for large-N rulesets (the RVH-style
+// candidate-set reduction; see PAPERS.md).
+//
+// StrideBV and the TCAM model touch O(N) state per packet, which is
+// fine at the paper's N <= 2048 and hopeless at 100k+ rules. This
+// engine instead buckets rules into TUPLE CLASSES keyed by their
+// quantized (src-prefix-len, dst-prefix-len, proto-care) triple; each
+// class keeps one hash table mapping the rules' masked
+// (SIP, DIP, PRT) key to the (priority-sorted) rules carrying it. A
+// lookup masks the header once per class, probes each class's table,
+// and exactly verifies only the handful of candidate rules that share
+// a masked key with the packet — ports (arbitrary ranges, never part
+// of the hash key) and the un-quantized prefix tail are checked by
+// Rule::matches per candidate.
+//
+// Quantization caps the probe count: class mask lengths are rounded
+// down to multiples of `quantum`, so at q=8 a packet probes at most
+// (32/8 + 1)^2 * 2 = 50 classes no matter how diverse the ruleset's
+// prefix lengths are. Classes holding fewer than `min_class_rules`
+// rules do not earn their probe; their rules SPILL into an exact
+// resolver engine (any factory spec — the composable
+// "prefilter(stridebv:4)" form) that classifies alongside the hash
+// probes, and the two candidate streams merge by priority. Every rule
+// lives in exactly one place (a class bucket or the resolver), so
+// multi-match is exact: the union of verified candidates.
+//
+// Updates are incremental: an insert/erase shifts the stored global
+// indices (O(N) index bookkeeping, same complexity class as the
+// RuleSet splice itself), then patches exactly one hash bucket or the
+// resolver; a resolver that cannot patch is rebuilt from the spilled
+// rules only. Rules inserted into a class that spilled at build time
+// join the resolver — the "straddling" path the update tests cover.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engines/common/engine.h"
+
+namespace rfipc::engines::prefilter {
+
+struct PrefilterConfig {
+  /// Prefix-length quantization granularity (1..32). Class mask
+  /// lengths are multiples of `quantum`; larger values mean fewer
+  /// probes per packet but more candidates per bucket.
+  unsigned quantum = 8;
+  /// Classes with fewer rules than this spill into the resolver engine
+  /// instead of paying one hash probe per packet forever.
+  std::size_t min_class_rules = 32;
+  /// Factory spec of the exact engine that resolves spilled rules.
+  std::string resolver_spec = "linear";
+};
+
+class TupleSpacePrefilterEngine final : public ClassifierEngine {
+ public:
+  TupleSpacePrefilterEngine(ruleset::RuleSet rules, PrefilterConfig config = {});
+  TupleSpacePrefilterEngine(const TupleSpacePrefilterEngine& other);
+  TupleSpacePrefilterEngine& operator=(const TupleSpacePrefilterEngine&) = delete;
+
+  std::string name() const override;
+  std::size_t rule_count() const override { return rules_.size(); }
+  bool supports_multi_match() const override {
+    return resolver_ == nullptr || resolver_->supports_multi_match();
+  }
+  bool supports_update() const override { return true; }
+
+  MatchResult classify(const net::HeaderBits& header) const override;
+  /// Batch fast path: one resolver sub-batch + per-packet probes, all
+  /// scratch hoisted to the call (zero heap traffic per packet).
+  void classify_batch(std::span<const net::HeaderBits> headers,
+                      std::span<MatchResult> results,
+                      const BatchOptions& opts) const override;
+  using ClassifierEngine::classify_batch;
+
+  bool insert_rule(std::size_t index, const ruleset::Rule& rule) override;
+  bool erase_rule(std::size_t index) override;
+  EnginePtr clone() const override {
+    return std::make_unique<TupleSpacePrefilterEngine>(*this);
+  }
+
+  std::uint64_t memory_bytes() const override;
+
+  /// Hashed tuple classes (== hash probes per packet).
+  std::size_t class_count() const { return classes_.size(); }
+  /// Rules reached via hash probes vs. spilled into the resolver.
+  std::size_t hashed_rules() const { return rules_.size() - spill_global_.size(); }
+  std::size_t spilled_rules() const { return spill_global_.size(); }
+  const ClassifierEngine* resolver() const { return resolver_.get(); }
+  const ruleset::RuleSet& rules() const { return rules_; }
+
+ private:
+  /// A rule's masked hash key within its class. `proto` carries
+  /// 0x100 | value for proto-caring classes and 0 for wildcard ones,
+  /// so the two can never alias.
+  struct MaskedKey {
+    std::uint32_t sip = 0;
+    std::uint32_t dip = 0;
+    std::uint16_t proto = 0;
+    bool operator==(const MaskedKey&) const = default;
+  };
+  struct MaskedKeyHash {
+    std::size_t operator()(const MaskedKey& k) const;
+  };
+  /// One open-addressing probe slot: a masked key plus its candidate
+  /// run [off, off + len) in the class's flat `pool`. len == 0 marks
+  /// the slot empty, terminating a linear-probe chain.
+  struct ProbeSlot {
+    MaskedKey key;
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+  struct TupleClass {
+    std::uint8_t sip_len = 0;  // quantized mask lengths
+    std::uint8_t dip_len = 0;
+    bool proto_care = false;
+    std::size_t rules = 0;
+    /// masked key -> ascending global rule indices carrying it. The
+    /// mutable source of truth for build/insert/erase.
+    std::unordered_map<MaskedKey, std::vector<std::size_t>, MaskedKeyHash> buckets;
+    /// Read-only open-addressing index derived from `buckets` (power-
+    /// of-two slots, linear probing, <= 50% load): the classify paths
+    /// probe THIS, paying one hash and typically one cache line per
+    /// class instead of an unordered_map node chase. Rebuilt after
+    /// every structural change.
+    std::vector<ProbeSlot> slots;
+    /// Concatenated ascending candidate indices the slots point into.
+    std::vector<std::uint32_t> pool;
+  };
+
+  std::uint8_t quantize(std::uint8_t len) const {
+    return static_cast<std::uint8_t>(len / config_.quantum * config_.quantum);
+  }
+  /// Packed (quantized sip len, quantized dip len, proto-care) id.
+  std::uint32_t class_id(const ruleset::Rule& r) const;
+  MaskedKey rule_key(const TupleClass& c, const ruleset::Rule& r) const;
+  MaskedKey probe_key(const TupleClass& c, const net::FiveTuple& t) const;
+
+  void build();
+  void rebuild_resolver();
+  /// Regenerates one class's flat probe index from its buckets.
+  static void rebuild_probe(TupleClass& c);
+  /// Regenerates every class's probe index (after index shifts).
+  void rebuild_probes();
+  /// Probes every class and folds verified candidates into `out`.
+  void probe(const net::FiveTuple& t, MatchResult& out, bool want_multi) const;
+  /// Flat-index lookup: one hash, linear probe. Null on a miss.
+  static const ProbeSlot* find_slot(const TupleClass& c, const MaskedKey& k) {
+    if (c.slots.empty()) return nullptr;
+    const std::size_t mask = c.slots.size() - 1;
+    for (std::size_t s = MaskedKeyHash{}(k) & mask;; s = (s + 1) & mask) {
+      const ProbeSlot& sl = c.slots[s];
+      if (sl.len == 0) return nullptr;
+      if (sl.key == k) return &sl;
+    }
+  }
+  /// Rebases resolver-local results onto global rule indices.
+  void merge_resolver(const MatchResult& local, MatchResult& out,
+                      bool want_multi) const;
+  /// Adds/subtracts one from every stored index >= / > `index`.
+  void shift_indices_up(std::size_t index);
+  void shift_indices_down(std::size_t index);
+
+  ruleset::RuleSet rules_;
+  PrefilterConfig config_;
+  std::vector<TupleClass> classes_;
+  /// class_id -> index into classes_ (hashed classes only).
+  std::unordered_map<std::uint32_t, std::size_t> class_index_;
+  /// Ascending global indices of the spilled rules; position == the
+  /// resolver's local priority.
+  std::vector<std::size_t> spill_global_;
+  /// Exact engine over the spilled rules; null when none spilled.
+  EnginePtr resolver_;
+};
+
+}  // namespace rfipc::engines::prefilter

@@ -70,6 +70,18 @@ class StrideBVEngine final : public ClassifierEngine {
   unsigned pipeline_depth() const { return table_.num_stages() + ppe_.num_stages(); }
   std::uint64_t memory_bits() const { return table_.memory_bits(); }
 
+  /// Host-side footprint: stage memories (memory_bits rounded up to
+  /// bytes) + decoded rules + entry/tag bookkeeping.
+  std::uint64_t memory_bytes() const override {
+    return (table_.memory_bits() + 7) / 8 +
+           static_cast<std::uint64_t>(rules_.size()) * sizeof(ruleset::Rule) +
+           static_cast<std::uint64_t>(entries_.capacity()) *
+               sizeof(ruleset::TernaryWord) +
+           static_cast<std::uint64_t>(entry_rule_.capacity() +
+                                      free_slots_.capacity()) *
+               sizeof(std::size_t);
+  }
+
   const StrideTable& table() const { return table_; }
   const ruleset::RuleSet& rules() const { return rules_; }
   /// Rule index that physical entry e belongs to, or kFreeSlot for an

@@ -50,6 +50,14 @@ class TcamEngine final : public ClassifierEngine {
     return static_cast<std::uint64_t>(entries_.size()) * 2 * net::kHeaderBits;
   }
 
+  /// Host-side footprint: decoded rules + lowered entries + tag map.
+  std::uint64_t memory_bytes() const override {
+    return static_cast<std::uint64_t>(rules_.size()) * sizeof(ruleset::Rule) +
+           static_cast<std::uint64_t>(entries_.capacity()) *
+               sizeof(ruleset::TernaryWord) +
+           static_cast<std::uint64_t>(entry_rule_.capacity()) * sizeof(std::size_t);
+  }
+
   const ruleset::RuleSet& rules() const { return rules_; }
 
  private:

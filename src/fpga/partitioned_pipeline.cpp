@@ -1,0 +1,109 @@
+#include "fpga/partitioned_pipeline.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/bitops.h"
+#include "util/str.h"
+
+namespace rfipc::fpga {
+namespace {
+
+/// Merge-tree comparator cost: each of the P-1 two-way merge nodes
+/// compares two ceil(log2 N)-bit global indices (one LUT6 per 2 bits
+/// of a carry-chain comparator, plus the select mux) and registers the
+/// winner — small next to any W-wide band stage, but counted so the
+/// totals stay honest.
+ResourceUsage merge_tree_resources(unsigned partitions, std::uint64_t total_entries) {
+  ResourceUsage u;
+  if (partitions < 2) return u;
+  const std::uint64_t nodes = partitions - 1;
+  const std::uint64_t index_bits = util::ceil_log2(total_entries ? total_entries : 1);
+  u.luts_logic = nodes * index_bits;      // compare + select per index bit
+  u.ffs = nodes * (index_bits + 1);       // registered winner + valid
+  u.slices = (u.luts_logic + 3) / 4;
+  return u;
+}
+
+}  // namespace
+
+PartitionedPipelinePlan plan_partitioned_pipeline(
+    const PartitionedPipelineConfig& config) {
+  if (config.entries == 0) {
+    throw std::invalid_argument("plan_partitioned_pipeline: zero entries");
+  }
+  if (config.kind == EngineKind::kTcamFpga) {
+    throw std::invalid_argument(
+        "plan_partitioned_pipeline: band pipelines are StrideBV variants");
+  }
+  std::uint64_t partitions = config.partitions;
+  if (partitions == 0) {
+    if (config.max_band_entries == 0) {
+      throw std::invalid_argument(
+          "plan_partitioned_pipeline: need partitions or max_band_entries");
+    }
+    partitions = (config.entries + config.max_band_entries - 1) / config.max_band_entries;
+  }
+  if (partitions > config.entries) partitions = config.entries;
+
+  PartitionedPipelinePlan plan;
+  plan.partitions = static_cast<unsigned>(partitions);
+  plan.band_entries = (config.entries + partitions - 1) / partitions;
+
+  DesignPoint band;
+  band.kind = config.kind;
+  band.entries = plan.band_entries;
+  band.stride = config.stride;
+  band.dual_port = config.bidirectional;
+  band.floorplanned = config.floorplanned;
+  band.header_bits = config.header_bits;
+
+  plan.band = estimate_timing(band);
+  plan.merge_levels = partitions <= 1 ? 0 : util::ceil_log2(partitions);
+  plan.latency_cycles = pipeline_latency_cycles(band) + plan.merge_levels;
+  // Every band runs the same W-wide stages, so the design clocks at the
+  // band clock; the merge tree is registered per level and narrower
+  // than any stage.
+  plan.clock_mhz = plan.band.clock_mhz;
+  plan.throughput_gbps = plan.band.throughput_gbps;
+
+  const ResourceUsage per_band = estimate_resources(band);
+  plan.total = merge_tree_resources(plan.partitions, config.entries);
+  plan.total.luts_logic += per_band.luts_logic * partitions;
+  plan.total.luts_memory += per_band.luts_memory * partitions;
+  plan.total.ffs += per_band.ffs * partitions;
+  plan.total.slices += per_band.slices * partitions;
+  plan.total.bram36 += per_band.bram36 * partitions;
+  plan.total.iobs = per_band.iobs;  // one shared header/result interface
+  plan.total.memory_bits += per_band.memory_bits * partitions;
+  plan.memory_bits_per_entry =
+      static_cast<double>(plan.total.memory_bits) / static_cast<double>(config.entries);
+
+  // What banding buys: the same total N through one monolithic N-wide
+  // pipeline (same technology, same issue width) clocks lower because
+  // its routing term grows with doublings of N.
+  DesignPoint mono = band;
+  mono.entries = config.entries;
+  plan.speedup_vs_monolithic =
+      plan.band.throughput_gbps / estimate_timing(mono).throughput_gbps;
+  return plan;
+}
+
+bool partitioned_fits_device(const PartitionedPipelinePlan& plan,
+                             const FpgaDevice& device) {
+  return fits_device(plan.total, device);
+}
+
+std::string PartitionedPipelinePlan::summary() const {
+  std::ostringstream os;
+  os << partitions << " bands x W=" << band_entries << " ("
+     << (merge_levels ? merge_levels : 0) << "-level merge): "
+     << util::fmt_double(clock_mhz, 1) << " MHz, "
+     << util::fmt_double(throughput_gbps, 1) << " Gbps, "
+     << util::fmt_double(speedup_vs_monolithic, 2) << "x vs monolithic, "
+     << util::fmt_double(memory_bits_per_entry, 1) << " bits/entry, latency "
+     << latency_cycles << " cycles";
+  return os.str();
+}
+
+}  // namespace rfipc::fpga

@@ -1,0 +1,90 @@
+// Balanced partitioned-pipeline model — the large-N design point
+// (Jiang/Le/Prasanna-style linear-pipeline partitioning, PAPERS.md).
+//
+// A monolithic StrideBV pipeline's clock degrades with its per-stage
+// bit-vector width N (the routing term in timing_model.cpp grows with
+// doublings of N), so sweeping the paper's single-pipeline models past
+// a few thousand entries extrapolates an architecture nobody would
+// build. The scalable form partitions the ruleset into P balanced
+// priority bands of W = ceil(N / P) entries; each band is an
+// independent StrideBV pipeline whose stage memories are W bits wide,
+// so the per-stage clock is set by W — NOT by N — and stays flat as N
+// grows with the band cap held. Band winners carry their global rule
+// index into a registered ceil(log2 P)-level priority-merge tree
+// (narrow comparators, never the critical path), exactly mirroring the
+// software ShardedClassifier's band merge.
+//
+// Bidirectional issue (Jiang/Le/Prasanna's dual-ported trick): with
+// true-dual-port stage memories, packets enter the pipeline from BOTH
+// ends — one per port per cycle — giving 2 packets/cycle aggregate
+// without duplicating the stage memories. This is the same dual_port
+// lever the single-pipeline model exposes, applied per band.
+//
+// Memory scales linearly (P bands x S stages x 2^k x W bits == the
+// monolithic S x 2^k x N bits), so bytes/rule stays flat; what
+// partitioning buys is the clock — and that is what the model shows:
+// speedup_vs_monolithic is the ratio of the banded clock to the
+// N-wide clock at the same total entry count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/design_point.h"
+#include "fpga/device.h"
+#include "fpga/resource_model.h"
+#include "fpga/timing_model.h"
+
+namespace rfipc::fpga {
+
+struct PartitionedPipelineConfig {
+  /// Total ternary entries across all bands.
+  std::uint64_t entries = 131072;
+  /// Explicit band count; 0 derives P = ceil(entries / max_band_entries).
+  unsigned partitions = 0;
+  /// Band width cap used when partitions == 0 (the model analogue of
+  /// ShardedConfig::max_band_rules).
+  std::uint64_t max_band_entries = 2048;
+  unsigned stride = 4;
+  /// Stage-memory technology of every band pipeline.
+  EngineKind kind = EngineKind::kStrideBVBlockRam;
+  /// Dual-ported stage memories, packets issued from both pipeline
+  /// ends: 2 packets/cycle per band front end.
+  bool bidirectional = true;
+  bool floorplanned = true;
+  unsigned header_bits = 104;
+};
+
+struct PartitionedPipelinePlan {
+  unsigned partitions = 0;
+  /// Balanced band width W = ceil(entries / partitions).
+  std::uint64_t band_entries = 0;
+  /// One band pipeline's timing — the whole design's clock, since the
+  /// merge tree's narrow comparators never dominate a W-wide stage.
+  TimingEstimate band;
+  /// Priority-merge tree depth, ceil(log2 partitions).
+  unsigned merge_levels = 0;
+  /// Band stride stages + band PPE + merge tree, in cycles.
+  unsigned latency_cycles = 0;
+  double clock_mhz = 0;
+  double throughput_gbps = 0;
+  /// Banded clock / monolithic clock at the same total entries — what
+  /// the partition buys. >= 1 once N outgrows one band.
+  double speedup_vs_monolithic = 1.0;
+  /// Summed band resources + merge-tree comparators.
+  ResourceUsage total;
+  /// Architectural memory bits per entry (flat in N by construction).
+  double memory_bits_per_entry = 0;
+
+  std::string summary() const;
+};
+
+/// Evaluates the partitioned design at `config`. Throws
+/// std::invalid_argument on zero entries / zero-width derivations.
+PartitionedPipelinePlan plan_partitioned_pipeline(const PartitionedPipelineConfig& config);
+
+/// True when the plan fits `device` (same criteria as fits_device).
+bool partitioned_fits_device(const PartitionedPipelinePlan& plan,
+                             const FpgaDevice& device);
+
+}  // namespace rfipc::fpga

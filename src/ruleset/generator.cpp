@@ -2,6 +2,7 @@
 
 #include <array>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/prng.h"
 
@@ -110,6 +111,24 @@ Rule feature_free_rule(Xoshiro256& rng, double range_fraction) {
   return r;
 }
 
+/// 64-bit digest of a rule's MATCH fields (action excluded: two rules
+/// that match identically are duplicates no matter what they do).
+/// Prefixes are canonicalized first so e.g. 10.0.0.1/24 and 10.0.0.0/24
+/// — the same matcher — collide as intended.
+std::uint64_t match_key(const Rule& r) {
+  const net::Ipv4Prefix src = r.src_ip.canonical();
+  const net::Ipv4Prefix dst = r.dst_ip.canonical();
+  std::uint64_t state = (std::uint64_t{src.addr.value} << 32) | dst.addr.value;
+  std::uint64_t h = util::splitmix64(state);
+  state ^= (std::uint64_t{src.length} << 56) | (std::uint64_t{dst.length} << 48) |
+           (std::uint64_t{r.src_port.lo} << 32) | (std::uint64_t{r.src_port.hi} << 16) |
+           r.dst_port.lo;
+  h ^= util::splitmix64(state);
+  state ^= (std::uint64_t{r.dst_port.hi} << 16) |
+           (r.protocol.wildcard ? 0x10000u : 0x100u | r.protocol.value);
+  return h ^ util::splitmix64(state);
+}
+
 }  // namespace
 
 RuleSet generate(const GeneratorConfig& config) {
@@ -121,17 +140,37 @@ RuleSet generate(const GeneratorConfig& config) {
                  (static_cast<std::uint64_t>(config.size) << 32));
   RuleSet rs;
   const std::size_t body = config.default_rule ? config.size - 1 : config.size;
+  std::unordered_set<std::uint64_t> seen;
+  if (config.dedupe) {
+    seen.reserve(config.size * 2);
+    // The trailing default rule is part of the set: no body rule may
+    // duplicate the match-all matcher either.
+    if (config.default_rule) seen.insert(match_key(Rule::any()));
+  }
   for (std::size_t i = 0; i < body; ++i) {
-    switch (config.mode) {
-      case GeneratorMode::kFirewall:
-        rs.add(firewall_rule(rng, config.range_fraction));
-        break;
-      case GeneratorMode::kAcl:
-        rs.add(acl_rule(rng, config.range_fraction));
-        break;
-      case GeneratorMode::kFeatureFree:
-        rs.add(feature_free_rule(rng, config.range_fraction));
-        break;
+    // Redraw on a duplicate (deterministic: retries just consume more
+    // of the same seeded stream). The draw space is astronomically
+    // larger than any practical N, so retries are rare and bounded —
+    // after kMaxRetries the duplicate is accepted rather than looping.
+    constexpr int kMaxRetries = 100;
+    for (int attempt = 0;; ++attempt) {
+      Rule r;
+      switch (config.mode) {
+        case GeneratorMode::kFirewall:
+          r = firewall_rule(rng, config.range_fraction);
+          break;
+        case GeneratorMode::kAcl:
+          r = acl_rule(rng, config.range_fraction);
+          break;
+        case GeneratorMode::kFeatureFree:
+          r = feature_free_rule(rng, config.range_fraction);
+          break;
+      }
+      if (config.dedupe && attempt < kMaxRetries && !seen.insert(match_key(r)).second) {
+        continue;
+      }
+      rs.add(r);
+      break;
     }
   }
   if (config.default_rule) {

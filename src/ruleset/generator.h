@@ -32,6 +32,11 @@ struct GeneratorConfig {
   double range_fraction = 0.2;
   /// Append a match-all default rule as the lowest priority entry.
   bool default_rule = true;
+  /// Reject rules whose match fields duplicate an earlier rule (a
+  /// shadowed duplicate can never win and only inflates N). Detection
+  /// is an O(1) hash probe per rule, so generation stays O(N) — the
+  /// property that makes 100k+ rulesets build in seconds.
+  bool dedupe = true;
 };
 
 /// Generates a ruleset of exactly `config.size` rules.

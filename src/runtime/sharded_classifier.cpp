@@ -20,6 +20,18 @@ std::size_t clamped_shards(std::size_t requested, std::size_t rules) {
   return requested < rules ? requested : rules;
 }
 
+/// The one shard-count rule every construction site agrees on: the
+/// configured count, raised until no band seeds wider than
+/// max_band_rules, clamped so no shard starts empty.
+std::size_t effective_shards(const ShardedConfig& cfg, std::size_t rules) {
+  std::size_t requested = cfg.shards;
+  if (cfg.max_band_rules > 0 && rules > 0) {
+    const std::size_t needed = (rules + cfg.max_band_rules - 1) / cfg.max_band_rules;
+    if (needed > requested) requested = needed;
+  }
+  return clamped_shards(requested, rules);
+}
+
 /// One core budget → one worker crew: `lanes` ways of parallelism
 /// across shards with the dispatching caller as lane 0, so the crew
 /// holds lanes - 1 threads. An explicit `threads` wins (clamped to the
@@ -53,15 +65,15 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
 
 ShardedClassifier::ShardedClassifier(ruleset::RuleSet rules, ShardedConfig config)
     : config_(std::move(config)),
-      stats_(clamped_shards(config_.shards, rules.size())),
-      workers_(worker_options(config_, clamped_shards(config_.shards, rules.size()))) {
+      stats_(effective_shards(config_, rules.size())),
+      workers_(worker_options(config_, effective_shards(config_, rules.size()))) {
   if (rules.empty()) throw std::invalid_argument("ShardedClassifier: empty ruleset");
   if (config_.failure.quarantine_after == 0) config_.failure.quarantine_after = 1;
   if (config_.flow_cache_capacity > 0) {
     cache_ = std::make_unique<flow::FlowCache>(config_.flow_cache_capacity);
   }
 
-  const std::size_t shards = clamped_shards(config_.shards, rules.size());
+  const std::size_t shards = effective_shards(config_, rules.size());
   const std::size_t base = rules.size() / shards;
   const std::size_t extra = rules.size() % shards;
   auto set = std::make_shared<ShardSet>();
@@ -312,7 +324,32 @@ void ShardedClassifier::fan_out(const ShardSet& snap,
   // shard engines alive for the workers.
   const std::size_t lanes = workers_.worker_count() + 1;
   if (lanes == 1 || eligible.size() == 1) {
-    for (std::size_t i = 0; i < eligible.size(); ++i) run_shard(ctx, i);
+    if (!opts.want_multi && eligible.size() > 1) {
+      // Priority-ordered serial walk with band early exit: eligible is
+      // ascending and band s owns strictly higher priorities (smaller
+      // global indices) than band s+1, so once every packet in the
+      // batch has matched, the remaining bands cannot change any
+      // answer — merge() already skips their unproduced buffers. This
+      // is what makes wide banding pay at large N: the top bands
+      // answer most traffic and the long tail is never touched.
+      std::vector<unsigned char>& matched = scratch.matched;
+      matched.assign(headers.size(), 0);
+      std::size_t remaining = headers.size();
+      for (std::size_t i = 0; i < eligible.size() && remaining > 0; ++i) {
+        run_shard(ctx, i);
+        const std::size_t s = eligible[i];
+        if (scratch.produced[s] == 0) continue;  // faulted: matched nothing
+        const std::vector<MatchResult>& buf = scratch.local[s];
+        for (std::size_t p = 0; p < headers.size(); ++p) {
+          if (matched[p] == 0 && buf[p].has_match()) {
+            matched[p] = 1;
+            --remaining;
+          }
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < eligible.size(); ++i) run_shard(ctx, i);
+    }
   } else {
     ShardWorkerPool::Completion done;
     for (std::size_t i = 0; i < eligible.size(); ++i) {
@@ -640,6 +677,13 @@ void ShardedClassifier::rebuild_shard(std::size_t id, std::uint32_t attempt) {
   if (cache_ != nullptr) cache_->invalidate();
 }
 
+std::uint64_t ShardedClassifier::memory_bytes() const {
+  auto snap = snapshot_.read();
+  std::uint64_t bytes = 0;
+  for (const Shard& s : snap->shards) bytes += s.engine->memory_bytes();
+  return bytes;
+}
+
 StatsSnapshot ShardedClassifier::stats_snapshot() const {
   StatsSnapshot out = stats_.snapshot();
   if (cache_ != nullptr) {
@@ -662,6 +706,7 @@ StatsSnapshot ShardedClassifier::stats_snapshot() const {
     d.quarantined = shard.health->quarantined.load(std::memory_order_acquire);
     out.degraded = out.degraded || d.quarantined;
     out.health.push_back(d);
+    out.memory_bytes += shard.engine->memory_bytes();
   }
   for (const ShardWorkerPool::WorkerCounters& c : workers_.counters()) {
     WorkerDigest w;

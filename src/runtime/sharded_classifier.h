@@ -91,6 +91,14 @@ struct ShardedConfig {
   /// Number of shards (pipelines). Clamped to the rule count so no
   /// shard starts empty.
   std::size_t shards = 4;
+  /// Large-N band-width cap: when > 0 the shard count is raised to
+  /// ceil(rules / max_band_rules) so no priority band ever seeds wider
+  /// than this — which bounds each shard engine's per-stage state (a
+  /// StrideBV band stays at most max_band_rules bits per stage no
+  /// matter how large the total ruleset grows). Applies to the initial
+  /// partition; live inserts may grow a band past the cap until it is
+  /// re-seeded. 0 = uncapped (the shard count alone decides widths).
+  std::size_t max_band_rules = 0;
   /// Factory spec every shard engine is built from.
   std::string engine_spec = "stridebv:4";
   /// Parallel lanes across shards, the dispatching caller included —
@@ -183,6 +191,9 @@ class ShardedClassifier final : public engines::ClassifierEngine {
   /// The exact-match front end, or nullptr when disabled.
   const flow::FlowCache* flow_cache() const { return cache_.get(); }
 
+  /// Sum of the live shard engines' footprints.
+  std::uint64_t memory_bytes() const override;
+
   const RuntimeStats& stats() const { return stats_; }
   /// Counters plus the per-shard health/quarantine digest and the
   /// degraded flag from the current snapshot.
@@ -237,6 +248,9 @@ class ShardedClassifier final : public engines::ClassifierEngine {
     /// shard must not reach merge()).
     std::vector<std::vector<engines::MatchResult>> local;
     std::vector<unsigned char> produced;
+    /// Serial best-only walk: which packets already matched (the
+    /// remaining lower-priority bands cannot improve them).
+    std::vector<unsigned char> matched;
     /// Flow-cache miss sub-batch results.
     std::vector<engines::MatchResult> miss;
     /// Flow-cache miss compaction (headers + caller indices).

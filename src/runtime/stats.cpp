@@ -119,7 +119,8 @@ std::string StatsSnapshot::to_json() const {
          ",\"faults\":" + u(faults) + ",\"quarantines\":" + u(quarantines) +
          ",\"reinstates\":" + u(reinstates) +
          ",\"snapshot_swaps\":" + u(snapshot_swaps) +
-         ",\"coalesced_ops\":" + u(coalesced_ops);
+         ",\"coalesced_ops\":" + u(coalesced_ops) +
+         ",\"memory_bytes\":" + u(memory_bytes);
   out += ",\"cache\":{\"hits\":" + u(cache_hits) + ",\"misses\":" + u(cache_misses) +
          ",\"evictions\":" + u(cache_evictions) +
          ",\"invalidations\":" + u(cache_invalidations) + "}";
@@ -176,6 +177,7 @@ std::string StatsSnapshot::to_string() const {
                     " updates=" + std::to_string(updates) +
                     " swaps=" + std::to_string(snapshot_swaps) +
                     " faults=" + std::to_string(faults);
+  if (memory_bytes > 0) out += " mem=" + std::to_string(memory_bytes) + "B";
   if (cache_hits + cache_misses + cache_invalidations > 0) {
     out += " cache{hits=" + std::to_string(cache_hits) +
            " misses=" + std::to_string(cache_misses) +

@@ -107,6 +107,10 @@ struct StatsSnapshot {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_invalidations = 0;
+  /// Estimated engine heap footprint across live shards, in bytes
+  /// (ClassifierEngine::memory_bytes summed over the current snapshot;
+  /// 0 when the engines do not report).
+  std::uint64_t memory_bytes = 0;
   /// Service-layer counters (all zero when no server fronts the runtime).
   ServerCounters server;
   /// Durability-layer counters (enabled=false when no journal).

@@ -2,6 +2,7 @@
 
 #include "fpga/asic_tcam.h"
 #include "fpga/calibration.h"
+#include "fpga/partitioned_pipeline.h"
 #include "fpga/report.h"
 
 namespace rfipc::fpga {
@@ -181,6 +182,124 @@ TEST(Report, SweepPointsCoverPaperConfigs) {
   EXPECT_EQ(pts[4].kind, EngineKind::kTcamFpga);
   EXPECT_EQ(paper_sizes().front(), 32u);
   EXPECT_EQ(paper_sizes().back(), 2048u);
+}
+
+TEST(PartitionedPipeline, BandWidthSetsTheClock) {
+  PartitionedPipelineConfig cfg;
+  cfg.entries = 131072;
+  cfg.max_band_entries = 2048;
+  const auto plan = plan_partitioned_pipeline(cfg);
+  EXPECT_EQ(plan.partitions, 64u);
+  EXPECT_EQ(plan.band_entries, 2048u);
+  EXPECT_EQ(plan.merge_levels, 6u);
+  // The banded design clocks at the 2048-wide band, which the
+  // monolithic 131072-wide pipeline cannot match.
+  DesignPoint band{EngineKind::kStrideBVBlockRam, 2048, 4, true, true};
+  EXPECT_DOUBLE_EQ(plan.clock_mhz, estimate_timing(band).clock_mhz);
+  EXPECT_GT(plan.speedup_vs_monolithic, 1.0);
+  // Merge tree rides behind the band pipeline in latency.
+  EXPECT_EQ(plan.latency_cycles, pipeline_latency_cycles(band) + 6u);
+}
+
+TEST(PartitionedPipeline, MemoryPerEntryStaysFlatAcrossN) {
+  PartitionedPipelineConfig cfg;
+  cfg.max_band_entries = 2048;
+  cfg.entries = 16384;
+  const double small = plan_partitioned_pipeline(cfg).memory_bits_per_entry;
+  cfg.entries = 1u << 20;
+  const double large = plan_partitioned_pipeline(cfg).memory_bits_per_entry;
+  // Balanced bands: bits/entry within a band-rounding factor.
+  EXPECT_NEAR(large, small, small * 0.01);
+  // Uniform StrideBV k=4 over 104 bits: 26 stages x 16 rows.
+  EXPECT_NEAR(small, 26.0 * 16.0, 1.0);
+}
+
+TEST(PartitionedPipeline, BidirectionalDoublesIssue) {
+  PartitionedPipelineConfig cfg;
+  cfg.entries = 65536;
+  const auto bidir = plan_partitioned_pipeline(cfg);
+  cfg.bidirectional = false;
+  const auto uni = plan_partitioned_pipeline(cfg);
+  EXPECT_DOUBLE_EQ(bidir.band.issue_rate, 2.0);
+  EXPECT_DOUBLE_EQ(uni.band.issue_rate, 1.0);
+  // Not a free 2x: dual-porting halves each BRAM's usable width, so a
+  // band needs more cascaded blocks and clocks a little lower. The
+  // aggregate still wins clearly.
+  EXPECT_GT(bidir.throughput_gbps, 1.5 * uni.throughput_gbps);
+  EXPECT_LT(bidir.clock_mhz, uni.clock_mhz);
+}
+
+TEST(PartitionedPipeline, ThroughputFlatWhileMonolithicDegrades) {
+  // Sweep N with the band cap held: the banded clock must stay put
+  // while the monolithic speedup keeps growing — the property that
+  // makes model sweeps meaningful past the paper's N=2048.
+  PartitionedPipelineConfig cfg;
+  cfg.max_band_entries = 1024;
+  double prev_speedup = 0;
+  double first_gbps = 0;
+  for (const std::uint64_t n : {std::uint64_t{4096}, std::uint64_t{65536},
+                                std::uint64_t{1} << 20}) {
+    cfg.entries = n;
+    const auto plan = plan_partitioned_pipeline(cfg);
+    if (first_gbps == 0) first_gbps = plan.throughput_gbps;
+    EXPECT_DOUBLE_EQ(plan.throughput_gbps, first_gbps) << n;
+    EXPECT_GT(plan.speedup_vs_monolithic, prev_speedup) << n;
+    prev_speedup = plan.speedup_vs_monolithic;
+  }
+}
+
+TEST(PartitionedPipeline, ResourceTotalsSumBandsPlusMerge) {
+  PartitionedPipelineConfig cfg;
+  cfg.entries = 8192;
+  cfg.partitions = 4;
+  const auto plan = plan_partitioned_pipeline(cfg);
+  DesignPoint band{EngineKind::kStrideBVBlockRam, 2048, 4, true, true};
+  const auto per_band = estimate_resources(band);
+  EXPECT_EQ(plan.total.bram36, 4 * per_band.bram36);
+  EXPECT_EQ(plan.total.memory_bits, 4 * per_band.memory_bits);
+  EXPECT_GT(plan.total.luts_logic, 4 * per_band.luts_logic);  // + merge tree
+  EXPECT_EQ(plan.total.iobs, per_band.iobs);                  // shared interface
+
+  // Device-fit is honest, not optimistic: a 4 x 512 BRAM design fits
+  // the paper's big part, while 131k entries of BRAM bands need more
+  // RAMB36 than any single XC7VX1140T carries — the multi-device (or
+  // distRAM-mix) territory the multipipeline planner covers.
+  PartitionedPipelineConfig small;
+  small.entries = 2048;
+  small.partitions = 4;
+  EXPECT_TRUE(partitioned_fits_device(plan_partitioned_pipeline(small),
+                                      virtex7_xc7vx1140t()));
+  PartitionedPipelineConfig big;
+  big.entries = 131072;
+  big.max_band_entries = 2048;
+  EXPECT_FALSE(partitioned_fits_device(plan_partitioned_pipeline(big),
+                                       virtex7_xc7vx1140t()));
+}
+
+TEST(PartitionedPipeline, RejectsDegenerateConfigs) {
+  PartitionedPipelineConfig cfg;
+  cfg.entries = 0;
+  EXPECT_THROW(plan_partitioned_pipeline(cfg), std::invalid_argument);
+  cfg.entries = 1024;
+  cfg.partitions = 0;
+  cfg.max_band_entries = 0;
+  EXPECT_THROW(plan_partitioned_pipeline(cfg), std::invalid_argument);
+  cfg.max_band_entries = 128;
+  cfg.kind = EngineKind::kTcamFpga;
+  EXPECT_THROW(plan_partitioned_pipeline(cfg), std::invalid_argument);
+  // More partitions than entries clamps instead of throwing.
+  cfg.kind = EngineKind::kStrideBVDistRam;
+  cfg.entries = 8;
+  cfg.partitions = 64;
+  EXPECT_EQ(plan_partitioned_pipeline(cfg).partitions, 8u);
+}
+
+TEST(PartitionedPipeline, SummaryMentionsTheShape) {
+  PartitionedPipelineConfig cfg;
+  cfg.entries = 131072;
+  const auto s = plan_partitioned_pipeline(cfg).summary();
+  EXPECT_NE(s.find("64 bands"), std::string::npos) << s;
+  EXPECT_NE(s.find("vs monolithic"), std::string::npos) << s;
 }
 
 TEST(Report, Labels) {

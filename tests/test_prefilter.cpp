@@ -1,0 +1,367 @@
+// Tuple-space pre-filter correctness suite (the large-N tentpole's
+// exactness contract).
+//
+// The engine trades O(N) scanning for ~dozens of hash probes, so the
+// thing to prove is that candidate-set reduction loses NOTHING: every
+// test is differential against the golden linear scan — best match AND
+// multi-match — over rulesets chosen to stress the risky paths: /0 and
+// /32 prefix-length edges, port wildcards vs. arbitrary ranges (ports
+// are never part of the hash key), classes that spill into the
+// resolver, and update sequences whose rules straddle tuple-class
+// boundaries (inserted into classes that spilled at build time).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engines/common/factory.h"
+#include "engines/common/linear_engine.h"
+#include "engines/prefilter/prefilter_engine.h"
+#include "runtime/sharded_classifier.h"
+#include "ruleset/generator.h"
+#include "ruleset/trace.h"
+#include "util/prng.h"
+
+namespace rfipc::engines::prefilter {
+namespace {
+
+using ruleset::GeneratorMode;
+
+void expect_agrees(const ClassifierEngine& engine, const ruleset::RuleSet& rules,
+                   std::uint64_t trace_seed, std::size_t trace_size = 400) {
+  const LinearSearchEngine golden(rules);
+  ruleset::TraceConfig tcfg;
+  tcfg.size = trace_size;
+  tcfg.seed = trace_seed;
+  const auto trace = ruleset::generate_trace(rules, tcfg);
+
+  // Single-packet path.
+  for (const auto& t : trace) {
+    const auto want = golden.classify_tuple(t);
+    const auto got = engine.classify_tuple(t);
+    ASSERT_EQ(got.best, want.best) << engine.name() << " on " << t.to_string();
+    ASSERT_EQ(got.multi, want.multi) << engine.name() << " multi on " << t.to_string();
+  }
+
+  // Batch path, both option settings.
+  std::vector<net::HeaderBits> headers;
+  headers.reserve(trace.size());
+  for (const auto& t : trace) headers.emplace_back(t);
+  std::vector<MatchResult> got(headers.size());
+  engine.classify_batch(headers, got);
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    const auto want = golden.classify(headers[i]);
+    ASSERT_EQ(got[i].best, want.best) << "batch multi at " << i;
+    ASSERT_EQ(got[i].multi, want.multi) << "batch multi at " << i;
+  }
+  engine.classify_batch(headers, got, BatchOptions{/*want_multi=*/false});
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    ASSERT_EQ(got[i].best, golden.classify(headers[i]).best) << "batch best at " << i;
+  }
+}
+
+struct Param {
+  GeneratorMode mode;
+  std::size_t size;
+  double range_fraction;
+  unsigned quantum;
+  std::size_t min_class_rules;
+};
+
+std::string param_name(const testing::TestParamInfo<Param>& info) {
+  std::string s = std::string(ruleset::mode_name(info.param.mode)) + "_" +
+                  std::to_string(info.param.size) + "_r" +
+                  std::to_string(static_cast<int>(info.param.range_fraction * 100)) +
+                  "_q" + std::to_string(info.param.quantum) + "_m" +
+                  std::to_string(info.param.min_class_rules);
+  for (auto& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+class PrefilterAgreement : public testing::TestWithParam<Param> {};
+
+TEST_P(PrefilterAgreement, MatchesGoldenOverTrace) {
+  const auto& p = GetParam();
+  ruleset::GeneratorConfig gcfg;
+  gcfg.mode = p.mode;
+  gcfg.size = p.size;
+  gcfg.seed = 4242;
+  gcfg.range_fraction = p.range_fraction;
+  const auto rules = ruleset::generate(gcfg);
+
+  PrefilterConfig cfg;
+  cfg.quantum = p.quantum;
+  cfg.min_class_rules = p.min_class_rules;
+  const TupleSpacePrefilterEngine engine(rules, cfg);
+  // Every rule is accounted for exactly once.
+  EXPECT_EQ(engine.hashed_rules() + engine.spilled_rules(), rules.size());
+  expect_agrees(engine, rules, 7);
+}
+
+std::vector<Param> agreement_params() {
+  std::vector<Param> out;
+  const GeneratorMode modes[] = {GeneratorMode::kFirewall, GeneratorMode::kAcl,
+                                 GeneratorMode::kFeatureFree};
+  for (const auto mode : modes) {
+    out.push_back({mode, 256, 0.3, 8, 16});   // mixed hash + spill
+    out.push_back({mode, 256, 0.3, 8, 1});    // everything hashed
+    out.push_back({mode, 256, 0.3, 8, 1000}); // everything spilled
+    out.push_back({mode, 128, 0.9, 4, 8});    // range-heavy, fine quanta
+    out.push_back({mode, 128, 0.0, 32, 8});   // coarsest quanta: 1 class/care
+  }
+  out.push_back({GeneratorMode::kFeatureFree, 512, 0.5, 8, 4});
+  out.push_back({GeneratorMode::kFirewall, 1, 0.0, 8, 4});  // default rule only
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrefilterAgreement,
+                         testing::ValuesIn(agreement_params()), param_name);
+
+// Handcrafted prefix-length edges: /0 (wildcard) and /32 (exact host)
+// on both fields, port wildcards next to narrow ranges, and proto
+// wildcard vs. exact — the combinations that define tuple classes.
+ruleset::RuleSet edge_rules() {
+  ruleset::RuleSet rs;
+  auto prefix = [](std::uint32_t addr, std::uint8_t len) {
+    return net::Ipv4Prefix{{addr}, len}.canonical();
+  };
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ruleset::Rule r;  // /32 x /32, exact proto
+    r.src_ip = prefix(0x0a000000u + i, 32);
+    r.dst_ip = prefix(0xc0a80000u + i, 32);
+    r.protocol = net::ProtocolSpec::exactly(net::IpProto::kTcp);
+    rs.add(r);
+  }
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ruleset::Rule r;  // /0 x /32, proto wildcard, narrow port range
+    r.dst_ip = prefix(0xc0a80000u + i, 32);
+    r.dst_port = {80, 88};
+    rs.add(r);
+  }
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ruleset::Rule r;  // /32 x /0, port wildcard
+    r.src_ip = prefix(0x0a000000u + i, 32);
+    rs.add(r);
+  }
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ruleset::Rule r;  // /9 x /23: lengths that quantize DOWN (q=8 -> 8/16)
+    r.src_ip = prefix(i << 23, 9);
+    r.dst_ip = prefix(i << 9, 23);
+    r.src_port = net::PortRange::exactly(static_cast<std::uint16_t>(1000 + i));
+    rs.add(r);
+  }
+  rs.add(ruleset::Rule::any());  // /0 x /0 match-all
+  return rs;
+}
+
+TEST(Prefilter, PrefixLengthEdgesAgreeWithGolden) {
+  const auto rules = edge_rules();
+  for (const unsigned q : {1u, 8u, 32u}) {
+    for (const std::size_t min : {std::size_t{1}, std::size_t{4}, std::size_t{64}}) {
+      PrefilterConfig cfg;
+      cfg.quantum = q;
+      cfg.min_class_rules = min;
+      const TupleSpacePrefilterEngine engine(rules, cfg);
+      expect_agrees(engine, rules, 100 + q + min, 300);
+    }
+  }
+}
+
+TEST(Prefilter, QuantizationCapsProbeCount) {
+  const auto rules = ruleset::generate(
+      {GeneratorMode::kFeatureFree, 2048, 11, 0.3, true, true});
+  PrefilterConfig cfg;
+  cfg.quantum = 8;
+  cfg.min_class_rules = 1;  // hash every class: worst-case probe count
+  const TupleSpacePrefilterEngine engine(rules, cfg);
+  // (32/8 + 1)^2 quantized length pairs x 2 proto-care values.
+  EXPECT_LE(engine.class_count(), 50u);
+  EXPECT_EQ(engine.spilled_rules(), 0u);
+}
+
+TEST(Prefilter, FactorySpecsParseAndCompose) {
+  const auto rules = ruleset::generate_firewall(128, 3);
+  for (const char* spec :
+       {"prefilter(linear)", "prefilter(stridebv:4)", "prefilter(tcam):q=4,min=8",
+        "prefilter(linear):q=32,min=1"}) {
+    const auto engine = make_engine(spec, rules);
+    ASSERT_NE(engine, nullptr) << spec;
+    expect_agrees(*engine, rules, 17, 200);
+  }
+  // The resolver really is the inner spec.
+  PrefilterConfig cfg;
+  cfg.min_class_rules = 1u << 20;  // spill everything
+  cfg.resolver_spec = "stridebv:4";
+  const TupleSpacePrefilterEngine engine(rules, cfg);
+  ASSERT_NE(engine.resolver(), nullptr);
+  EXPECT_NE(engine.resolver()->name().find("StrideBV"), std::string::npos);
+  expect_agrees(engine, rules, 18, 200);
+
+  EXPECT_THROW(make_engine("prefilter", ruleset::generate_firewall(4, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(make_engine("prefilter(linear):q=0", ruleset::generate_firewall(4, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(make_engine("prefilter(linear):bogus=1",
+                           ruleset::generate_firewall(4, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(make_engine("prefilter(nosuch)", ruleset::generate_firewall(4, 1)),
+               std::invalid_argument);
+}
+
+TEST(Prefilter, CloneIsIndependentAndEquivalent) {
+  const auto rules = ruleset::generate_firewall(200, 21);
+  PrefilterConfig cfg;
+  cfg.min_class_rules = 8;
+  const TupleSpacePrefilterEngine engine(rules, cfg);
+  const auto copy = engine.clone();
+  ASSERT_NE(copy, nullptr);
+  expect_agrees(*copy, rules, 23, 200);
+  // Mutating the clone must not disturb the original.
+  ruleset::Rule r;
+  r.src_ip = net::Ipv4Prefix{{0x0a0a0a0au}, 32};
+  ASSERT_TRUE(copy->insert_rule(0, r));
+  expect_agrees(engine, rules, 29, 200);
+}
+
+TEST(Prefilter, MemoryBytesIsPopulatedAndGrows) {
+  const auto small = ruleset::generate_firewall(64, 5);
+  const auto large = ruleset::generate_firewall(1024, 5);
+  const TupleSpacePrefilterEngine a(small);
+  const TupleSpacePrefilterEngine b(large);
+  EXPECT_GT(a.memory_bytes(), 0u);
+  EXPECT_GT(b.memory_bytes(), a.memory_bytes());
+}
+
+// Update fuzz: random insert/erase interleavings against a RuleSet
+// mirror, verified differentially after every mutation burst. The
+// candidate pool is feature-free, so inserts keep landing in classes
+// that spilled (or never existed) at build time — the straddling path.
+TEST(PrefilterUpdates, FuzzedMutationsStayExact) {
+  auto mirror = ruleset::generate_firewall(96, 31);
+  PrefilterConfig cfg;
+  cfg.min_class_rules = 6;  // real mix of hashed + spilled
+  TupleSpacePrefilterEngine engine(mirror, cfg);
+
+  ruleset::GeneratorConfig pool_cfg;
+  pool_cfg.mode = GeneratorMode::kFeatureFree;
+  pool_cfg.size = 128;
+  pool_cfg.seed = 77;
+  pool_cfg.default_rule = false;
+  const auto pool = ruleset::generate(pool_cfg);
+
+  util::Xoshiro256 rng(4711);
+  for (int op = 0; op < 160; ++op) {
+    if (rng.below(100) < 50 && mirror.size() < 256) {
+      const auto idx = rng.below(mirror.size() + 1);
+      const auto& r = pool[rng.below(pool.size())];
+      ASSERT_TRUE(engine.insert_rule(idx, r));
+      mirror.insert(idx, r);
+    } else if (mirror.size() > 1) {
+      const auto idx = rng.below(mirror.size());
+      ASSERT_TRUE(engine.erase_rule(idx));
+      mirror.erase(idx);
+    }
+    ASSERT_EQ(engine.rule_count(), mirror.size());
+    ASSERT_EQ(engine.hashed_rules() + engine.spilled_rules(), mirror.size());
+    if (op % 20 == 19) expect_agrees(engine, mirror, 1000 + op, 120);
+  }
+  expect_agrees(engine, mirror, 9999, 300);
+}
+
+TEST(PrefilterUpdates, OutOfRangeIndicesAreRejected) {
+  const auto rules = ruleset::generate_firewall(16, 2);
+  TupleSpacePrefilterEngine engine(rules);
+  EXPECT_FALSE(engine.insert_rule(rules.size() + 1, ruleset::Rule::any()));
+  EXPECT_FALSE(engine.erase_rule(rules.size()));
+  EXPECT_EQ(engine.rule_count(), rules.size());
+}
+
+// UpdateQueue coherence: a prefilter-backed ShardedClassifier absorbs
+// inserts/erases that cross tuple-class boundaries through the
+// clone-patch-publish pipeline, and every published snapshot agrees
+// with the mirror.
+TEST(PrefilterUpdates, UpdateQueueCoherenceAcrossTupleClasses) {
+  auto mirror = ruleset::generate_firewall(64, 51);
+  runtime::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.engine_spec = "prefilter(linear):min=4";
+  runtime::ShardedClassifier sc(mirror, cfg);
+
+  ruleset::GeneratorConfig pool_cfg;
+  pool_cfg.mode = GeneratorMode::kFeatureFree;  // straddles classes freely
+  pool_cfg.size = 64;
+  pool_cfg.seed = 53;
+  pool_cfg.default_rule = false;
+  const auto pool = ruleset::generate(pool_cfg);
+
+  util::Xoshiro256 rng(2024);
+  for (int op = 0; op < 60; ++op) {
+    if (rng.below(100) < 55 && mirror.size() < 160) {
+      const auto idx = rng.below(mirror.size() + 1);
+      const auto& r = pool[rng.below(pool.size())];
+      ASSERT_TRUE(sc.insert_rule(idx, r));
+      mirror.insert(idx, r);
+    } else if (mirror.size() > 2) {
+      const auto idx = rng.below(mirror.size());
+      ASSERT_TRUE(sc.erase_rule(idx));
+      mirror.erase(idx);
+    }
+    ASSERT_EQ(sc.rule_count(), mirror.size());
+    if (op % 15 == 14) {
+      const LinearSearchEngine golden(mirror);
+      ruleset::TraceConfig tcfg;
+      tcfg.size = 100;
+      tcfg.seed = 3000 + static_cast<std::uint64_t>(op);
+      for (const auto& t : ruleset::generate_trace(mirror, tcfg)) {
+        const auto want = golden.classify_tuple(t);
+        const auto got = sc.classify_tuple(t);
+        ASSERT_EQ(got.best, want.best) << t.to_string();
+        ASSERT_EQ(got.multi, want.multi) << t.to_string();
+      }
+    }
+  }
+}
+
+// The band-width cap partitions by itself: shards rises until no band
+// exceeds max_band_rules, and the partition still answers exactly.
+TEST(PrefilterUpdates, MaxBandRulesCapsBandWidth) {
+  const auto rules = ruleset::generate_firewall(300, 61);
+  runtime::ShardedConfig cfg;
+  cfg.shards = 1;
+  cfg.max_band_rules = 64;
+  cfg.engine_spec = "stridebv:4";
+  const runtime::ShardedClassifier sc(rules, cfg);
+  EXPECT_EQ(sc.shard_count(), 5u);  // ceil(300/64)
+  for (std::size_t s = 0; s < sc.shard_count(); ++s) {
+    EXPECT_LE(sc.shard_size(s), 64u);
+  }
+  EXPECT_GT(sc.memory_bytes(), 0u);
+  EXPECT_GT(sc.stats_snapshot().memory_bytes, 0u);
+
+  const LinearSearchEngine golden(rules);
+  ruleset::TraceConfig tcfg;
+  tcfg.size = 300;
+  tcfg.seed = 67;
+  const auto trace = ruleset::generate_trace(rules, tcfg);
+  std::vector<net::HeaderBits> headers;
+  for (const auto& t : trace) headers.emplace_back(t);
+  std::vector<MatchResult> got(headers.size());
+  // Best-only exercises the serial priority early exit; multi must
+  // still visit every band.
+  sc.classify_batch(headers, got, BatchOptions{/*want_multi=*/false});
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    ASSERT_EQ(got[i].best, golden.classify(headers[i]).best);
+  }
+  sc.classify_batch(headers, got, BatchOptions{/*want_multi=*/true});
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    const auto want = golden.classify(headers[i]);
+    ASSERT_EQ(got[i].best, want.best);
+    ASSERT_EQ(got[i].multi, want.multi);
+  }
+}
+
+}  // namespace
+}  // namespace rfipc::engines::prefilter

@@ -241,6 +241,10 @@ TEST(ShardedClassifier, WorkerDigestsAppearInStats) {
   EXPECT_GT(worker_tasks, 0u);
   EXPECT_NE(snap.to_json().find("\"workers\""), std::string::npos);
   EXPECT_NE(snap.to_string().find("worker0"), std::string::npos);
+  // Shard engines report their footprint; the snapshot aggregates it
+  // and the JSON (== the STATS wire reply body) carries it.
+  EXPECT_GT(snap.memory_bytes, 0u);
+  EXPECT_NE(snap.to_json().find("\"memory_bytes\""), std::string::npos);
 
   // A 1-lane classifier reports no worker digests.
   ShardedConfig serial_cfg;
