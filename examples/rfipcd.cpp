@@ -1,12 +1,19 @@
 // rfipcd — the classification service daemon.
 //
-//   $ rfipcd [--host H] [--port P] [--rules N] [--shards S]
+//   $ rfipcd [--host H] [--port P] [--rules SRC] [--shards S]
 //            [--engine SPEC] [--flow-cache N] [--seed S]
 //            [--port-file PATH] [--smoke]
 //            [--journal DIR] [--fsync none|batch|always]
 //            [--checkpoint-every N] [--force-empty]
 //
-// Builds a generated ruleset, stands the sharded runtime up behind a
+// --rules names a ruleset SOURCE (see ruleset/lang/source.h): a bare
+// count keeps the historical generate-N-firewall-rules behaviour
+// (honouring --seed), "gen:mode:size[:seed=N]" picks a generator
+// configuration, and anything else is a file path parsed through the
+// format registry — native, ClassBench, or the ipfilter/ipclassifier
+// text grammar, auto-detected.
+//
+// Builds or loads that ruleset, stands the sharded runtime up behind a
 // ClassifyServer on an epoll reactor, and serves the binary wire
 // protocol (see src/server/wire.h) until SIGTERM/SIGINT, which trigger
 // a graceful drain: stop accepting, flush every outbound queue, let
@@ -119,11 +126,30 @@ int main(int argc, char** argv) {
                         "journal", "fsync", "checkpoint-every", "force-empty"});
   const auto seed = flags.get_u64("seed", 7);
 
-  ruleset::GeneratorConfig gcfg;
-  gcfg.mode = ruleset::GeneratorMode::kFirewall;
-  gcfg.size = flags.get_u64("rules", 256);
-  gcfg.seed = seed;
-  ruleset::RuleSet rules = ruleset::generate(gcfg);
+  const std::string rules_spec = flags.get("rules", "256");
+  ruleset::RuleSet rules;
+  std::string rules_desc;
+  if (const auto count = util::parse_u64(rules_spec)) {
+    // Historical spelling: a bare count generates firewall rules with
+    // THIS daemon's --seed (resolve_ruleset_source would pin the
+    // canonical bench seed instead).
+    ruleset::GeneratorConfig gcfg;
+    gcfg.mode = ruleset::GeneratorMode::kFirewall;
+    gcfg.size = static_cast<std::size_t>(*count);
+    gcfg.seed = seed;
+    rules = ruleset::generate(gcfg);
+    rules_desc = "generated firewall (seed " + std::to_string(seed) + ")";
+  } else {
+    ruleset::lang::ResolvedRules resolved;
+    std::string err;
+    if (!ruleset::lang::try_resolve_ruleset_source(rules_spec, resolved, err)) {
+      std::fprintf(stderr, "rfipcd: --rules %s: %s\n", rules_spec.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    rules = std::move(resolved.rules);
+    rules_desc = std::move(resolved.description);
+  }
 
   // Durable log first: recovered state replaces the generated ruleset,
   // and the log must outlive the classifier whose hook appends to it.
@@ -149,6 +175,7 @@ int main(int argc, char** argv) {
     const auto& rec = durable->recovery();
     if (rec.checkpoint_loaded || rec.last_seq > 0) {
       rules = durable->rules_snapshot();
+      rules_desc = "recovered from " + dir;
       std::printf("rfipcd: recovered %zu rules from %s (%s)\n", rules.size(),
                   dir.c_str(), rec.to_string().c_str());
     } else {
@@ -206,9 +233,9 @@ int main(int argc, char** argv) {
   scfg.durable = durable.get();
   server::ClassifyServer srv(classifier, scfg);
 
-  std::printf("rfipcd: %zu rules, %zu shards of %s, listening on %s:%u%s\n",
-              rules.size(), classifier.shard_count(), rcfg.engine_spec.c_str(),
-              scfg.host.c_str(), srv.port(),
+  std::printf("rfipcd: %zu rules [%s], %zu shards of %s, listening on %s:%u%s\n",
+              rules.size(), rules_desc.c_str(), classifier.shard_count(),
+              rcfg.engine_spec.c_str(), scfg.host.c_str(), srv.port(),
               durable != nullptr ? " (journaled)" : "");
   std::fflush(stdout);
 

@@ -5,11 +5,14 @@
 //   $ ruleset_tool analyze  fw.rules
 //   $ ruleset_tool convert  fw.rules --format classbench --out fw.cb
 //   $ ruleset_tool optimize fw.rules --out fw.min.rules
+//   $ ruleset_tool roundtrip fw.rules
 //   $ ruleset_tool classify fw.rules --engine stridebv:4
 //         --header "10.1.2.3:1234 -> 192.168.0.9:80 proto 6"
 //
-// The Swiss-army knife for working with classifier files in either the
-// native or ClassBench format.
+// The Swiss-army knife for working with classifier files in any
+// registered format (native, ClassBench, ipfilter, ipclassifier) —
+// input format is auto-detected, convert targets any of them, and
+// roundtrip audits every importer/exporter pair on a real file.
 #include <cstdio>
 #include <string>
 
@@ -20,14 +23,21 @@ using namespace rfipc;
 namespace {
 
 int usage() {
+  std::string names;
+  for (const auto& n : ruleset::lang::format_names()) {
+    names += (names.empty() ? "" : "|") + n;
+  }
   std::fprintf(stderr,
-               "usage: ruleset_tool <generate|analyze|convert|classify> ...\n"
-               "  generate --size N [--mode firewall|acl|feature-free]\n"
-               "           [--seed S] [--range-fraction F] [--out PATH]\n"
-               "  analyze  RULES\n"
-               "  convert  RULES --format native|classbench [--out PATH]\n"
-               "  optimize RULES [--out PATH]\n"
-               "  classify RULES [--engine SPEC] --header \"SIP:SP -> DIP:DP proto P\"\n");
+               "usage: ruleset_tool <generate|analyze|convert|roundtrip|classify> ...\n"
+               "  generate  --size N [--mode firewall|acl|feature-free]\n"
+               "            [--seed S] [--range-fraction F] [--out PATH]\n"
+               "  analyze   RULES\n"
+               "  convert   RULES --format %s [--out PATH]\n"
+               "  roundtrip RULES\n"
+               "  optimize  RULES [--out PATH]\n"
+               "  classify  RULES [--engine SPEC] --header \"SIP:SP -> DIP:DP proto P\"\n"
+               "RULES is any file in a registered format (auto-detected).\n",
+               names.c_str());
   return 2;
 }
 
@@ -94,6 +104,7 @@ int main(int argc, char** argv) {
 
     if (cmd == "analyze") {
       std::printf("%s\n", ruleset::analyze(rules).summary().c_str());
+      std::printf("%s\n", ruleset::lowering::expansion_report(rules).summary().c_str());
       const engines::tcam::TcamEngine tcam(rules);
       const engines::stridebv::StrideBVEngine sbv(rules, {4});
       std::printf("stridebv(k=4): %zu entries, %.1f Kbit stage memory\n",
@@ -113,15 +124,34 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "convert") {
-      const auto format = flags.get("format", "native");
-      if (format == "classbench") {
-        emit(ruleset::to_classbench(rules), flags.get("out", ""));
-      } else if (format == "native") {
-        emit(rules.to_text(), flags.get("out", ""));
-      } else {
-        return usage();
-      }
+      // Any registered format: native, classbench, ipfilter,
+      // ipclassifier — export_as throws on an unknown name, listing
+      // the known ones.
+      emit(ruleset::lang::export_as(flags.get("format", "native"), rules),
+           flags.get("out", ""));
       return 0;
+    }
+    if (cmd == "roundtrip") {
+      // Push the ruleset through every importer/exporter pair and
+      // verify the pipeline is stable: export -> import -> export must
+      // reproduce the first export byte for byte (lossy formats like
+      // ipclassifier may change the RULES, e.g. drop actions become
+      // forwards, but must stabilize after one pass). Exit nonzero on
+      // any unstable format.
+      bool ok = true;
+      for (const auto& fmt : ruleset::lang::formats()) {
+        const std::string name(fmt.name);
+        const std::string once = ruleset::lang::export_as(name, rules);
+        const auto reimported = ruleset::lang::parse_as(name, once);
+        const std::string twice = ruleset::lang::export_as(name, reimported);
+        const bool stable = once == twice;
+        const bool lossless = reimported.rules() == rules.rules();
+        ok = ok && stable;
+        std::printf("%-12s %zu -> %zu rules, %s%s\n", name.c_str(), rules.size(),
+                    reimported.size(), stable ? "stable" : "UNSTABLE",
+                    lossless ? ", lossless" : "");
+      }
+      return ok ? 0 : 1;
     }
     if (cmd == "classify") {
       const auto header = parse_header(flags.get("header", ""));

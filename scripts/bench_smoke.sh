@@ -24,7 +24,10 @@
 #                        "mpkt_s": 1.266, "vs_raw": 5.72,
 #                        "bytes_per_rule": 153.6}, ... ],
 #     "large_n_update_rows": [ {"configuration": "update insert banded ...",
-#                               "kupd_s": 33.3, "us_per_op": 30.1}, ... ]
+#                               "kupd_s": 33.3, "us_per_op": 30.1}, ... ],
+#     "expansion_rows": [ {"configuration": "tcam", "lowering": "prefix-expand",
+#                          "entries": 9862, "entries_per_rule": 4.82,
+#                          "kib": 336.0, "build_ms": 2.0}, ... ]
 #   }
 #
 # The large_n leg runs bench_large_n at a reduced N (RFIPC_LARGE_N,
@@ -50,7 +53,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 LARGE_N="${RFIPC_LARGE_N:-16384}"
 cmake -B "${BUILD_DIR}" -S . >/dev/null
-cmake --build "${BUILD_DIR}" -j --target bench_runtime_batch bench_server bench_large_n
+cmake --build "${BUILD_DIR}" -j --target bench_runtime_batch bench_server bench_large_n bench_expansion
 
 workdir="${BUILD_DIR}/bench-smoke"
 mkdir -p "${workdir}"
@@ -75,6 +78,14 @@ large_n_log="${workdir}/bench_large_n.log"
 
 if grep -q '\[FAIL\]' "${large_n_log}"; then
   echo "bench_smoke: FAILED check in bench_large_n" >&2
+  exit 1
+fi
+
+expansion_log="${workdir}/bench_expansion.log"
+(cd "${workdir}" && "../bench/bench_expansion") | tee "${expansion_log}"
+
+if grep -q '\[FAIL\]' "${expansion_log}"; then
+  echo "bench_smoke: FAILED check in bench_expansion" >&2
   exit 1
 fi
 
@@ -166,6 +177,29 @@ elif ! grep -q '\[SKIP\] bench_large_n' "${large_n_log}"; then
   exit 1
 fi
 
+# expansion.csv: configuration, lowering, entries, entries/rule, KiB,
+# build (ms) — the range-lowering cost table from bench_expansion
+# (prefix-expanded vs interval-native storage for the same range-heavy
+# ACL, round-tripped through the ipfilter grammar). Build time is
+# informational and "-" on the model rows, so it is emitted only when
+# numeric.
+expansion_csv="${workdir}/expansion.csv"
+if [[ ! -f "${expansion_csv}" ]]; then
+  echo "bench_smoke: ${expansion_csv} was not produced" >&2
+  exit 1
+fi
+expansion_rows="$(awk -F',' '
+  NR == 1 { next }
+  {
+    row = sprintf("    {\"configuration\": \"%s\", \"lowering\": \"%s\", \"entries\": %s, \"entries_per_rule\": %s, \"kib\": %s",
+                  $1, $2, $3, $4, $5)
+    if ($6 != "-") row = row sprintf(", \"build_ms\": %s", $6)
+    row = row "}"
+    rows = rows == "" ? row : rows ",\n" row
+  }
+  END { print rows }
+' "${expansion_csv}")"
+
 {
   printf '{\n  "bench": "runtime_batch",\n  "simd": "%s",\n' "${simd}"
   printf '  "rows": [\n%s\n  ],\n' "${runtime_rows}"
@@ -173,7 +207,8 @@ fi
   printf '  "update_rows": [\n%s\n  ],\n' "${update_rows}"
   printf '  "large_n": %s,\n' "${LARGE_N}"
   printf '  "large_n_rows": [\n%s\n  ],\n' "${large_n_rows}"
-  printf '  "large_n_update_rows": [\n%s\n  ]\n}\n' "${large_n_update_rows}"
+  printf '  "large_n_update_rows": [\n%s\n  ],\n' "${large_n_update_rows}"
+  printf '  "expansion_rows": [\n%s\n  ]\n}\n' "${expansion_rows}"
 } > BENCH_runtime.json
 
 echo

@@ -6,11 +6,16 @@
 # crash_recovery_smoke.sh (journaled rfipcd SIGKILLed mid-update-burst
 # and restarted twice; no acked update may be lost), then the large_n
 # smoke (the sanitizer build of bench_large_n must auto-[SKIP] itself —
-# perf numbers under ASan measure the sanitizer), then bench_smoke.sh
-# (perf gates: the shard-scaling check — >=0.7x linear at 4 shards on
-# 4+-core machines, auto-skipped below — the single-shard bypass check,
-# the flow-cache checks, and the reduced-N large_n leg — prefilter >=
-# 5x raw StrideBV at N=16384 — captured into BENCH_runtime.json). Local
+# perf numbers under ASan measure the sanitizer), then the ruleset
+# interchange smoke (the example ipfilter policy round-tripped through
+# every registered importer/exporter pair under ASan, plus a grammar
+# error corpus that must be rejected with line:col diagnostics), then
+# bench_smoke.sh (perf gates: the shard-scaling check — >=0.7x linear
+# at 4 shards on 4+-core machines, auto-skipped below — the
+# single-shard bypass check, the flow-cache checks, and the reduced-N
+# large_n leg — prefilter >= 4x raw StrideBV at N=16384 — captured
+# into BENCH_runtime.json, alongside the bench_expansion lowering
+# rows). Local
 # runs and the GitHub Actions workflow (.github/workflows/ci.yml) gate
 # on the exact same scripts, so a green local run is a green CI run.
 set -euo pipefail
@@ -42,6 +47,39 @@ if ! (cd build-asan/bench && ./bench_large_n) | grep -q '\[SKIP\] bench_large_n'
   exit 1
 fi
 echo "large_n_smoke: sanitizer auto-skip verified"
+
+echo
+echo "== ci.sh: ruleset interchange smoke (ASan round trip + grammar errors) =="
+# The example policy (ipfilter grammar, with a `file` include) must
+# round-trip through EVERY registered importer/exporter pair under
+# ASan: export -> import -> export byte-identical per format. Then a
+# small grammar error corpus: each bad program must be rejected with a
+# line:col diagnostic — and the rejection itself must not trip ASan.
+cmake --build build-asan -j --target ruleset_tool >/dev/null
+build-asan/examples/ruleset_tool roundtrip examples/firewall.rules
+bad_dir="$(mktemp -d)"
+trap 'rm -rf "${bad_dir}"' EXIT
+bad_programs=(
+  'allow src port'
+  'allow dst port 99999'
+  'allow src 300.1.2.3/8'
+  'allow src 1.2.3.4/32 & dst port 80'
+  'allow dst port 80 && dst port 443'
+)
+for bad in "${bad_programs[@]}"; do
+  printf '%s\n' "${bad}" > "${bad_dir}/bad.rules"
+  if build-asan/examples/ruleset_tool analyze "${bad_dir}/bad.rules" \
+      >/dev/null 2>"${bad_dir}/err.txt"; then
+    echo "interchange_smoke: accepted bad program: ${bad}" >&2
+    exit 1
+  fi
+  if ! grep -q 'col ' "${bad_dir}/err.txt"; then
+    echo "interchange_smoke: no line:col diagnostic for: ${bad}" >&2
+    cat "${bad_dir}/err.txt" >&2
+    exit 1
+  fi
+done
+echo "interchange_smoke: 4 formats round-tripped, ${#bad_programs[@]} bad programs rejected with line:col"
 
 echo
 echo "== ci.sh: bench smoke (perf gates, incl. reduced-N large_n leg) =="

@@ -65,9 +65,16 @@ constexpr SpecEntry kSpecTable[] = {
        return std::make_unique<tcam::TcamEngine>(std::move(rules));
      }},
     {"stridebv",
-     {"stridebv:3", "stridebv:4"},
-     "StrideBV pipeline; :k = stride width 1..8 (default 4)",
+     {"stridebv:3", "stridebv:4i"},
+     "StrideBV pipeline; :k = stride width 1..8 (default 4); :ki = interval ports",
      [](const std::string& spec, std::size_t colon, ruleset::RuleSet rules) -> EnginePtr {
+       // A trailing 'i' on the stride suffix selects the interval-native
+       // port stages (StrideBVRangeEngine) instead of prefix expansion.
+       if (colon != std::string::npos && !spec.empty() && spec.back() == 'i') {
+         const std::string trimmed = spec.substr(0, spec.size() - 1);
+         return std::make_unique<stridebv::StrideBVRangeEngine>(
+             std::move(rules), stridebv::StrideBVConfig{parse_stride(trimmed, colon)});
+       }
        return std::make_unique<stridebv::StrideBVEngine>(
            std::move(rules), stridebv::StrideBVConfig{parse_stride(spec, colon)});
      }},

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "ruleset/range_to_prefix.h"
+#include "ruleset/lowering.h"
 
 namespace rfipc::engines::hybrid {
 
@@ -10,19 +10,13 @@ FsbvFieldPlane::FsbvFieldPlane(const std::vector<net::PortRange>& ranges,
                                std::size_t rules)
     : rules_(rules) {
   // Expand each rule's range into prefix alternatives (Figure 1's rule
-  // columns), remembering which rule each column belongs to.
-  struct Alt {
-    std::uint16_t value;
-    std::uint16_t mask;  // top `len` bits
-  };
-  std::vector<Alt> alts;
+  // columns) via the shared lowering pipeline, remembering which rule
+  // each column belongs to.
+  std::vector<ruleset::lowering::ValueMask> alts;
   for (std::size_t r = 0; r < ranges.size(); ++r) {
-    for (const auto& blk : ruleset::range_to_prefixes(ranges[r].lo, ranges[r].hi, 16)) {
-      const std::uint16_t mask =
-          blk.length == 0
-              ? 0
-              : static_cast<std::uint16_t>(0xffffu << (16 - blk.length));
-      alts.push_back({static_cast<std::uint16_t>(blk.value), mask});
+    for (const auto& vm :
+         ruleset::lowering::to_value_masks(ranges[r].lo, ranges[r].hi, 16)) {
+      alts.push_back(vm);
       alt_rule_.push_back(r);
     }
   }
@@ -58,20 +52,6 @@ util::BitVector FsbvFieldPlane::match(std::uint16_t value) const {
 
 namespace {
 
-ruleset::TernaryWord tcam_slice_entry(const ruleset::Rule& r) {
-  ruleset::TernaryWord w;
-  w.set_prefix_field(net::kSipField.offset, 32, r.src_ip.lo(), r.src_ip.length);
-  w.set_prefix_field(net::kDipField.offset, 32, r.dst_ip.lo(), r.dst_ip.length);
-  w.set_prefix_field(net::kSpField.offset, 16, 0, 0);
-  w.set_prefix_field(net::kDpField.offset, 16, 0, 0);
-  if (r.protocol.wildcard) {
-    w.set_prefix_field(net::kPrtField.offset, 8, 0, 0);
-  } else {
-    w.set_prefix_field(net::kPrtField.offset, 8, r.protocol.value, 8);
-  }
-  return w;
-}
-
 std::vector<net::PortRange> collect_sp(const ruleset::RuleSet& rs) {
   std::vector<net::PortRange> out;
   out.reserve(rs.size());
@@ -95,7 +75,9 @@ FsbvHybridEngine::FsbvHybridEngine(ruleset::RuleSet rules)
       ppe_(rules_.empty() ? 1 : rules_.size()) {
   if (rules_.empty()) throw std::invalid_argument("FsbvHybridEngine: empty ruleset");
   tcam_slice_.reserve(rules_.size());
-  for (const auto& r : rules_) tcam_slice_.push_back(tcam_slice_entry(r));
+  for (const auto& r : rules_) {
+    tcam_slice_.push_back(ruleset::lowering::ternary_sans_ports(r));
+  }
 }
 
 MatchResult FsbvHybridEngine::classify(const net::HeaderBits& header) const {

@@ -40,7 +40,10 @@ TupleSpacePrefilterEngine::TupleSpacePrefilterEngine(
       config_(other.config_),
       classes_(other.classes_),
       class_index_(other.class_index_),
-      spill_global_(other.spill_global_) {
+      order_(other.order_),
+      id_pos_(other.id_pos_),
+      free_ids_(other.free_ids_),
+      spill_ids_(other.spill_ids_) {
   if (other.resolver_ != nullptr) {
     resolver_ = other.resolver_->clone();
     if (resolver_ == nullptr) rebuild_resolver();
@@ -80,8 +83,20 @@ TupleSpacePrefilterEngine::MaskedKey TupleSpacePrefilterEngine::probe_key(
 void TupleSpacePrefilterEngine::build() {
   classes_.clear();
   class_index_.clear();
-  spill_global_.clear();
+  order_.clear();
+  id_pos_.clear();
+  free_ids_.clear();
+  spill_ids_.clear();
   resolver_.reset();
+
+  // Fresh epoch: id == initial position, so buckets fill position-
+  // sorted for free.
+  order_.reserve(rules_.size());
+  id_pos_.reserve(rules_.size());
+  for (std::uint32_t i = 0; i < rules_.size(); ++i) {
+    order_.push_back(i);
+    id_pos_.push_back(i);
+  }
 
   // Pass 1: how many rules would each tuple class hold?
   std::unordered_map<std::uint32_t, std::size_t> counts;
@@ -101,14 +116,14 @@ void TupleSpacePrefilterEngine::build() {
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const auto it = class_index_.find(class_id(rules_[i]));
     if (it == class_index_.end()) {
-      spill_global_.push_back(i);
+      spill_ids_.push_back(static_cast<std::uint32_t>(i));
       continue;
     }
     TupleClass& c = classes_[it->second];
-    c.buckets[rule_key(c, rules_[i])].push_back(i);
+    c.buckets[rule_key(c, rules_[i])].push_back(static_cast<std::uint32_t>(i));
     ++c.rules;
   }
-  if (!spill_global_.empty()) rebuild_resolver();
+  if (!spill_ids_.empty()) rebuild_resolver();
   rebuild_probes();
 }
 
@@ -123,7 +138,7 @@ void TupleSpacePrefilterEngine::rebuild_probe(TupleClass& c) {
   const std::size_t mask = cap - 1;
   for (const auto& [key, vec] : c.buckets) {
     const auto off = static_cast<std::uint32_t>(c.pool.size());
-    for (const std::size_t g : vec) c.pool.push_back(static_cast<std::uint32_t>(g));
+    for (const std::uint32_t id : vec) c.pool.push_back(id);
     std::size_t s = MaskedKeyHash{}(key) & mask;
     while (c.slots[s].len != 0) s = (s + 1) & mask;
     c.slots[s] = ProbeSlot{key, off, static_cast<std::uint32_t>(vec.size())};
@@ -135,12 +150,12 @@ void TupleSpacePrefilterEngine::rebuild_probes() {
 }
 
 void TupleSpacePrefilterEngine::rebuild_resolver() {
-  if (spill_global_.empty()) {
+  if (spill_ids_.empty()) {
     resolver_.reset();
     return;
   }
   ruleset::RuleSet spilled;
-  for (const std::size_t g : spill_global_) spilled.add(rules_[g]);
+  for (const std::uint32_t id : spill_ids_) spilled.add(rules_[id_pos_[id]]);
   resolver_ = make_engine(config_.resolver_spec, std::move(spilled));
 }
 
@@ -149,10 +164,10 @@ void TupleSpacePrefilterEngine::probe(const net::FiveTuple& t, MatchResult& out,
   for (const TupleClass& c : classes_) {
     const ProbeSlot* slot = find_slot(c, probe_key(c, t));
     if (slot == nullptr) continue;
-    // Candidates are ascending, so a best-only probe can stop at the
-    // first verified rule (and skip the bucket once it cannot win).
+    // Candidate runs are position-sorted, so a best-only probe can stop
+    // at the first verified rule (and skip the run once it cannot win).
     for (std::uint32_t j = slot->off; j < slot->off + slot->len; ++j) {
-      const std::size_t idx = c.pool[j];
+      const std::size_t idx = id_pos_[c.pool[j]];
       if (!want_multi && idx >= out.best) break;
       if (!rules_[idx].matches(t)) continue;
       if (idx < out.best) out.best = idx;
@@ -166,13 +181,13 @@ void TupleSpacePrefilterEngine::merge_resolver(const MatchResult& local,
                                                MatchResult& out,
                                                bool want_multi) const {
   if (local.has_match()) {
-    const std::size_t global = spill_global_[local.best];
+    const std::size_t global = id_pos_[spill_ids_[local.best]];
     if (global < out.best) out.best = global;
   }
   if (!want_multi) return;
   for (std::size_t b = local.multi.first_set(); b != util::BitVector::npos;
        b = local.multi.next_set(b + 1)) {
-    out.multi.set(spill_global_[b]);
+    out.multi.set(id_pos_[spill_ids_[b]]);
   }
 }
 
@@ -227,7 +242,7 @@ void TupleSpacePrefilterEngine::classify_batch(
       const ProbeSlot* slot = find_slot(c, k);
       if (slot == nullptr) continue;
       for (std::uint32_t j = slot->off; j < slot->off + slot->len; ++j) {
-        const std::size_t idx = c.pool[j];
+        const std::size_t idx = id_pos_[c.pool[j]];
         if (!opts.want_multi && idx >= out.best) break;
         if (!rules_[idx].matches(tuples[i])) continue;
         if (idx < out.best) out.best = idx;
@@ -238,105 +253,115 @@ void TupleSpacePrefilterEngine::classify_batch(
   }
 }
 
-void TupleSpacePrefilterEngine::shift_indices_up(std::size_t index) {
-  for (TupleClass& c : classes_) {
-    for (auto& [key, vec] : c.buckets) {
-      for (std::size_t& g : vec) {
-        if (g >= index) ++g;
-      }
-    }
+std::uint32_t TupleSpacePrefilterEngine::assign_id(std::size_t index) {
+  std::uint32_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(id_pos_.size());
+    id_pos_.push_back(0);
   }
-  for (std::size_t& g : spill_global_) {
-    if (g >= index) ++g;
+  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(index), id);
+  for (std::size_t p = index; p < order_.size(); ++p) {
+    id_pos_[order_[p]] = static_cast<std::uint32_t>(p);
+  }
+  return id;
+}
+
+void TupleSpacePrefilterEngine::release_id(std::size_t index) {
+  free_ids_.push_back(order_[index]);
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(index));
+  for (std::size_t p = index; p < order_.size(); ++p) {
+    id_pos_[order_[p]] = static_cast<std::uint32_t>(p);
   }
 }
 
-void TupleSpacePrefilterEngine::shift_indices_down(std::size_t index) {
-  for (TupleClass& c : classes_) {
-    for (auto& [key, vec] : c.buckets) {
-      for (std::size_t& g : vec) {
-        if (g > index) --g;
-      }
-    }
-  }
-  for (std::size_t& g : spill_global_) {
-    if (g > index) --g;
-  }
+std::size_t TupleSpacePrefilterEngine::spill_slot_for(std::size_t pos) const {
+  const auto it = std::lower_bound(
+      spill_ids_.begin(), spill_ids_.end(), pos,
+      [this](std::uint32_t id, std::size_t p) { return id_pos_[id] < p; });
+  return static_cast<std::size_t>(it - spill_ids_.begin());
 }
 
 bool TupleSpacePrefilterEngine::insert_rule(std::size_t index,
                                             const ruleset::Rule& rule) {
   if (index > rules_.size()) return false;
-  shift_indices_up(index);
   rules_.insert(index, rule);
+  const std::uint32_t id = assign_id(index);
 
   const auto it = class_index_.find(class_id(rule));
   if (it != class_index_.end()) {
     TupleClass& c = classes_[it->second];
-    std::vector<std::size_t>& vec = c.buckets[rule_key(c, rule)];
-    vec.insert(std::lower_bound(vec.begin(), vec.end(), index), index);
+    std::vector<std::uint32_t>& vec = c.buckets[rule_key(c, rule)];
+    vec.insert(std::lower_bound(vec.begin(), vec.end(), id,
+                                [this](std::uint32_t a, std::uint32_t b) {
+                                  return id_pos_[a] < id_pos_[b];
+                                }),
+               id);
     ++c.rules;
-    rebuild_probes();  // the shift above moved indices in every class
+    rebuild_probe(c);  // only the class that changed; the rest are stable
     return true;
   }
 
   // The rule's class spilled at build time (or never existed): it
   // joins the resolver at the local slot its global priority implies.
-  const auto pos = std::lower_bound(spill_global_.begin(), spill_global_.end(), index);
-  const std::size_t local = static_cast<std::size_t>(pos - spill_global_.begin());
-  spill_global_.insert(pos, index);
+  const std::size_t local = spill_slot_for(index);
+  spill_ids_.insert(spill_ids_.begin() + static_cast<std::ptrdiff_t>(local), id);
   if (resolver_ == nullptr || !resolver_->insert_rule(local, rule)) {
     rebuild_resolver();
   }
-  rebuild_probes();
   return true;
 }
 
 bool TupleSpacePrefilterEngine::erase_rule(std::size_t index) {
   if (index >= rules_.size()) return false;
   const ruleset::Rule rule = rules_[index];
+  const std::uint32_t id = order_[index];
 
   bool spilled = false;
-  std::size_t local = 0;
   const auto it = class_index_.find(class_id(rule));
   if (it != class_index_.end()) {
     TupleClass& c = classes_[it->second];
     const auto bucket = c.buckets.find(rule_key(c, rule));
-    const auto pos = bucket == c.buckets.end()
-                         ? std::vector<std::size_t>::iterator{}
-                         : std::lower_bound(bucket->second.begin(),
-                                            bucket->second.end(), index);
-    if (bucket == c.buckets.end() || pos == bucket->second.end() || *pos != index) {
-      // The rule straddled into the resolver when its class table
-      // rejected it — fall through to the spill path below.
-      spilled = true;
-    } else {
-      bucket->second.erase(pos);
-      if (bucket->second.empty()) c.buckets.erase(bucket);
-      --c.rules;
+    bool in_bucket = false;
+    if (bucket != c.buckets.end()) {
+      const auto pos = std::lower_bound(bucket->second.begin(), bucket->second.end(),
+                                        id, [this](std::uint32_t a, std::uint32_t b) {
+                                          return id_pos_[a] < id_pos_[b];
+                                        });
+      if (pos != bucket->second.end() && *pos == id) {
+        bucket->second.erase(pos);
+        if (bucket->second.empty()) c.buckets.erase(bucket);
+        --c.rules;
+        rebuild_probe(c);  // only the class that changed
+        in_bucket = true;
+      }
     }
+    // Not in its class table: the rule straddled into the resolver when
+    // it was inserted — fall through to the spill path below.
+    spilled = !in_bucket;
   } else {
     spilled = true;
   }
 
+  std::size_t local = 0;
   if (spilled) {
-    const auto pos = std::lower_bound(spill_global_.begin(), spill_global_.end(), index);
-    if (pos == spill_global_.end() || *pos != index) return false;  // corrupt state
-    local = static_cast<std::size_t>(pos - spill_global_.begin());
-    spill_global_.erase(pos);
+    local = spill_slot_for(index);
+    if (local >= spill_ids_.size() || spill_ids_[local] != id) return false;  // corrupt
+    spill_ids_.erase(spill_ids_.begin() + static_cast<std::ptrdiff_t>(local));
   }
 
   rules_.erase(index);
-  shift_indices_down(index);
+  release_id(index);
 
   if (spilled) {
-    if (spill_global_.empty()) {
+    if (spill_ids_.empty()) {
       resolver_.reset();
     } else if (resolver_ == nullptr || !resolver_->erase_rule(local)) {
       rebuild_resolver();
     }
   }
-  rebuild_probes();
   return true;
 }
 
@@ -345,15 +370,17 @@ std::uint64_t TupleSpacePrefilterEngine::memory_bytes() const {
   for (const TupleClass& c : classes_) {
     bytes += sizeof(TupleClass);
     // Hash node estimate: key + bucket header + table slot pointer.
-    bytes += c.buckets.size() * (sizeof(MaskedKey) + sizeof(std::vector<std::size_t>) +
+    bytes += c.buckets.size() * (sizeof(MaskedKey) + sizeof(std::vector<std::uint32_t>) +
                                  2 * sizeof(void*));
     for (const auto& [key, vec] : c.buckets) {
-      bytes += vec.capacity() * sizeof(std::size_t);
+      bytes += vec.capacity() * sizeof(std::uint32_t);
     }
     bytes += c.slots.capacity() * sizeof(ProbeSlot);
     bytes += c.pool.capacity() * sizeof(std::uint32_t);
   }
-  bytes += spill_global_.capacity() * sizeof(std::size_t);
+  bytes += (order_.capacity() + id_pos_.capacity() + free_ids_.capacity() +
+            spill_ids_.capacity()) *
+           sizeof(std::uint32_t);
   if (resolver_ != nullptr) bytes += resolver_->memory_bytes();
   return bytes;
 }

@@ -24,12 +24,19 @@
 // lives in exactly one place (a class bucket or the resolver), so
 // multi-match is exact: the union of verified candidates.
 //
-// Updates are incremental: an insert/erase shifts the stored global
-// indices (O(N) index bookkeeping, same complexity class as the
-// RuleSet splice itself), then patches exactly one hash bucket or the
-// resolver; a resolver that cannot patch is rebuilt from the spilled
-// rules only. Rules inserted into a class that spilled at build time
-// join the resolver — the "straddling" path the update tests cover.
+// Updates are incremental AND epoch-stable: buckets, probe pools, and
+// the spill list store immutable rule IDS, never priority positions.
+// Priority lives in one flat order_ array (position -> id) plus its
+// inverse id_pos_ (id -> position), so an insert/erase is a tail remap
+// of two uint32 arrays — no bucket walk, no per-class probe-index
+// rebuild across the whole engine. Only the ONE class (or the
+// resolver) that gains/loses the rule re-derives its flat probe index;
+// every other class's slots and pool are byte-for-byte untouched.
+// Relative priority order of surviving rules never changes under a
+// splice, which is what keeps every bucket's position-sorted invariant
+// intact for free. Rules inserted into a class that spilled at build
+// time join the resolver — the "straddling" path the update tests
+// cover.
 #pragma once
 
 #include <cstdint>
@@ -85,8 +92,8 @@ class TupleSpacePrefilterEngine final : public ClassifierEngine {
   /// Hashed tuple classes (== hash probes per packet).
   std::size_t class_count() const { return classes_.size(); }
   /// Rules reached via hash probes vs. spilled into the resolver.
-  std::size_t hashed_rules() const { return rules_.size() - spill_global_.size(); }
-  std::size_t spilled_rules() const { return spill_global_.size(); }
+  std::size_t hashed_rules() const { return rules_.size() - spill_ids_.size(); }
+  std::size_t spilled_rules() const { return spill_ids_.size(); }
   const ClassifierEngine* resolver() const { return resolver_.get(); }
   const ruleset::RuleSet& rules() const { return rules_; }
 
@@ -116,16 +123,18 @@ class TupleSpacePrefilterEngine final : public ClassifierEngine {
     std::uint8_t dip_len = 0;
     bool proto_care = false;
     std::size_t rules = 0;
-    /// masked key -> ascending global rule indices carrying it. The
-    /// mutable source of truth for build/insert/erase.
-    std::unordered_map<MaskedKey, std::vector<std::size_t>, MaskedKeyHash> buckets;
+    /// masked key -> stable rule IDS carrying it, sorted by current
+    /// priority position. The mutable source of truth for
+    /// build/insert/erase.
+    std::unordered_map<MaskedKey, std::vector<std::uint32_t>, MaskedKeyHash> buckets;
     /// Read-only open-addressing index derived from `buckets` (power-
     /// of-two slots, linear probing, <= 50% load): the classify paths
     /// probe THIS, paying one hash and typically one cache line per
-    /// class instead of an unordered_map node chase. Rebuilt after
-    /// every structural change.
+    /// class instead of an unordered_map node chase. Rebuilt only when
+    /// THIS class's buckets change — updates elsewhere never touch it.
     std::vector<ProbeSlot> slots;
-    /// Concatenated ascending candidate indices the slots point into.
+    /// Concatenated candidate IDS (position-sorted per slot run) that
+    /// the slots point into.
     std::vector<std::uint32_t> pool;
   };
 
@@ -155,21 +164,37 @@ class TupleSpacePrefilterEngine final : public ClassifierEngine {
       if (sl.key == k) return &sl;
     }
   }
-  /// Rebases resolver-local results onto global rule indices.
+  /// Rebases resolver-local results onto global rule positions.
   void merge_resolver(const MatchResult& local, MatchResult& out,
                       bool want_multi) const;
-  /// Adds/subtracts one from every stored index >= / > `index`.
-  void shift_indices_up(std::size_t index);
-  void shift_indices_down(std::size_t index);
+  /// Takes a free id (or mints one) and splices it into order_ at
+  /// `index`, remapping the id_pos_ tail.
+  std::uint32_t assign_id(std::size_t index);
+  /// Removes position `index` from order_, remaps the tail, and
+  /// returns the freed id to the free list.
+  void release_id(std::size_t index);
+  /// Resolver-local slot of the spilled rule currently at global
+  /// position `pos` (== count of spilled rules of higher priority).
+  std::size_t spill_slot_for(std::size_t pos) const;
 
   ruleset::RuleSet rules_;
   PrefilterConfig config_;
   std::vector<TupleClass> classes_;
   /// class_id -> index into classes_ (hashed classes only).
   std::unordered_map<std::uint32_t, std::size_t> class_index_;
-  /// Ascending global indices of the spilled rules; position == the
-  /// resolver's local priority.
-  std::vector<std::size_t> spill_global_;
+  /// Priority position -> stable rule id. THE priority order; splices
+  /// here are the only O(N) step of an update (flat uint32 remap).
+  std::vector<std::uint32_t> order_;
+  /// Stable rule id -> current priority position (inverse of order_).
+  std::vector<std::uint32_t> id_pos_;
+  /// Recycled ids of erased rules, reused before minting new ones so
+  /// id space stays dense across churn.
+  std::vector<std::uint32_t> free_ids_;
+  /// Stable ids of the spilled rules, sorted by priority position;
+  /// index == the resolver's local priority. Relative order survives
+  /// splices elsewhere, so it only changes when a spilled rule is
+  /// inserted or erased.
+  std::vector<std::uint32_t> spill_ids_;
   /// Exact engine over the spilled rules; null when none spilled.
   EnginePtr resolver_;
 };

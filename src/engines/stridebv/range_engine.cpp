@@ -5,26 +5,6 @@
 #include "util/bitops.h"
 
 namespace rfipc::engines::stridebv {
-namespace {
-
-/// Ternary encoding of a rule with the port fields forced to
-/// don't-care: the stride stages only see SIP/DIP/PRT, the range
-/// modules own SP/DP.
-ruleset::TernaryWord masked_ternary(const ruleset::Rule& r) {
-  ruleset::TernaryWord w;
-  w.set_prefix_field(net::kSipField.offset, 32, r.src_ip.lo(), r.src_ip.length);
-  w.set_prefix_field(net::kDipField.offset, 32, r.dst_ip.lo(), r.dst_ip.length);
-  w.set_prefix_field(net::kSpField.offset, 16, 0, 0);
-  w.set_prefix_field(net::kDpField.offset, 16, 0, 0);
-  if (r.protocol.wildcard) {
-    w.set_prefix_field(net::kPrtField.offset, 8, 0, 0);
-  } else {
-    w.set_prefix_field(net::kPrtField.offset, 8, r.protocol.value, 8);
-  }
-  return w;
-}
-
-}  // namespace
 
 StrideBVRangeEngine::StrideBVRangeEngine(ruleset::RuleSet rules, StrideBVConfig config)
     : rules_(std::move(rules)), config_(config), table_({}, config.stride), ppe_(1) {
@@ -38,9 +18,11 @@ void StrideBVRangeEngine::rebuild() {
   dp_bounds_.clear();
   masked_entries_.reserve(rules_.size());
   for (const auto& r : rules_) {
-    masked_entries_.push_back(masked_ternary(r));
-    sp_bounds_.push_back(r.src_port);
-    dp_bounds_.push_back(r.dst_port);
+    // Stride stages only see SIP/DIP/PRT; the interval modules own the
+    // port fields (interval-native lowering — no prefix expansion).
+    masked_entries_.push_back(ruleset::lowering::ternary_sans_ports(r));
+    sp_bounds_.push_back(ruleset::lowering::IntervalSet::from(r.src_port));
+    dp_bounds_.push_back(ruleset::lowering::IntervalSet::from(r.dst_port));
   }
   table_ = StrideTable(masked_entries_, config_.stride);
   ppe_ = PipelinedPriorityEncoder(rules_.size());
@@ -64,8 +46,20 @@ unsigned StrideBVRangeEngine::pipeline_depth() const {
 std::uint64_t StrideBVRangeEngine::memory_bits() const {
   const std::uint64_t stride_bits = static_cast<std::uint64_t>(num_stride_stages()) *
                                     (std::uint64_t{1} << config_.stride) * rules_.size();
-  const std::uint64_t bound_bits = 2ull * 32 * rules_.size();  // lo+hi per port field
-  return stride_bits + bound_bits;
+  // lo+hi bound registers per stored interval run (one run per rule for
+  // single-range port fields; multi-run sets cost extra comparators).
+  std::uint64_t runs = 0;
+  for (const auto& s : sp_bounds_) runs += s.size();
+  for (const auto& s : dp_bounds_) runs += s.size();
+  return stride_bits + 2ull * 16 * runs;
+}
+
+std::uint64_t StrideBVRangeEngine::memory_bytes() const {
+  std::uint64_t bytes = (memory_bits() + 7) / 8;
+  bytes += static_cast<std::uint64_t>(rules_.size()) *
+           (sizeof(ruleset::Rule) + sizeof(ruleset::TernaryWord) +
+            2 * sizeof(ruleset::lowering::IntervalSet));
+  return bytes;
 }
 
 MatchResult StrideBVRangeEngine::classify(const net::HeaderBits& header) const {
@@ -79,7 +73,7 @@ MatchResult StrideBVRangeEngine::classify(const net::HeaderBits& header) const {
   const net::FiveTuple t = header.unpack();
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     if (bv.test(i) &&
-        !(sp_bounds_[i].matches(t.src_port) && dp_bounds_[i].matches(t.dst_port))) {
+        !(sp_bounds_[i].contains(t.src_port) && dp_bounds_[i].contains(t.dst_port))) {
       bv.reset(i);
     }
   }

@@ -14,6 +14,13 @@
 // Bit-vector width is exactly N (no expansion) at the cost of 2 * 32 * N
 // bits of bound registers and N comparators per range stage. The
 // ablation bench (bench_ablation_range) quantifies the trade.
+//
+// Port fields ride the shared lowering pipeline's INTERVAL-NATIVE
+// representation (ruleset::lowering::IntervalSet): each rule's port
+// stage is a disjoint interval set, so a rule always costs exactly one
+// bit-vector column regardless of how many prefix blocks its ranges
+// would have expanded into. The factory exposes this engine both as
+// "stridebv-re:k" and as the interval-port option "stridebv:ki".
 #pragma once
 
 #include <vector>
@@ -22,6 +29,7 @@
 #include "engines/stridebv/ppe.h"
 #include "engines/stridebv/stride_table.h"
 #include "engines/stridebv/stridebv_engine.h"  // StrideBVConfig
+#include "ruleset/lowering.h"
 
 namespace rfipc::engines::stridebv {
 
@@ -46,6 +54,13 @@ class StrideBVRangeEngine final : public ClassifierEngine {
   unsigned pipeline_depth() const;
   /// Stage memory bits: stride tables + range bound registers.
   std::uint64_t memory_bits() const;
+  /// Interval-native lowering: always exactly one entry per rule (the
+  /// number a prefix-expanding engine compares its blow-up against).
+  std::size_t entry_count() const { return rules_.size(); }
+
+  /// Host-side footprint: stage memories + decoded rules + interval
+  /// bound registers.
+  std::uint64_t memory_bytes() const override;
 
   const ruleset::RuleSet& rules() const { return rules_; }
 
@@ -59,8 +74,8 @@ class StrideBVRangeEngine final : public ClassifierEngine {
   // don't-care; only the windows below are consulted at classify time.
   std::vector<ruleset::TernaryWord> masked_entries_;
   StrideTable table_;
-  std::vector<net::PortRange> sp_bounds_;
-  std::vector<net::PortRange> dp_bounds_;
+  std::vector<ruleset::lowering::IntervalSet> sp_bounds_;
+  std::vector<ruleset::lowering::IntervalSet> dp_bounds_;
   PipelinedPriorityEncoder ppe_;
 };
 

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "ruleset/range_to_prefix.h"
+#include "ruleset/lowering.h"
 #include "util/bitops.h"
 
 namespace rfipc::flow {
@@ -162,18 +162,14 @@ std::vector<GenericTernary> lower_rule(const GenericRule& rule) {
 
     if (spec.kind == FieldKind::kRange && !m.wildcard) {
       if (w > 32) throw std::invalid_argument("lower_rule: range fields limited to 32 bits");
-      const auto blocks = ruleset::range_to_prefixes(
-          static_cast<std::uint32_t>(m.value), static_cast<std::uint32_t>(m.hi), w);
-      std::vector<GenericTernary> expanded;
-      expanded.reserve(out.size() * blocks.size());
-      for (const auto& base : out) {
-        for (const auto& blk : blocks) {
-          GenericTernary t = base;
-          write_prefix(t, off, w, blk.value, blk.length);
-          expanded.push_back(std::move(t));
-        }
-      }
-      out = std::move(expanded);
+      // Shared lowering pipeline: prefix blocks + cross-product step.
+      out = ruleset::lowering::expand_blocks(
+          std::move(out),
+          ruleset::range_to_prefixes(static_cast<std::uint32_t>(m.value),
+                                     static_cast<std::uint32_t>(m.hi), w),
+          [off, w](GenericTernary& t, const ruleset::PrefixBlock& blk) {
+            write_prefix(t, off, w, blk.value, blk.length);
+          });
       continue;
     }
 

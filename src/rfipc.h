@@ -19,6 +19,11 @@
 
 #include "ruleset/analyzer.h"
 #include "ruleset/generator.h"
+#include "ruleset/lang/format.h"
+#include "ruleset/lang/lexer.h"
+#include "ruleset/lang/rule_lang.h"
+#include "ruleset/lang/source.h"
+#include "ruleset/lowering.h"
 #include "ruleset/parser.h"
 #include "ruleset/range_to_prefix.h"
 #include "ruleset/rule.h"

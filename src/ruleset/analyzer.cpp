@@ -4,8 +4,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "ruleset/range_to_prefix.h"
-#include "ruleset/ternary.h"
+#include "ruleset/lowering.h"
 #include "util/prng.h"
 #include "util/str.h"
 
@@ -23,10 +22,6 @@ double hist_entropy(const std::array<std::size_t, 33>& hist, std::size_t total) 
   return h;
 }
 
-bool is_arbitrary_range(const net::PortRange& r) {
-  return !r.is_wildcard() && !r.is_exact() && !range_is_prefix(r.lo, r.hi, 16);
-}
-
 }  // namespace
 
 RuleSetFeatures analyze(const RuleSet& rs, std::size_t overlap_samples,
@@ -40,7 +35,6 @@ RuleSetFeatures analyze(const RuleSet& rs, std::size_t overlap_samples,
   std::size_t sp_wild = 0;
   std::size_t dp_wild = 0;
   std::size_t proto_wild = 0;
-  std::size_t arb = 0;
   for (const auto& r : rs) {
     f.sip_len_hist[r.src_ip.length]++;
     f.dip_len_hist[r.dst_ip.length]++;
@@ -49,20 +43,20 @@ RuleSetFeatures analyze(const RuleSet& rs, std::size_t overlap_samples,
     sp_wild += r.src_port.is_wildcard() ? 1 : 0;
     dp_wild += r.dst_port.is_wildcard() ? 1 : 0;
     proto_wild += r.protocol.wildcard ? 1 : 0;
-    arb += (is_arbitrary_range(r.src_port) || is_arbitrary_range(r.dst_port)) ? 1 : 0;
-
-    const std::size_t exp = ternary_expansion(r);
-    f.tcam_entries += exp;
-    f.max_rule_expansion = std::max(f.max_rule_expansion, exp);
   }
+  // The range-lowering numbers come from the shared pipeline, so the
+  // analyzer can never drift from what the engines actually store.
+  const auto exp = lowering::expansion_report(rs);
+  f.tcam_entries = exp.expanded_entries;
+  f.max_rule_expansion = exp.max_rule_entries;
+  f.tcam_expansion = exp.expansion_factor;
+  f.arbitrary_range_fraction = exp.range_fraction;
   const auto n = static_cast<double>(rs.size());
   f.sip_wildcard = static_cast<double>(sip_wild) / n;
   f.dip_wildcard = static_cast<double>(dip_wild) / n;
   f.sp_wildcard = static_cast<double>(sp_wild) / n;
   f.dp_wildcard = static_cast<double>(dp_wild) / n;
   f.proto_wildcard = static_cast<double>(proto_wild) / n;
-  f.arbitrary_range_fraction = static_cast<double>(arb) / n;
-  f.tcam_expansion = static_cast<double>(f.tcam_entries) / n;
   f.sip_len_entropy = hist_entropy(f.sip_len_hist, rs.size());
   f.dip_len_entropy = hist_entropy(f.dip_len_hist, rs.size());
 

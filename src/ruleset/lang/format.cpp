@@ -1,0 +1,135 @@
+#include "ruleset/lang/format.h"
+
+#include <stdexcept>
+
+#include "ruleset/lang/rule_lang.h"
+#include "ruleset/parser.h"
+#include "util/str.h"
+
+namespace rfipc::ruleset::lang {
+namespace {
+
+bool is_skippable(std::string_view line) {
+  const auto t = util::trim(line);
+  return t.empty() || t.front() == '#' || util::starts_with(t, "//");
+}
+
+/// First whitespace-delimited token of the first significant line,
+/// lowercased in place of case-sensitive keyword checks.
+std::string first_token(std::string_view text) {
+  for (const auto line : util::split(text, '\n')) {
+    if (is_skippable(line)) continue;
+    const auto toks = util::split_ws(line);
+    if (toks.empty()) continue;
+    std::string t(toks.front());
+    for (auto& c : t) c = static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+    return t;
+  }
+  return {};
+}
+
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+bool sniff_classbench(std::string_view text) {
+  const auto t = first_token(text);
+  return !t.empty() && t.front() == '@';
+}
+
+bool sniff_ipfilter(std::string_view text) {
+  const auto t = first_token(text);
+  return t == "allow" || t == "deny" || t == "drop" || t == "file" || all_digits(t);
+}
+
+bool sniff_ipclassifier(std::string_view text) {
+  const auto t = first_token(text);
+  if (t == "src" || t == "dst" || t == "proto" || t == "ip" || t == "all") return true;
+  for (const std::string_view p :
+       {"tcp", "udp", "icmp", "gre", "esp", "ah", "ospf", "sctp"}) {
+    if (t == p) return true;
+  }
+  return false;
+}
+
+bool sniff_native(std::string_view) { return true; }
+
+const std::vector<RulesetFormat> kFormats = {
+    {"classbench",
+     "ClassBench filter lines: @sip dip splo : sphi dplo : dphi proto/mask",
+     sniff_classbench,
+     [](std::string_view text, const ImportOptions&) { return parse_classbench(text); },
+     to_classbench},
+    {"ipfilter",
+     "text rule language: 'allow src 10.0.0.0/8 && dst port 80:443 && proto tcp'",
+     sniff_ipfilter,
+     [](std::string_view text, const ImportOptions& opts) {
+       return parse_ipfilter(text, opts);
+     },
+     to_ipfilter},
+    {"ipclassifier",
+     "pattern-per-line rule language; pattern order is the output port",
+     sniff_ipclassifier,
+     [](std::string_view text, const ImportOptions& opts) {
+       return parse_ipclassifier(text, opts);
+     },
+     to_ipclassifier},
+    {"native",
+     "one rule per line in Rule::to_string() syntax (fallback)",
+     sniff_native,
+     [](std::string_view text, const ImportOptions&) { return parse_native(text); },
+     [](const RuleSet& rs) { return rs.to_text(); }},
+};
+
+[[noreturn]] void unknown_format(std::string_view name) {
+  std::string known;
+  for (const auto& f : kFormats) {
+    if (!known.empty()) known += ", ";
+    known += f.name;
+  }
+  throw std::invalid_argument("unknown ruleset format: '" + std::string(name) +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace
+
+const std::vector<RulesetFormat>& formats() { return kFormats; }
+
+const RulesetFormat* find_format(std::string_view name) {
+  for (const auto& f : kFormats) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const RulesetFormat& detect_format(std::string_view text) {
+  for (const auto& f : kFormats) {
+    if (f.sniff(text)) return f;
+  }
+  return kFormats.back();  // unreachable: native always sniffs true
+}
+
+RuleSet parse_as(std::string_view format, std::string_view text,
+                 const ImportOptions& opts) {
+  const RulesetFormat* f = find_format(format);
+  if (!f) unknown_format(format);
+  return f->import_text(text, opts);
+}
+
+std::string export_as(std::string_view format, const RuleSet& rs) {
+  const RulesetFormat* f = find_format(format);
+  if (!f) unknown_format(format);
+  return f->export_text(rs);
+}
+
+std::vector<std::string> format_names() {
+  std::vector<std::string> names;
+  for (const auto& f : kFormats) names.emplace_back(f.name);
+  return names;
+}
+
+}  // namespace rfipc::ruleset::lang

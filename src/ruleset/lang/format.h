@@ -1,0 +1,66 @@
+// The ruleset interchange registry: ONE table of importers/exporters
+// that every load path dispatches through.
+//
+// Registered formats (sniffed in this order):
+//   * classbench   — '@sip dip splo : sphi dplo : dphi proto/mask' filter
+//     lines (the de-facto benchmark interchange format).
+//   * ipfilter     — the text rule language: 'allow src 10.0.0.0/8 &&
+//     dst port 80:443 && proto tcp', 'deny all', 'file extra.rules'
+//     includes (see lang/rule_lang.h for the grammar).
+//   * ipclassifier — pattern-per-line variant of the same grammar with
+//     no action token: pattern order IS the output port (line i
+//     forwards to port i). Lossy on export: drop actions cannot be
+//     represented.
+//   * native       — one rule per line in Rule::to_string() syntax.
+//     Always sniffs true, so it is the fallback and must stay last.
+//
+// parse_auto()/load_ruleset() in ruleset/parser.h dispatch through
+// detect_format(), so adding a row here is all it takes to teach every
+// tool and daemon a new format.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ruleset/ruleset.h"
+
+namespace rfipc::ruleset::lang {
+
+struct ImportOptions {
+  /// Directory `file` include paths resolve against (the including
+  /// file's directory when loading from disk, CWD for bare text).
+  std::string base_dir = ".";
+};
+
+struct RulesetFormat {
+  std::string_view name;         // "native", "classbench", "ipfilter", ...
+  std::string_view description;  // one-liner for tool help text
+  /// Cheap shape test on the first significant line; detect_format()
+  /// picks the first registered format whose sniff returns true.
+  bool (*sniff)(std::string_view text);
+  /// Parses `text`. Throws ParseError (or LangError with a column).
+  RuleSet (*import_text)(std::string_view text, const ImportOptions& opts);
+  /// Serializes `rs`; the result re-imports under the same format.
+  std::string (*export_text)(const RuleSet& rs);
+};
+
+/// The registry, in sniff order (native last — it always matches).
+const std::vector<RulesetFormat>& formats();
+
+/// Lookup by name; nullptr when unknown.
+const RulesetFormat* find_format(std::string_view name);
+
+/// First registered format whose sniff accepts `text`.
+const RulesetFormat& detect_format(std::string_view text);
+
+/// Import/export by format name. Throw std::invalid_argument for an
+/// unknown name (listing the known ones) and ParseError on bad input.
+RuleSet parse_as(std::string_view format, std::string_view text,
+                 const ImportOptions& opts = {});
+std::string export_as(std::string_view format, const RuleSet& rs);
+
+/// Registered format names, in registry order.
+std::vector<std::string> format_names();
+
+}  // namespace rfipc::ruleset::lang

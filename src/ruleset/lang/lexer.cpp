@@ -1,0 +1,96 @@
+#include "ruleset/lang/lexer.h"
+
+namespace rfipc::ruleset::lang {
+namespace {
+
+bool is_atom_char(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         c == '_' || c == '.' || c == ':' || c == '/' || c == '*' || c == '-';
+}
+
+}  // namespace
+
+std::string_view token_kind_name(Token::Kind k) {
+  switch (k) {
+    case Token::Kind::kAtom: return "atom";
+    case Token::Kind::kAnd: return "'&&'";
+    case Token::Kind::kLParen: return "'('";
+    case Token::Kind::kRParen: return "')'";
+    case Token::Kind::kGt: return "'>'";
+    case Token::Kind::kLt: return "'<'";
+    case Token::Kind::kGe: return "'>='";
+    case Token::Kind::kLe: return "'<='";
+    case Token::Kind::kNewline: return "end of statement";
+    case Token::Kind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t line = 1, col = 1;
+  std::size_t i = 0;
+
+  const auto push = [&](Token::Kind k, std::size_t start, std::size_t len) {
+    out.push_back(Token{k, text.substr(start, len), line, col});
+  };
+
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      push(Token::Kind::kNewline, i, 1);
+      ++i;
+      ++line;
+      col = 1;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      ++col;
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < text.size() && text[i + 1] == '/')) {
+      while (i < text.size() && text[i] != '\n') ++i;  // newline handled above
+      continue;
+    }
+    if (c == ',') {
+      push(Token::Kind::kNewline, i, 1);
+      ++i;
+      ++col;
+      continue;
+    }
+    if (c == '&') {
+      if (i + 1 >= text.size() || text[i + 1] != '&') {
+        throw LangError(line, col, "expected '&&' (single '&' is not an operator)");
+      }
+      push(Token::Kind::kAnd, i, 2);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (c == '(') { push(Token::Kind::kLParen, i, 1); ++i; ++col; continue; }
+    if (c == ')') { push(Token::Kind::kRParen, i, 1); ++i; ++col; continue; }
+    if (c == '>' || c == '<') {
+      const bool eq = i + 1 < text.size() && text[i + 1] == '=';
+      const Token::Kind k = c == '>' ? (eq ? Token::Kind::kGe : Token::Kind::kGt)
+                                     : (eq ? Token::Kind::kLe : Token::Kind::kLt);
+      push(k, i, eq ? 2 : 1);
+      i += eq ? 2 : 1;
+      col += eq ? 2 : 1;
+      continue;
+    }
+    if (is_atom_char(c)) {
+      std::size_t len = 0;
+      while (i + len < text.size() && is_atom_char(text[i + len])) ++len;
+      push(Token::Kind::kAtom, i, len);
+      i += len;
+      col += len;
+      continue;
+    }
+    throw LangError(line, col, std::string("unexpected character '") + c + "'");
+  }
+  out.push_back(Token{Token::Kind::kEnd, std::string_view{}, line, col});
+  return out;
+}
+
+}  // namespace rfipc::ruleset::lang

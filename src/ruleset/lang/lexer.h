@@ -1,0 +1,65 @@
+// Tokenizer for the IPFilter-style rule language (lang/rule_lang.h).
+//
+// The lexer is deliberately permissive about ATOM spelling: any run of
+// [0-9A-Za-z_.:/*-] is one atom, so `10.0.0.0/8`, `80:443`, `1024-2047`,
+// `0x06/0xff`, `firewall.rules`, and `*` each lex as a single token and
+// the grammar decides what they mean. Structure comes from the
+// punctuation tokens: `&&` joins terms, newline / `,` end a statement,
+// and the comparators `>` `<` `>=` `<=` introduce open port ranges.
+// `#` and `//` start comments that run to end of line.
+//
+// Every token carries a 1-based (line, column) position; lexing errors
+// throw LangError carrying the same.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ruleset/parser.h"  // ParseError
+
+namespace rfipc::ruleset::lang {
+
+/// A parse/lex error with a column in addition to ParseError's line.
+/// what() renders as "line L: col C: <message>".
+class LangError : public ParseError {
+ public:
+  LangError(std::size_t line, std::size_t col, const std::string& msg)
+      : ParseError(line, "col " + std::to_string(col) + ": " + msg), col_(col) {}
+  std::size_t col() const { return col_; }
+
+ private:
+  std::size_t col_;
+};
+
+struct Token {
+  enum class Kind {
+    kAtom,     // word-like run: keywords, numbers, CIDRs, ranges, paths
+    kAnd,      // &&
+    kLParen,   // (
+    kRParen,   // )
+    kGt,       // >
+    kLt,       // <
+    kGe,       // >=
+    kLe,       // <=
+    kNewline,  // statement separator: '\n' or ','
+    kEnd,      // end of input (always the final token)
+  };
+
+  Kind kind = Kind::kEnd;
+  std::string_view text;  // slice of the lexed input
+  std::size_t line = 1;   // 1-based
+  std::size_t col = 1;    // 1-based
+
+  bool is(Kind k) const { return kind == k; }
+};
+
+/// Human-readable token-kind name for diagnostics ("'&&'", "atom", ...).
+std::string_view token_kind_name(Token::Kind k);
+
+/// Tokenizes `text`. The result always ends with a kEnd token. Throws
+/// LangError on characters outside the language.
+std::vector<Token> lex(std::string_view text);
+
+}  // namespace rfipc::ruleset::lang

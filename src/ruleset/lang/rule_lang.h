@@ -1,0 +1,61 @@
+// The IPFilter-style text rule language (grammar frontend).
+//
+// One statement per line (or comma-separated), compiled straight onto
+// ruleset::Rule. EBNF (atoms in caps, keywords case-insensitive):
+//
+//   ruleset    := { statement SEP } ;
+//   statement  := action [ pattern ]      (* ipfilter *)
+//               | pattern                 (* ipclassifier: action is the
+//                                            pattern's 0-based index *)
+//               | "file" PATH ;           (* textual include *)
+//   action     := "allow" | "deny" | "drop" | NUMBER ;
+//   pattern    := "all" | term { "&&" term } ;
+//   term       := ("src" | "dst") [ "host" | "net" ] CIDR
+//               | ("src" | "dst") "port" portspec
+//               | [ "ip" ] "proto" protospec
+//               | protoname            (* tcp, udp, icmp, gre, esp,
+//                                         ah, ospf, sctp *)
+//               | "all" ;
+//   portspec   := PORT | PORT ":" PORT | PORT "-" PORT | "*"
+//               | (">" | "<" | ">=" | "<=") PORT | SERVICE ;
+//   protospec  := protoname | NUMBER | "*" ;
+//
+// Semantics:
+//   * "allow" compiles to Action::forward(0), "deny"/"drop" to
+//     Action::drop(), a bare NUMBER to Action::forward(NUMBER).
+//   * Constraining the same field twice in one pattern is an error
+//     (ambiguous intent — the engines AND fields, they don't OR terms).
+//   * SERVICE names (www, ssh, dns, ...) compile to exact ports.
+//   * "file PATH" splices the named file in place. Paths resolve
+//     relative to the including file; cycles and depth > 16 are errors.
+//   * Every error is a LangError carrying 1-based line AND column.
+//
+// This is the IPFilter/IPClassifier element language in spirit (see
+// SNIPPETS.md) restricted to the paper's five fields — TCP flag and
+// ICMP-type predicates are rejected at parse, not silently dropped.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ruleset/lang/format.h"  // ImportOptions
+#include "ruleset/lang/lexer.h"   // LangError
+#include "ruleset/ruleset.h"
+
+namespace rfipc::ruleset::lang {
+
+/// Parses ipfilter text (action-prefixed statements). Throws LangError.
+RuleSet parse_ipfilter(std::string_view text, const ImportOptions& opts = {});
+
+/// Parses ipclassifier text (bare patterns; line i forwards to port i).
+/// Throws LangError.
+RuleSet parse_ipclassifier(std::string_view text, const ImportOptions& opts = {});
+
+/// Serializes to ipfilter text; parse_ipfilter round-trips it.
+std::string to_ipfilter(const RuleSet& rs);
+
+/// Serializes patterns only (actions become the line order); lossy for
+/// drop rules. parse_ipclassifier re-imports it.
+std::string to_ipclassifier(const RuleSet& rs);
+
+}  // namespace rfipc::ruleset::lang

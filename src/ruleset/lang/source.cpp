@@ -1,0 +1,92 @@
+#include "ruleset/lang/source.h"
+
+#include <stdexcept>
+
+#include "ruleset/generator.h"
+#include "ruleset/parser.h"
+#include "util/str.h"
+
+namespace rfipc::ruleset::lang {
+namespace {
+
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+ResolvedRules resolve_generated(const std::string& spec) {
+  // gen:<mode>:<size>[:seed=N]
+  const auto fields = util::split(spec, ':');
+  if (fields.size() < 3 || fields.size() > 4) {
+    throw std::runtime_error("bad generator spec '" + spec +
+                             "' (expected gen:<mode>:<size>[:seed=N])");
+  }
+  GeneratorConfig cfg;
+  const auto mode = fields[1];
+  if (mode == "firewall") {
+    cfg.mode = GeneratorMode::kFirewall;
+  } else if (mode == "acl") {
+    cfg.mode = GeneratorMode::kAcl;
+  } else if (mode == "feature-free") {
+    cfg.mode = GeneratorMode::kFeatureFree;
+  } else {
+    throw std::runtime_error("bad generator mode '" + std::string(mode) +
+                             "' in '" + spec + "' (firewall | acl | feature-free)");
+  }
+  const auto size = util::parse_u64(fields[2], 10'000'000);
+  if (!size || *size < 1) {
+    throw std::runtime_error("bad generator size in '" + spec + "'");
+  }
+  cfg.size = static_cast<std::size_t>(*size);
+  cfg.seed = 2013;  // the canonical bench seed
+  if (fields.size() == 4) {
+    if (!util::starts_with(fields[3], "seed=")) {
+      throw std::runtime_error("bad generator option '" + std::string(fields[3]) +
+                               "' in '" + spec + "' (expected seed=N)");
+    }
+    const auto seed = util::parse_u64(fields[3].substr(5));
+    if (!seed) throw std::runtime_error("bad generator seed in '" + spec + "'");
+    cfg.seed = *seed;
+  }
+  ResolvedRules out;
+  out.rules = generate(cfg);
+  out.description = "generated " + std::string(mode_name(cfg.mode)) + " (" +
+                    std::to_string(cfg.size) + " rules, seed " +
+                    std::to_string(cfg.seed) + ")";
+  return out;
+}
+
+}  // namespace
+
+ResolvedRules resolve_ruleset_source(const std::string& spec) {
+  if (all_digits(spec)) {
+    const auto n = util::parse_u64(spec, 10'000'000);
+    if (!n || *n < 1) throw std::runtime_error("bad rule count '" + spec + "'");
+    ResolvedRules out;
+    out.rules = generate_firewall(static_cast<std::size_t>(*n));
+    out.description = "generated firewall (" + spec + " rules, seed 2013)";
+    return out;
+  }
+  if (util::starts_with(spec, "gen:")) return resolve_generated(spec);
+  ResolvedRules out;
+  out.rules = load_ruleset(spec);
+  out.description = "file " + spec + " (" + std::to_string(out.rules.size()) + " rules)";
+  return out;
+}
+
+bool try_resolve_ruleset_source(const std::string& spec, ResolvedRules& out,
+                                std::string& err) {
+  try {
+    ResolvedRules resolved = resolve_ruleset_source(spec);
+    out = std::move(resolved);
+    return true;
+  } catch (const std::exception& e) {
+    err = e.what();
+    return false;
+  }
+}
+
+}  // namespace rfipc::ruleset::lang

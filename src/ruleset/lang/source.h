@@ -1,0 +1,35 @@
+// Ruleset *sources*: one string that names where rules come from, used
+// by anything with a `--rules <source>` flag (rfipcd, tools, benches).
+//
+// Accepted spellings:
+//   "256"                      — generated firewall ruleset of 256 rules
+//                                (the historical `--rules <count>`).
+//   "gen:acl:512"              — generator mode/size; modes are
+//   "gen:firewall:1024:seed=7"   firewall | acl | feature-free, with an
+//                                optional trailing seed=N.
+//   anything else              — a file path, parsed through the format
+//                                registry (native, classbench, ipfilter,
+//                                ipclassifier auto-detected).
+#pragma once
+
+#include <string>
+
+#include "ruleset/ruleset.h"
+
+namespace rfipc::ruleset::lang {
+
+struct ResolvedRules {
+  RuleSet rules;
+  std::string description;  // e.g. "generated firewall (256 rules, seed 2013)"
+};
+
+/// Resolves `spec` per the table above. Throws std::runtime_error /
+/// ParseError with a message naming the source on failure.
+ResolvedRules resolve_ruleset_source(const std::string& spec);
+
+/// Error-code variant: on failure returns false, fills `err`, leaves
+/// `out` untouched.
+bool try_resolve_ruleset_source(const std::string& spec, ResolvedRules& out,
+                                std::string& err);
+
+}  // namespace rfipc::ruleset::lang

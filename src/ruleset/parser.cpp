@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "ruleset/lang/format.h"
 #include "util/str.h"
 
 namespace rfipc::ruleset {
@@ -72,11 +73,11 @@ RuleSet parse_classbench(std::string_view text) {
 }
 
 RuleSet parse_auto(std::string_view text) {
-  for (const auto line : util::split(text, '\n')) {
-    if (is_skippable(line)) continue;
-    return util::trim(line).front() == '@' ? parse_classbench(text) : parse_native(text);
-  }
-  return RuleSet{};
+  // Dispatch through the format registry (classbench / ipfilter /
+  // ipclassifier / native) — `file` includes resolve against CWD since
+  // bare text has no directory of its own.
+  const auto& fmt = lang::detect_format(text);
+  return fmt.import_text(text, lang::ImportOptions{});
 }
 
 RuleSet load_ruleset(const std::string& path) {
@@ -87,7 +88,12 @@ RuleSet load_ruleset(const std::string& path) {
   if (f.bad() || buf.fail()) {
     throw std::runtime_error("read error on ruleset file: " + path);
   }
-  return parse_auto(buf.str());
+  const std::string text = buf.str();
+  const auto& fmt = lang::detect_format(text);
+  lang::ImportOptions opts;
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string::npos) opts.base_dir = path.substr(0, slash);
+  return fmt.import_text(text, opts);
 }
 
 bool try_parse_auto(std::string_view text, RuleSet& out, std::string& err) {

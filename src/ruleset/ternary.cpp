@@ -1,6 +1,6 @@
 #include "ruleset/ternary.h"
 
-#include "ruleset/range_to_prefix.h"
+#include "ruleset/lowering.h"
 
 namespace rfipc::ruleset {
 
@@ -39,35 +39,22 @@ std::string TernaryWord::to_string() const {
 }
 
 std::vector<TernaryWord> rule_to_ternary(const Rule& rule) {
-  const auto sp = range_to_prefixes(rule.src_port.lo, rule.src_port.hi, 16);
-  const auto dp = range_to_prefixes(rule.dst_port.lo, rule.dst_port.hi, 16);
-
-  TernaryWord base;
-  base.set_prefix_field(net::kSipField.offset, 32, rule.src_ip.lo(), rule.src_ip.length);
-  base.set_prefix_field(net::kDipField.offset, 32, rule.dst_ip.lo(), rule.dst_ip.length);
-  if (rule.protocol.wildcard) {
-    base.set_prefix_field(net::kPrtField.offset, 8, 0, 0);
-  } else {
-    base.set_prefix_field(net::kPrtField.offset, 8, rule.protocol.value, 8);
-  }
-
-  std::vector<TernaryWord> out;
-  out.reserve(sp.size() * dp.size());
-  for (const auto& s : sp) {
-    for (const auto& d : dp) {
-      TernaryWord w = base;
-      w.set_prefix_field(net::kSpField.offset, 16, s.value, s.length);
-      w.set_prefix_field(net::kDpField.offset, 16, d.value, d.length);
-      out.push_back(w);
-    }
-  }
+  // The SIP/DIP/PRT slice maps 1:1; the two port ranges go through the
+  // shared prefix-expansion pipeline (cross product across fields).
+  std::vector<TernaryWord> out{lowering::ternary_sans_ports(rule)};
+  out = lowering::expand_blocks(
+      std::move(out), range_to_prefixes(rule.src_port.lo, rule.src_port.hi, 16),
+      [](TernaryWord& w, const PrefixBlock& blk) {
+        w.set_prefix_field(net::kSpField.offset, 16, blk.value, blk.length);
+      });
+  out = lowering::expand_blocks(
+      std::move(out), range_to_prefixes(rule.dst_port.lo, rule.dst_port.hi, 16),
+      [](TernaryWord& w, const PrefixBlock& blk) {
+        w.set_prefix_field(net::kDpField.offset, 16, blk.value, blk.length);
+      });
   return out;
 }
 
-std::size_t ternary_expansion(const Rule& rule) {
-  const auto sp = range_to_prefixes(rule.src_port.lo, rule.src_port.hi, 16);
-  const auto dp = range_to_prefixes(rule.dst_port.lo, rule.dst_port.hi, 16);
-  return sp.size() * dp.size();
-}
+std::size_t ternary_expansion(const Rule& rule) { return lowering::prefix_expansion(rule); }
 
 }  // namespace rfipc::ruleset

@@ -1,0 +1,169 @@
+// Shared range-lowering pipeline: interval sets, prefix expansion, and
+// the expansion report the benches surface.
+#include "ruleset/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include "ruleset/generator.h"
+#include "ruleset/ternary.h"
+
+namespace rfipc::ruleset::lowering {
+namespace {
+
+TEST(IntervalSet, InsertCoalescesOverlapsAndAdjacency) {
+  IntervalSet s;
+  s.insert(10, 20);
+  s.insert(40, 50);
+  EXPECT_EQ(s.size(), 2u);
+  s.insert(21, 39);  // adjacent on both sides: everything fuses
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.runs().front(), (Interval{10, 50}));
+}
+
+TEST(IntervalSet, InsertKeepsDisjointRunsSorted) {
+  IntervalSet s;
+  s.insert(100, 200);
+  s.insert(0, 10);
+  s.insert(500, 600);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.runs()[0], (Interval{0, 10}));
+  EXPECT_EQ(s.runs()[1], (Interval{100, 200}));
+  EXPECT_EQ(s.runs()[2], (Interval{500, 600}));
+}
+
+TEST(IntervalSet, ContainsHitsBoundsAndMissesGaps) {
+  IntervalSet s;
+  s.insert(80, 443);
+  s.insert(8080, 8080);
+  EXPECT_TRUE(s.contains(80));
+  EXPECT_TRUE(s.contains(443));
+  EXPECT_TRUE(s.contains(8080));
+  EXPECT_FALSE(s.contains(79));
+  EXPECT_FALSE(s.contains(444));
+  EXPECT_FALSE(s.contains(8081));
+  EXPECT_FALSE(IntervalSet{}.contains(0));
+}
+
+TEST(IntervalSet, SwappedBoundsAndExtremesAreSafe) {
+  IntervalSet s;
+  s.insert(20, 10);  // swapped: treated as [10, 20]
+  EXPECT_TRUE(s.contains(15));
+  s.insert(0xfffffff0u, ~std::uint32_t{0});  // top of the domain
+  EXPECT_TRUE(s.contains(~std::uint32_t{0}));
+  s.insert(0, ~std::uint32_t{0});  // full domain absorbs everything
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.is_universe(32));
+}
+
+TEST(IntervalSet, CardinalityAndUniverse) {
+  IntervalSet s;
+  s.insert(0, 9);
+  s.insert(20, 29);
+  EXPECT_EQ(s.cardinality(), 20u);
+  EXPECT_FALSE(s.is_universe(16));
+  IntervalSet w = IntervalSet::from(net::PortRange::any());
+  EXPECT_TRUE(w.is_universe(16));
+  EXPECT_FALSE(w.is_universe(32));
+}
+
+TEST(IntervalSet, FromPortRangeIsOneRun) {
+  const auto s = IntervalSet::from(net::PortRange{1024, 2047});
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.to_string(), "[1024,2047]");
+}
+
+TEST(Lowering, ToPrefixesMatchesRangeToPrefixesPerRun) {
+  IntervalSet s;
+  s.insert(1, 14);
+  s.insert(100, 200);
+  const auto blocks = to_prefixes(s, 16);
+  auto expect = range_to_prefixes(1, 14, 16);
+  const auto more = range_to_prefixes(100, 200, 16);
+  expect.insert(expect.end(), more.begin(), more.end());
+  EXPECT_EQ(blocks, expect);
+}
+
+TEST(Lowering, ValueMasksCoverExactlyTheRange) {
+  const auto alts = to_value_masks(1000, 2000, 16);
+  for (std::uint32_t v = 900; v <= 2100; ++v) {
+    bool hit = false;
+    for (const auto& a : alts) hit = hit || ((v & a.mask) == (a.value & a.mask));
+    EXPECT_EQ(hit, v >= 1000 && v <= 2000) << v;
+  }
+}
+
+TEST(Lowering, ExpandBlocksSingleBlockStampsInPlace) {
+  std::vector<int> items{1, 2, 3};
+  const std::vector<PrefixBlock> one{{0, 0}};
+  const auto out = expand_blocks(std::move(items), one,
+                                 [](int& v, const PrefixBlock&) { v += 10; });
+  EXPECT_EQ(out, (std::vector<int>{11, 12, 13}));
+}
+
+TEST(Lowering, ExpandBlocksCrossProductCopies) {
+  std::vector<int> items{0, 100};
+  const std::vector<PrefixBlock> blocks{{1, 16}, {2, 16}, {3, 16}};
+  const auto out =
+      expand_blocks(std::move(items), blocks,
+                    [](int& v, const PrefixBlock& b) { v += static_cast<int>(b.value); });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 101, 102, 103}));
+}
+
+TEST(Lowering, TernarySansPortsIgnoresPortsMatchesRest) {
+  Rule r;
+  r.src_ip = *net::Ipv4Prefix::parse("10.0.0.0/8");
+  r.src_port = {5, 9};  // arbitrary range, must NOT appear in the word
+  r.protocol = net::ProtocolSpec::exactly(net::IpProto::kTcp);
+  const TernaryWord w = ternary_sans_ports(r);
+  net::FiveTuple t;
+  t.src_ip = {0x0a000001};
+  t.protocol = 6;
+  t.src_port = 60000;  // far outside the rule's range
+  EXPECT_TRUE(w.matches(net::HeaderBits(t)));
+  t.protocol = 17;
+  EXPECT_FALSE(w.matches(net::HeaderBits(t)));
+}
+
+TEST(Lowering, PrefixExpansionAgreesWithRuleToTernary) {
+  GeneratorConfig cfg;
+  cfg.size = 200;
+  cfg.seed = 42;
+  cfg.range_fraction = 0.5;
+  const auto rs = generate(cfg);
+  for (const auto& r : rs) {
+    EXPECT_EQ(prefix_expansion(r), rule_to_ternary(r).size());
+  }
+}
+
+TEST(Lowering, ExpansionReportCountsRangeRules) {
+  RuleSet rs;
+  Rule a;  // no ranges: 1 entry
+  rs.add(a);
+  Rule b;
+  b.src_port = {1, 14};  // arbitrary range both fields
+  b.dst_port = {100, 200};
+  rs.add(b);
+  const auto rep = expansion_report(rs);
+  EXPECT_EQ(rep.rules, 2u);
+  EXPECT_EQ(rep.range_rules, 1u);
+  EXPECT_EQ(rep.native_entries, 2u);
+  const std::size_t b_entries = prefix_expansion(b);
+  EXPECT_EQ(rep.expanded_entries, 1u + b_entries);
+  EXPECT_EQ(rep.max_rule_entries, b_entries);
+  EXPECT_GT(rep.expansion_factor, 1.0);
+  EXPECT_GT(rep.expanded_bytes, rep.native_bytes);
+  EXPECT_FALSE(rep.summary().empty());
+}
+
+TEST(Lowering, PrefixAlignedRangesAreNotRangeRules) {
+  RuleSet rs;
+  Rule a;
+  a.dst_port = {1024, 2047};  // exactly one prefix block
+  rs.add(a);
+  const auto rep = expansion_report(rs);
+  EXPECT_EQ(rep.range_rules, 0u);
+  EXPECT_EQ(rep.expanded_entries, 1u);
+}
+
+}  // namespace
+}  // namespace rfipc::ruleset::lowering

@@ -1,0 +1,332 @@
+// The text rule language: grammar, diagnostics, includes, the format
+// registry, and text-vs-hand-built differential classification.
+#include "ruleset/lang/rule_lang.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "engines/common/factory.h"
+#include "engines/common/linear_engine.h"
+#include "ruleset/generator.h"
+#include "ruleset/lang/format.h"
+#include "ruleset/lang/source.h"
+#include "ruleset/parser.h"
+#include "ruleset/trace.h"
+
+namespace rfipc::ruleset::lang {
+namespace {
+
+// ---------------------------------------------------------------- grammar
+
+TEST(RuleLang, CompilesTheHeadlineExample) {
+  const auto rs =
+      parse_ipfilter("allow src 10.0.0.0/8 && dst port 80:443 && proto tcp\n"
+                     "deny all\n");
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0].src_ip, *net::Ipv4Prefix::parse("10.0.0.0/8"));
+  EXPECT_EQ(rs[0].dst_port, (net::PortRange{80, 443}));
+  EXPECT_EQ(rs[0].protocol, net::ProtocolSpec::exactly(net::IpProto::kTcp));
+  EXPECT_EQ(rs[0].action, Action::forward(0));
+  EXPECT_EQ(rs[1], Rule{});  // deny all == the default Rule (drop, match-all)
+}
+
+TEST(RuleLang, ActionsAllowDenyDropAndPortNumbers) {
+  const auto rs = parse_ipfilter("allow all\ndeny all\ndrop all\n7 all\n");
+  ASSERT_EQ(rs.size(), 4u);
+  EXPECT_EQ(rs[0].action, Action::forward(0));
+  EXPECT_EQ(rs[1].action, Action::drop());
+  EXPECT_EQ(rs[2].action, Action::drop());
+  EXPECT_EQ(rs[3].action, Action::forward(7));
+}
+
+TEST(RuleLang, ActionWithoutPatternMatchesAll) {
+  const auto rs = parse_ipfilter("deny\n");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0], Rule{});
+}
+
+TEST(RuleLang, HostNetNoiseWordsAndBareAddress) {
+  const auto rs = parse_ipfilter(
+      "allow src host 192.168.1.1\n"
+      "allow dst net 172.16.0.0/12\n");
+  EXPECT_EQ(rs[0].src_ip, (net::Ipv4Prefix{{0xc0a80101u}, 32}));
+  EXPECT_EQ(rs[1].dst_ip, *net::Ipv4Prefix::parse("172.16.0.0/12"));
+}
+
+TEST(RuleLang, PortSpecsComparatorsServicesAndRanges) {
+  const auto rs = parse_ipfilter(
+      "allow src port > 1023\n"
+      "allow src port >= 1024\n"
+      "allow dst port < 1024\n"
+      "allow dst port <= 1023\n"
+      "allow dst port www\n"
+      "allow dst port 8080-8088\n"
+      "allow dst port *\n");
+  EXPECT_EQ(rs[0].src_port, (net::PortRange{1024, 0xffff}));
+  EXPECT_EQ(rs[1].src_port, (net::PortRange{1024, 0xffff}));
+  EXPECT_EQ(rs[2].dst_port, (net::PortRange{0, 1023}));
+  EXPECT_EQ(rs[3].dst_port, (net::PortRange{0, 1023}));
+  EXPECT_EQ(rs[4].dst_port, net::PortRange::exactly(80));
+  EXPECT_EQ(rs[5].dst_port, (net::PortRange{8080, 8088}));
+  EXPECT_TRUE(rs[6].dst_port.is_wildcard());
+}
+
+TEST(RuleLang, ProtocolSpellings) {
+  const auto rs = parse_ipfilter(
+      "allow tcp\n"
+      "allow proto udp\n"
+      "allow ip proto 47\n"
+      "allow proto *\n");
+  EXPECT_EQ(rs[0].protocol, net::ProtocolSpec::exactly(net::IpProto::kTcp));
+  EXPECT_EQ(rs[1].protocol, net::ProtocolSpec::exactly(net::IpProto::kUdp));
+  EXPECT_EQ(rs[2].protocol, net::ProtocolSpec::exactly(net::IpProto::kGre));
+  EXPECT_TRUE(rs[3].protocol.wildcard);
+}
+
+TEST(RuleLang, CaseInsensitiveKeywordsCommentsAndCommas) {
+  const auto rs = parse_ipfilter(
+      "# hash comment\n"
+      "// slash comment\n"
+      "ALLOW SRC 10.0.0.0/8 && Proto TCP  # trailing comment\n"
+      "deny all, allow dst port ssh // two statements on one line\n");
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs[0].protocol, net::ProtocolSpec::exactly(net::IpProto::kTcp));
+  EXPECT_EQ(rs[2].dst_port, net::PortRange::exactly(22));
+}
+
+TEST(RuleLang, IpclassifierAssignsLineIndexAsPort) {
+  const auto rs = parse_ipclassifier(
+      "src 10.0.0.0/8 && dst port 80\n"
+      "tcp\n"
+      "all\n");
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs[0].action, Action::forward(0));
+  EXPECT_EQ(rs[1].action, Action::forward(1));
+  EXPECT_EQ(rs[2].action, Action::forward(2));
+  EXPECT_TRUE(rs[2].src_ip.length == 0 && rs[2].protocol.wildcard);
+}
+
+// ------------------------------------------------------------ diagnostics
+
+/// Asserts that parsing `text` throws a LangError at (line, col) whose
+/// message contains `needle`.
+void expect_error(std::string_view text, std::size_t line, std::size_t col,
+                  std::string_view needle) {
+  try {
+    parse_ipfilter(text);
+    FAIL() << "expected LangError for: " << text;
+  } catch (const LangError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+    EXPECT_EQ(e.col(), col) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+TEST(RuleLangErrors, BadCharacter) {
+  expect_error("allow src 10.0.0.0/8\ndeny %bogus\n", 2, 6, "unexpected character");
+}
+
+TEST(RuleLangErrors, SingleAmpersand) {
+  expect_error("allow tcp & udp\n", 1, 11, "expected '&&'");
+}
+
+TEST(RuleLangErrors, UnterminatedExpression) {
+  expect_error("allow src 10.0.0.0/8 &&\ndeny all\n", 1, 22, "unterminated");
+}
+
+TEST(RuleLangErrors, UnknownAction) {
+  expect_error("permit all\n", 1, 1, "unknown action 'permit'");
+}
+
+TEST(RuleLangErrors, UnknownTerm) {
+  expect_error("allow frobnicate\n", 1, 7, "unknown term 'frobnicate'");
+}
+
+TEST(RuleLangErrors, DuplicateFieldConstraint) {
+  expect_error("allow src 10.0.0.0/8 && src 11.0.0.0/8\n", 1, 25, "duplicate 'src'");
+  expect_error("allow dst port 80 && dst port 443\n", 1, 22, "duplicate 'dst port'");
+}
+
+TEST(RuleLangErrors, OutOfRangePort) {
+  expect_error("allow dst port 70000\n", 1, 16, "bad port spec '70000'");
+  expect_error("allow dst port > 65535\n", 1, 18, "matches no port");
+}
+
+TEST(RuleLangErrors, BadPrefixAndBareKeywords) {
+  expect_error("allow src 300.1.2.3/8\n", 1, 11, "bad IPv4 prefix");
+  expect_error("allow port 80\n", 1, 7, "bare 'port'");
+  expect_error("allow ip tcp\n", 1, 10, "expected 'proto' after 'ip'");
+}
+
+TEST(RuleLangErrors, JunkAfterStatement) {
+  expect_error("allow all (\n", 1, 11, "expected end of statement");
+}
+
+// --------------------------------------------------------------- includes
+
+class TempRuleFile {
+ public:
+  TempRuleFile(std::string name, std::string_view content) : name_(std::move(name)) {
+    std::ofstream f(name_);
+    f << content;
+  }
+  ~TempRuleFile() { std::remove(name_.c_str()); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+TEST(RuleLangInclude, SplicesFileInPlace) {
+  const TempRuleFile inc("lang_inc_leaf.rules", "allow dst port 80\n");
+  const auto rs =
+      parse_ipfilter("deny src 1.2.3.4\nfile lang_inc_leaf.rules\ndeny all\n");
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs[1].dst_port, net::PortRange::exactly(80));
+}
+
+TEST(RuleLangInclude, MissingFileIsDiagnosed) {
+  expect_error("file lang_no_such_file.rules\n", 1, 6, "cannot open include file");
+}
+
+TEST(RuleLangInclude, RecursiveIncludeIsDiagnosed) {
+  const TempRuleFile a("lang_inc_a.rules", "file lang_inc_b.rules\n");
+  const TempRuleFile b("lang_inc_b.rules", "file lang_inc_a.rules\n");
+  try {
+    parse_ipfilter("file lang_inc_a.rules\n");
+    FAIL() << "expected LangError";
+  } catch (const LangError& e) {
+    EXPECT_NE(std::string(e.what()).find("recursive include"), std::string::npos)
+        << e.what();
+  }
+}
+
+// -------------------------------------------------- registry + round-trip
+
+TEST(FormatRegistry, DetectsAllFourFormats) {
+  EXPECT_EQ(detect_format("@1.2.3.4/8 5.6.7.8/8 0 : 9 1 : 2 0x00/0x00\n").name,
+            "classbench");
+  EXPECT_EQ(detect_format("allow src 10.0.0.0/8\n").name, "ipfilter");
+  EXPECT_EQ(detect_format("# comment first\nfile more.rules\n").name, "ipfilter");
+  EXPECT_EQ(detect_format("src 10.0.0.0/8 && tcp\n").name, "ipclassifier");
+  EXPECT_EQ(detect_format("10.0.0.0/8 * * 80 TCP PORT 1\n").name, "native");
+}
+
+TEST(FormatRegistry, UnknownNameThrowsListingKnown) {
+  try {
+    parse_as("xml", "");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("native"), std::string::npos);
+  }
+  EXPECT_THROW(export_as("xml", RuleSet{}), std::invalid_argument);
+}
+
+TEST(FormatRegistry, ExportImportExportIsIdempotentForEveryFormat) {
+  // The universal round-trip property: whatever a format forgets
+  // (classbench drops actions, ipclassifier renumbers them), a second
+  // pass must forget nothing more.
+  GeneratorConfig cfg;
+  cfg.size = 120;
+  cfg.seed = 9;
+  cfg.range_fraction = 0.4;
+  const auto rs = generate(cfg);
+  for (const auto& fmt : formats()) {
+    const std::string text1 = fmt.export_text(rs);
+    const RuleSet rs2 = fmt.import_text(text1, ImportOptions{});
+    EXPECT_EQ(rs2.size(), rs.size()) << fmt.name;
+    const std::string text2 = fmt.export_text(rs2);
+    EXPECT_EQ(text1, text2) << fmt.name;
+    // And the re-import must sniff back to the same format.
+    EXPECT_EQ(detect_format(text1).name, fmt.name);
+  }
+}
+
+TEST(FormatRegistry, LosslessFormatsRoundTripExactly) {
+  GeneratorConfig cfg;
+  cfg.size = 80;
+  cfg.seed = 31;
+  cfg.range_fraction = 0.5;
+  const auto rs = generate(cfg);
+  for (const auto name : {"native", "ipfilter"}) {
+    const RuleSet back = parse_as(name, export_as(name, rs));
+    ASSERT_EQ(back.size(), rs.size()) << name;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      EXPECT_EQ(back[i], rs[i]) << name << " rule " << i;
+    }
+  }
+}
+
+TEST(FormatRegistry, ParseAutoDispatchesIpfilterText) {
+  const auto rs = parse_auto("deny src 10.0.0.0/8 && udp\nallow all\n");
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0].action, Action::drop());
+  EXPECT_EQ(rs[0].protocol, net::ProtocolSpec::exactly(net::IpProto::kUdp));
+}
+
+// ------------------------------------------------------------ differential
+
+TEST(RuleLangDifferential, TextCompiledRulesClassifyLikeHandBuiltOnEveryEngine) {
+  // Hand-built ruleset with true arbitrary ranges, exported through the
+  // grammar, re-parsed, and run on every registered engine spec: the
+  // text path must match the hand-built linear reference header-for-
+  // header.
+  GeneratorConfig cfg;
+  cfg.size = 64;
+  cfg.seed = 123;
+  cfg.range_fraction = 0.5;
+  const RuleSet hand = generate(cfg);
+  const RuleSet text = parse_ipfilter(to_ipfilter(hand));
+  ASSERT_EQ(text.size(), hand.size());
+
+  const engines::LinearSearchEngine reference(hand);
+  TraceConfig tcfg;
+  tcfg.size = 400;
+  tcfg.seed = 5;
+  const auto trace = generate_trace(hand, tcfg);
+  for (const auto& spec : engines::known_engine_specs()) {
+    const auto engine = engines::make_engine(spec, text);
+    for (const auto& t : trace) {
+      ASSERT_EQ(engine->classify_tuple(t).best, reference.classify_tuple(t).best)
+          << spec << " on " << t.to_string();
+    }
+  }
+}
+
+// ----------------------------------------------------------------- source
+
+TEST(RulesetSource, DigitsMeanGeneratedCount) {
+  const auto r = resolve_ruleset_source("64");
+  EXPECT_EQ(r.rules.size(), 64u);
+  EXPECT_NE(r.description.find("generated firewall"), std::string::npos);
+}
+
+TEST(RulesetSource, GeneratorSpec) {
+  const auto r = resolve_ruleset_source("gen:acl:32:seed=7");
+  EXPECT_EQ(r.rules.size(), 32u);
+  EXPECT_NE(r.description.find("seed 7"), std::string::npos);
+  EXPECT_THROW(resolve_ruleset_source("gen:bogus:32"), std::runtime_error);
+  EXPECT_THROW(resolve_ruleset_source("gen:acl:0"), std::runtime_error);
+  EXPECT_THROW(resolve_ruleset_source("gen:acl:32:tries=9"), std::runtime_error);
+}
+
+TEST(RulesetSource, FilePathLoadsThroughRegistry) {
+  const TempRuleFile f("lang_source_test.rules",
+                       "allow src 10.0.0.0/8 && dst port 80:443 && proto tcp\n"
+                       "deny all\n");
+  const auto r = resolve_ruleset_source(f.name());
+  ASSERT_EQ(r.rules.size(), 2u);
+  EXPECT_EQ(r.rules[0].dst_port, (net::PortRange{80, 443}));
+
+  ResolvedRules out;
+  std::string err;
+  EXPECT_FALSE(try_resolve_ruleset_source("lang_source_missing.rules", out, err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_TRUE(try_resolve_ruleset_source(f.name(), out, err));
+  EXPECT_EQ(out.rules.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rfipc::ruleset::lang
