@@ -5,6 +5,8 @@
 //            [--port-file PATH] [--smoke]
 //            [--journal DIR] [--fsync none|batch|always]
 //            [--checkpoint-every N] [--force-empty]
+//            [--capture <iface|pcap:PATH>] [--capture-rings N]
+//            [--capture-batch N] [--capture-loops N]
 //
 // --rules names a ruleset SOURCE (see ruleset/lang/source.h): a bare
 // count keeps the historical generate-N-firewall-rules behaviour
@@ -33,11 +35,22 @@
 // --checkpoint-every N compacts the journal into a fresh checkpoint
 // every N records (0 = size-triggered only).
 //
+// --capture turns the daemon into an inline data plane alongside the
+// RPC service: frames from a live interface (AF_PACKET TPACKET_V3
+// rings; needs CAP_NET_RAW) or a deterministic pcap replay
+// ("pcap:PATH", --capture-loops passes, 0 = loop until drain) are
+// parsed and classified through the same sharded engine the wire
+// clients query, with drop/forward verdicts counted per ring and
+// surfaced in the STATS reply's "capture" block. Rule updates arriving
+// over RPC retarget capture verdicts BEFORE their OK reply, via the
+// same applier-thread hook that journals them.
+//
 // --smoke runs the whole loop in-process: the server serves on a
 // background thread while a ClassifyClient pings, classifies a batch,
 // inserts a catch-all rule at index 0, classifies again (the new rule
 // must now win every packet), fetches stats, and drains. Exit status
 // reports the outcome — this is the ctest entry.
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -123,7 +136,9 @@ int main(int argc, char** argv) {
   util::CliFlags flags(argc, argv,
                        {"host", "port", "rules", "shards", "engine", "flow-cache",
                         "seed", "port-file", "smoke", "budget", "busy-poll", "pin",
-                        "journal", "fsync", "checkpoint-every", "force-empty"});
+                        "journal", "fsync", "checkpoint-every", "force-empty",
+                        "capture", "capture-rings", "capture-batch",
+                        "capture-loops"});
   const auto seed = flags.get_u64("seed", 7);
 
   const std::string rules_spec = flags.get("rules", "256");
@@ -189,6 +204,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::string capture_spec = flags.get("capture", "");
+  auto capture_rings = static_cast<std::size_t>(flags.get_u64("capture-rings", 1));
+  if (capture_rings == 0) capture_rings = 1;
+
   runtime::ShardedConfig rcfg;
   rcfg.shards = flags.get_u64("shards", 4);
   rcfg.engine_spec = flags.get("engine", "stridebv:4");
@@ -198,7 +217,10 @@ int main(int argc, char** argv) {
   // 1- or 2-core box serves with a fully inline fan-out instead of
   // oversubscribing itself into the multi-shard slowdown).
   rcfg.core_budget = flags.get_u64("budget", 0);  // 0 = all cores
-  rcfg.reserved_cores = server::kServiceThreads;
+  // Capture consumer threads (one per ring) share the process budget
+  // with the reactor and update waiter.
+  rcfg.reserved_cores =
+      server::kServiceThreads + (capture_spec.empty() ? 0 : capture_rings);
   if (flags.get_bool("busy-poll")) {
     rcfg.wait_policy = runtime::ShardWorkerPool::WaitPolicy::kBusyPoll;
   }
@@ -225,18 +247,88 @@ int main(int argc, char** argv) {
       }
     };
   }
+
+  // Capture verdict coherence: the hook below runs on the single
+  // update-applier thread AFTER each batch's snapshot publishes and
+  // BEFORE its completion futures resolve, in submission order — so it
+  // can mirror the applied ops onto a private RuleSet copy and
+  // republish the capture verdict table with the wire ack still
+  // pending. Once a client sees OK, no captured frame is decided under
+  // the old rule actions. The CaptureLoop itself is built later (it
+  // needs the classifier), so the hook reaches it through an atomic
+  // slot.
+  std::shared_ptr<std::atomic<capture::CaptureLoop*>> capture_slot;
+  if (!capture_spec.empty()) {
+    capture_slot = std::make_shared<std::atomic<capture::CaptureLoop*>>(nullptr);
+    auto mirror = std::make_shared<ruleset::RuleSet>(rules);
+    auto journal_hook = std::move(rcfg.durability_hook);
+    rcfg.durability_hook = [capture_slot, mirror, journal_hook](
+                               std::span<const runtime::UpdateOp> ops) {
+      for (const auto& op : ops) {
+        // Ops the runtime rejected (out-of-range index) never reach the
+        // hook, but guard anyway: the mirror must never throw here.
+        if (op.kind == runtime::UpdateOp::Kind::kInsert) {
+          if (op.index <= mirror->size()) mirror->insert(op.index, op.rule);
+        } else if (op.index < mirror->size()) {
+          mirror->erase(op.index);
+        }
+      }
+      if (auto* loop = capture_slot->load(std::memory_order_acquire)) {
+        loop->publish_verdicts(*mirror);
+      }
+      if (journal_hook) journal_hook(ops);
+    };
+  }
+
   runtime::ShardedClassifier classifier(rules, rcfg);
+
+  // The inline capture plane: AF_PACKET rings on an interface, or a
+  // deterministic pcap replay ("pcap:PATH").
+  std::unique_ptr<capture::CaptureSource> capture_src;
+  std::unique_ptr<capture::CaptureLoop> capture_loop;
+  if (!capture_spec.empty()) {
+    try {
+      if (capture_spec.rfind("pcap:", 0) == 0) {
+        capture::PcapReplayConfig pcfg;
+        pcfg.rings = capture_rings;
+        pcfg.loops = flags.get_u64("capture-loops", 1);
+        const std::string path = capture_spec.substr(5);
+        capture_src = std::make_unique<capture::PcapReplaySource>(
+            net::load_pcap(path), pcfg, path);
+      } else {
+        capture::AfPacketConfig acfg;
+        acfg.iface = capture_spec;
+        acfg.rings = capture_rings;
+        capture_src = std::make_unique<capture::AfPacketSource>(acfg);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rfipcd: --capture %s: %s\n", capture_spec.c_str(),
+                   e.what());
+      return 2;
+    }
+    capture::CaptureLoopConfig lcfg;
+    lcfg.batch_size = flags.get_u64("capture-batch", 256);
+    capture_loop = std::make_unique<capture::CaptureLoop>(*capture_src, classifier,
+                                                          rules, lcfg);
+    capture_slot->store(capture_loop.get(), std::memory_order_release);
+  }
 
   server::ServerConfig scfg;
   scfg.host = flags.get("host", "127.0.0.1");
   scfg.port = static_cast<std::uint16_t>(flags.get_u64("port", 0));
   scfg.durable = durable.get();
+  if (capture_loop != nullptr) {
+    scfg.capture_stats = [loop = capture_loop.get()] { return loop->counters(); };
+  }
   server::ClassifyServer srv(classifier, scfg);
 
   std::printf("rfipcd: %zu rules [%s], %zu shards of %s, listening on %s:%u%s\n",
               rules.size(), rules_desc.c_str(), classifier.shard_count(),
               rcfg.engine_spec.c_str(), scfg.host.c_str(), srv.port(),
               durable != nullptr ? " (journaled)" : "");
+  if (capture_src != nullptr) {
+    std::printf("rfipcd: capturing via %s\n", capture_src->describe().c_str());
+  }
   std::fflush(stdout);
 
   if (const auto path = flags.get("port-file", ""); !path.empty()) {
@@ -244,13 +336,33 @@ int main(int argc, char** argv) {
     f << srv.port() << "\n";
   }
 
-  if (flags.get_bool("smoke")) return run_smoke(srv, rules, seed);
+  if (capture_loop != nullptr) capture_loop->start();
+
+  if (flags.get_bool("smoke")) {
+    const int rc = run_smoke(srv, rules, seed);
+    if (capture_slot != nullptr) capture_slot->store(nullptr);
+    if (capture_loop != nullptr) capture_loop->stop();
+    return rc;
+  }
 
   g_server = &srv;
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
   srv.run();
   g_server = nullptr;
+
+  if (capture_loop != nullptr) {
+    capture_slot->store(nullptr);
+    capture_loop->stop();
+    const auto t = capture_loop->counters().total();
+    std::printf("rfipcd: capture done: %llu frames (%llu forwarded, %llu "
+                "dropped, %llu parse failures, %llu overruns)\n",
+                static_cast<unsigned long long>(t.frames),
+                static_cast<unsigned long long>(t.forwarded),
+                static_cast<unsigned long long>(t.dropped),
+                static_cast<unsigned long long>(t.parse_failures),
+                static_cast<unsigned long long>(t.overruns));
+  }
 
   const auto c = srv.counters();
   std::printf("rfipcd: drained; served %llu requests over %llu connections "

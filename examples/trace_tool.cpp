@@ -1,0 +1,116 @@
+// trace_tool — seed-stable pcap export of synthesized classifier
+// traces, the input generator for the capture data plane.
+//
+//   $ trace_tool --out trace.pcap [--rules SRC|N] [--packets P]
+//                [--seed S] [--match-fraction F]
+//                [--link ether|raw|null] [--vlan-every N]
+//                [--frag-every N] [--payload B] [--rules-out PATH]
+//
+// Every byte of the output is a pure function of the flags: trace
+// headers come from ruleset::generate_trace (deterministic PRNG),
+// frame decorations (VLAN tags, fragments) fire on fixed strides
+// instead of coin flips, and record timestamps advance on a fixed
+// synthetic clock — so a (flags, seed) pair names ONE capture file,
+// forever. That is what lets CI replay a golden pcap through
+// capture_gateway and assert exact drop/forward counts, and what makes
+// bench_capture runs comparable across machines.
+//
+// --link picks the pcap link-layer type (and frame encapsulation):
+// ether = LINKTYPE_ETHERNET, raw = LINKTYPE_RAW (bare IPv4),
+// null = LINKTYPE_NULL (BSD loopback AF word). --vlan-every N tags
+// every Nth frame (ether only; 0 = never), --frag-every N makes every
+// Nth frame a non-first fragment (0 = never). --rules-out additionally
+// writes the generated ruleset in native text form so the consumer
+// classifies with EXACTLY the rules the trace was drawn from.
+#include <cstdio>
+#include <fstream>
+
+#include "rfipc.h"
+
+using namespace rfipc;
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv,
+                       {"out", "rules", "packets", "seed", "match-fraction",
+                        "link", "vlan-every", "frag-every", "payload",
+                        "rules-out"});
+  const std::string out = flags.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "trace_tool: --out PATH is required\n");
+    return 2;
+  }
+  const std::string link_name = flags.get("link", "ether");
+  std::uint32_t link_type = 0;
+  if (link_name == "ether") {
+    link_type = net::kLinktypeEthernet;
+  } else if (link_name == "raw") {
+    link_type = net::kLinktypeRaw;
+  } else if (link_name == "null") {
+    link_type = net::kLinktypeNull;
+  } else {
+    std::fprintf(stderr, "trace_tool: --link must be ether, raw, or null\n");
+    return 2;
+  }
+
+  const auto seed = flags.get_u64("seed", 7);
+  const std::string rules_spec = flags.get("rules", "256");
+  ruleset::RuleSet rules;
+  if (const auto count = util::parse_u64(rules_spec)) {
+    rules = ruleset::generate_firewall(static_cast<std::size_t>(*count), seed);
+  } else {
+    ruleset::lang::ResolvedRules resolved;
+    std::string err;
+    if (!ruleset::lang::try_resolve_ruleset_source(rules_spec, resolved, err)) {
+      std::fprintf(stderr, "trace_tool: --rules %s: %s\n", rules_spec.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    rules = std::move(resolved.rules);
+  }
+
+  ruleset::TraceConfig tcfg;
+  tcfg.size = flags.get_u64("packets", 4096);
+  tcfg.seed = seed + 1;
+  tcfg.match_fraction = flags.get_double("match-fraction", 0.7);
+  const auto trace = ruleset::generate_trace(rules, tcfg);
+
+  const auto vlan_every = flags.get_u64("vlan-every", 0);
+  const auto frag_every = flags.get_u64("frag-every", 0);
+
+  net::PcapFile capture;
+  capture.link_type = link_type;
+  capture.records.reserve(trace.size());
+  // Synthetic clock: 1 kpps starting at a fixed epoch. Not wall time —
+  // identical flags must yield identical bytes.
+  const std::uint32_t ts0 = 1'700'000'000;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    net::BuildOptions opt;
+    opt.payload_len = flags.get_u64("payload", 16);
+    opt.vlan = link_type == net::kLinktypeEthernet && vlan_every != 0 &&
+               (i + 1) % vlan_every == 0;
+    if (opt.vlan) opt.vlan_id = static_cast<std::uint16_t>(i & 0x0fff);
+    opt.fragment = frag_every != 0 && (i + 1) % frag_every == 0;
+    net::PcapRecord rec;
+    rec.ts_sec = ts0 + static_cast<std::uint32_t>(i / 1000);
+    rec.ts_usec = static_cast<std::uint32_t>((i % 1000) * 1000);
+    rec.frame = net::build_frame(trace[i], link_type, opt);
+    capture.records.push_back(std::move(rec));
+  }
+
+  if (!net::save_pcap(out, capture)) {
+    std::fprintf(stderr, "trace_tool: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  if (const std::string rpath = flags.get("rules-out", ""); !rpath.empty()) {
+    std::ofstream f(rpath);
+    f << rules.to_text();
+    if (!f) {
+      std::fprintf(stderr, "trace_tool: cannot write %s\n", rpath.c_str());
+      return 1;
+    }
+  }
+  std::printf("trace_tool: wrote %zu %s frames (seed %llu, %zu rules) to %s\n",
+              capture.records.size(), link_name.c_str(),
+              static_cast<unsigned long long>(seed), rules.size(), out.c_str());
+  return 0;
+}

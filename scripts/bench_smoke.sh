@@ -27,7 +27,9 @@
 #                               "kupd_s": 33.3, "us_per_op": 30.1}, ... ],
 #     "expansion_rows": [ {"configuration": "tcam", "lowering": "prefix-expand",
 #                          "entries": 9862, "entries_per_rule": 4.82,
-#                          "kib": 336.0, "build_ms": 2.0}, ... ]
+#                          "kib": 336.0, "build_ms": 2.0}, ... ],
+#     "capture_rows": [ {"configuration": "capture replay x1 ring, batch 256",
+#                        "mpkt_s": 15.69, "vs_wire": 2.09}, ... ]
 #   }
 #
 # The large_n leg runs bench_large_n at a reduced N (RFIPC_LARGE_N,
@@ -53,7 +55,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 LARGE_N="${RFIPC_LARGE_N:-16384}"
 cmake -B "${BUILD_DIR}" -S . >/dev/null
-cmake --build "${BUILD_DIR}" -j --target bench_runtime_batch bench_server bench_large_n bench_expansion
+cmake --build "${BUILD_DIR}" -j --target bench_runtime_batch bench_server bench_large_n bench_expansion bench_capture
 
 workdir="${BUILD_DIR}/bench-smoke"
 mkdir -p "${workdir}"
@@ -86,6 +88,14 @@ expansion_log="${workdir}/bench_expansion.log"
 
 if grep -q '\[FAIL\]' "${expansion_log}"; then
   echo "bench_smoke: FAILED check in bench_expansion" >&2
+  exit 1
+fi
+
+capture_log="${workdir}/bench_capture.log"
+(cd "${workdir}" && "../bench/bench_capture") | tee "${capture_log}"
+
+if grep -q '\[FAIL\]' "${capture_log}"; then
+  echo "bench_smoke: FAILED check in bench_capture" >&2
   exit 1
 fi
 
@@ -200,6 +210,28 @@ expansion_rows="$(awk -F',' '
   END { print rows }
 ' "${expansion_csv}")"
 
+# capture.csv: configuration, Mpkt/s, vs wire ("2.09x") — the inline
+# capture plane vs the wire protocol on the same trace/engine, from
+# bench_capture (which gates capture >= 2x wire). Absent entirely
+# (sanitizer [SKIP] run) the array stays empty.
+capture_csv="${workdir}/capture.csv"
+capture_rows=""
+if [[ -f "${capture_csv}" ]]; then
+  capture_rows="$(awk -F',' '
+    NR == 1 { next }
+    {
+      ratio = $3; sub(/x$/, "", ratio)
+      row = sprintf("    {\"configuration\": \"%s\", \"mpkt_s\": %s, \"vs_wire\": %s}",
+                    $1, $2, ratio)
+      rows = rows == "" ? row : rows ",\n" row
+    }
+    END { print rows }
+  ' "${capture_csv}")"
+elif ! grep -q '\[SKIP\] bench_capture' "${capture_log}"; then
+  echo "bench_smoke: ${capture_csv} was not produced" >&2
+  exit 1
+fi
+
 {
   printf '{\n  "bench": "runtime_batch",\n  "simd": "%s",\n' "${simd}"
   printf '  "rows": [\n%s\n  ],\n' "${runtime_rows}"
@@ -208,7 +240,8 @@ expansion_rows="$(awk -F',' '
   printf '  "large_n": %s,\n' "${LARGE_N}"
   printf '  "large_n_rows": [\n%s\n  ],\n' "${large_n_rows}"
   printf '  "large_n_update_rows": [\n%s\n  ],\n' "${large_n_update_rows}"
-  printf '  "expansion_rows": [\n%s\n  ]\n}\n' "${expansion_rows}"
+  printf '  "expansion_rows": [\n%s\n  ],\n' "${expansion_rows}"
+  printf '  "capture_rows": [\n%s\n  ]\n}\n' "${capture_rows}"
 } > BENCH_runtime.json
 
 echo

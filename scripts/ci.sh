@@ -4,8 +4,14 @@
 # server_smoke.sh (rfipcd launched on loopback and driven over the wire
 # protocol through classify/update/stats/drain), then
 # crash_recovery_smoke.sh (journaled rfipcd SIGKILLed mid-update-burst
-# and restarted twice; no acked update may be lost), then the large_n
-# smoke (the sanitizer build of bench_large_n must auto-[SKIP] itself —
+# and restarted twice; no acked update may be lost), then
+# capture_smoke.sh (the inline capture plane: seed-stable trace_tool
+# pcaps, golden replay determinism across ring counts and link types,
+# rfipcd --capture serving STATS with the capture block, and an
+# AF_PACKET leg that prints [SKIP] on runners without CAP_NET_RAW),
+# then the large_n
+# smoke (the sanitizer builds of bench_large_n and bench_capture must
+# auto-[SKIP] themselves —
 # perf numbers under ASan measure the sanitizer), then the ruleset
 # interchange smoke (the example ipfilter policy round-tripped through
 # every registered importer/exporter pair under ASan, plus a grammar
@@ -15,7 +21,8 @@
 # single-shard bypass check, the flow-cache checks, and the reduced-N
 # large_n leg — prefilter >= 4x raw StrideBV at N=16384 — captured
 # into BENCH_runtime.json, alongside the bench_expansion lowering
-# rows). Local
+# rows and the bench_capture capture-vs-wire rows with their >= 2x
+# gate). Local
 # runs and the GitHub Actions workflow (.github/workflows/ci.yml) gate
 # on the exact same scripts, so a green local run is a green CI run.
 set -euo pipefail
@@ -37,16 +44,24 @@ echo "== ci.sh: crash recovery smoke (durability gate) =="
 scripts/crash_recovery_smoke.sh
 
 echo
+echo "== ci.sh: capture smoke (inline data plane gate) =="
+scripts/capture_smoke.sh
+
+echo
 echo "== ci.sh: large_n smoke (sanitizer auto-skip gate) =="
 # The reduced-N perf floor itself runs inside bench_smoke.sh below on
 # the plain build; here the ASan build (left behind by check.sh) must
 # refuse to emit perf rows at all.
-cmake --build build-asan -j --target bench_large_n >/dev/null
+cmake --build build-asan -j --target bench_large_n bench_capture >/dev/null
 if ! (cd build-asan/bench && ./bench_large_n) | grep -q '\[SKIP\] bench_large_n'; then
   echo "large_n_smoke: sanitizer build of bench_large_n did not auto-skip" >&2
   exit 1
 fi
-echo "large_n_smoke: sanitizer auto-skip verified"
+if ! (cd build-asan/bench && ./bench_capture) | grep -q '\[SKIP\] bench_capture'; then
+  echo "capture_smoke: sanitizer build of bench_capture did not auto-skip" >&2
+  exit 1
+fi
+echo "large_n_smoke: sanitizer auto-skip verified (bench_large_n, bench_capture)"
 
 echo
 echo "== ci.sh: ruleset interchange smoke (ASan round trip + grammar errors) =="

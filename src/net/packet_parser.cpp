@@ -1,5 +1,9 @@
 #include "net/packet_parser.h"
 
+#include <stdexcept>
+
+#include "net/pcap.h"
+
 namespace rfipc::net {
 namespace {
 
@@ -52,38 +56,32 @@ const char* parse_status_name(ParseStatus s) {
       return "bad-ip-total-length";
     case ParseStatus::kTruncatedTransport:
       return "truncated-transport";
+    case ParseStatus::kTruncatedLink:
+      return "truncated-link";
+    case ParseStatus::kUnsupportedFamily:
+      return "unsupported-family";
+    case ParseStatus::kUnsupportedLinkType:
+      return "unsupported-linktype";
   }
   return "?";
 }
 
-ParsedPacket parse_packet(std::span<const std::uint8_t> frame) {
+namespace {
+
+/// Shared IPv4 + transport decode: `l3` is the byte offset of the IP
+/// header inside `frame` (what the link-layer walk produced). Every
+/// offset is re-checked against the remaining bytes (size-minus-offset
+/// form, which cannot overflow) before it is read.
+ParsedPacket parse_ipv4_at(std::span<const std::uint8_t> frame, std::size_t l3) {
   ParsedPacket out;
   auto fail = [&](ParseStatus s) {
     out.status = s;
     return out;
   };
 
-  if (frame.size() < kEthHeader) return fail(ParseStatus::kTruncatedEthernet);
-  // Walk up to kMaxVlanTags stacked 802.1Q/802.1ad tags (QinQ): each tag
-  // pushes the real EtherType 4 bytes further out. Edge captures carry
-  // double-tagged traffic, and a parser that chokes on the outer tag
-  // silently drops it all.
-  std::size_t et_off = 12;
-  std::uint16_t ethertype = be16(frame, et_off);
-  for (std::size_t tags = 0;
-       (ethertype == kEtherTypeVlan || ethertype == kEtherTypeQinQ) &&
-       tags < kMaxVlanTags;
-       ++tags) {
-    if (frame.size() < et_off + 6) return fail(ParseStatus::kTruncatedEthernet);
-    et_off += 4;
-    ethertype = be16(frame, et_off);
+  if (frame.size() < l3 || frame.size() - l3 < 20) {
+    return fail(ParseStatus::kTruncatedIp);
   }
-  if (ethertype != kEtherTypeIpv4) return fail(ParseStatus::kUnsupportedEtherType);
-  const std::size_t l3 = et_off + 2;
-
-  // From here every offset is re-checked against the remaining bytes
-  // (size-minus-offset form, which cannot overflow) before it is read.
-  if (frame.size() - l3 < 20) return fail(ParseStatus::kTruncatedIp);
   const std::uint8_t ver_ihl = frame[l3];
   if ((ver_ihl >> 4) != 4) return fail(ParseStatus::kBadIpVersion);
   const std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
@@ -116,12 +114,73 @@ ParsedPacket parse_packet(std::span<const std::uint8_t> frame) {
   return out;
 }
 
+}  // namespace
+
+ParsedPacket parse_packet(std::span<const std::uint8_t> frame) {
+  ParsedPacket out;
+  auto fail = [&](ParseStatus s) {
+    out.status = s;
+    return out;
+  };
+
+  if (frame.size() < kEthHeader) return fail(ParseStatus::kTruncatedEthernet);
+  // Walk up to kMaxVlanTags stacked 802.1Q/802.1ad tags (QinQ): each tag
+  // pushes the real EtherType 4 bytes further out. Edge captures carry
+  // double-tagged traffic, and a parser that chokes on the outer tag
+  // silently drops it all.
+  std::size_t et_off = 12;
+  std::uint16_t ethertype = be16(frame, et_off);
+  for (std::size_t tags = 0;
+       (ethertype == kEtherTypeVlan || ethertype == kEtherTypeQinQ) &&
+       tags < kMaxVlanTags;
+       ++tags) {
+    if (frame.size() < et_off + 6) return fail(ParseStatus::kTruncatedEthernet);
+    et_off += 4;
+    ethertype = be16(frame, et_off);
+  }
+  if (ethertype != kEtherTypeIpv4) return fail(ParseStatus::kUnsupportedEtherType);
+  return parse_ipv4_at(frame, et_off + 2);
+}
+
+ParsedPacket parse_frame(std::span<const std::uint8_t> frame,
+                         std::uint32_t link_type) {
+  ParsedPacket out;
+  switch (link_type) {
+    case kLinktypeEthernet:
+      return parse_packet(frame);
+    case kLinktypeRaw:
+      return parse_ipv4_at(frame, 0);
+    case kLinktypeNull: {
+      // 4-byte AF family word in the CAPTURING host's byte order:
+      // AF_INET (2) reads as 0x00000002 or 0x02000000 depending on
+      // which endianness wrote the capture.
+      if (frame.size() < 4) {
+        out.status = ParseStatus::kTruncatedLink;
+        return out;
+      }
+      const std::uint32_t family = static_cast<std::uint32_t>(frame[0]) |
+                                   (static_cast<std::uint32_t>(frame[1]) << 8) |
+                                   (static_cast<std::uint32_t>(frame[2]) << 16) |
+                                   (static_cast<std::uint32_t>(frame[3]) << 24);
+      if (family != 2 && family != 0x02000000) {
+        out.status = ParseStatus::kUnsupportedFamily;
+        return out;
+      }
+      return parse_ipv4_at(frame, 4);
+    }
+    default:
+      out.status = ParseStatus::kUnsupportedLinkType;
+      return out;
+  }
+}
+
 std::vector<std::uint8_t> build_packet(const FiveTuple& tuple,
                                        const BuildOptions& options) {
   std::vector<std::uint8_t> b;
+  b.reserve(kEthHeader + (options.vlan ? 4 : 0) + 20 + 20 + options.payload_len);
   // Ethernet: locally administered MACs derived from the IPs.
-  b.insert(b.end(), {0x02, 0, 0, 0, 0, 1});
-  b.insert(b.end(), {0x02, 0, 0, 0, 0, 2});
+  const std::uint8_t macs[12] = {0x02, 0, 0, 0, 0, 1, 0x02, 0, 0, 0, 0, 2};
+  for (const std::uint8_t m : macs) b.push_back(m);
   if (options.vlan) {
     put16(b, 0x8100);
     put16(b, options.vlan_id & 0x0fff);
@@ -164,6 +223,31 @@ std::vector<std::uint8_t> build_packet(const FiveTuple& tuple,
     b.push_back(static_cast<std::uint8_t>(i));
   }
   return b;
+}
+
+std::vector<std::uint8_t> build_frame(const FiveTuple& tuple,
+                                      std::uint32_t link_type,
+                                      const BuildOptions& options) {
+  switch (link_type) {
+    case kLinktypeEthernet:
+      return build_packet(tuple, options);
+    case kLinktypeRaw: {
+      auto eth = build_packet(tuple, options);
+      // Strip the Ethernet (+ optional VLAN) header the builder emitted.
+      const std::size_t l2 = kEthHeader + (options.vlan ? 4 : 0);
+      return std::vector<std::uint8_t>(eth.begin() + static_cast<std::ptrdiff_t>(l2),
+                                       eth.end());
+    }
+    case kLinktypeNull: {
+      auto raw = build_frame(tuple, kLinktypeRaw, options);
+      std::vector<std::uint8_t> b{2, 0, 0, 0};  // AF_INET, little-endian
+      b.insert(b.end(), raw.begin(), raw.end());
+      return b;
+    }
+    default:
+      throw std::invalid_argument("build_frame: unsupported link type " +
+                                  std::to_string(link_type));
+  }
 }
 
 }  // namespace rfipc::net

@@ -27,6 +27,9 @@ enum class ParseStatus : std::uint8_t {
   kBadIpHeaderLength,
   kBadIpTotalLength,
   kTruncatedTransport,
+  kTruncatedLink,         // LINKTYPE_NULL frame shorter than its 4-byte AF header
+  kUnsupportedFamily,     // LINKTYPE_NULL address family other than AF_INET
+  kUnsupportedLinkType,   // a link type parse_frame has no decoder for
 };
 
 const char* parse_status_name(ParseStatus s);
@@ -47,6 +50,17 @@ struct ParsedPacket {
 /// Parses one raw frame.
 ParsedPacket parse_packet(std::span<const std::uint8_t> frame);
 
+/// Link-type-aware parse, for frames sourced from pcap files or capture
+/// rings whose link layer is not Ethernet:
+///   * LINKTYPE_ETHERNET (1)  — delegates to parse_packet;
+///   * LINKTYPE_RAW (101)     — the frame starts at the IPv4 header;
+///   * LINKTYPE_NULL (0)      — a 4-byte host-endian AF family word
+///     (AF_INET accepted in either byte order, since the header follows
+///     the CAPTURING host's endianness) precedes the IPv4 header.
+/// Any other link type reports kUnsupportedLinkType.
+ParsedPacket parse_frame(std::span<const std::uint8_t> frame,
+                         std::uint32_t link_type);
+
 struct BuildOptions {
   std::size_t payload_len = 16;
   bool vlan = false;
@@ -60,5 +74,14 @@ struct BuildOptions {
 /// header, everything else a bare IP payload.
 std::vector<std::uint8_t> build_packet(const FiveTuple& tuple,
                                        const BuildOptions& options = {});
+
+/// Synthesizes a frame for an arbitrary supported link type (the
+/// inverse of parse_frame): LINKTYPE_ETHERNET delegates to
+/// build_packet (VLAN options honored), LINKTYPE_RAW emits the bare
+/// IPv4 packet, LINKTYPE_NULL prepends the little-endian AF_INET word.
+/// Throws std::invalid_argument on an unsupported link type.
+std::vector<std::uint8_t> build_frame(const FiveTuple& tuple,
+                                      std::uint32_t link_type,
+                                      const BuildOptions& options = {});
 
 }  // namespace rfipc::net

@@ -13,6 +13,13 @@
 
 namespace rfipc::net {
 
+/// Link-layer header types this repo understands end to end (the pcap
+/// reader itself preserves any link_type; these are the ones the
+/// replay/capture path can parse — see net::parse_frame).
+inline constexpr std::uint32_t kLinktypeNull = 0;       // BSD loopback: 4-byte AF
+inline constexpr std::uint32_t kLinktypeEthernet = 1;   // EN10MB
+inline constexpr std::uint32_t kLinktypeRaw = 101;      // bare IP, no L2
+
 struct PcapRecord {
   std::uint32_t ts_sec = 0;
   std::uint32_t ts_usec = 0;

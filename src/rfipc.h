@@ -51,6 +51,11 @@
 #include "runtime/sharded_classifier.h"
 #include "runtime/stats.h"
 
+#include "capture/afpacket_source.h"
+#include "capture/capture_loop.h"
+#include "capture/capture_source.h"
+#include "capture/pcap_source.h"
+
 #include "server/classify_server.h"
 #include "server/client.h"
 #include "server/event_loop.h"

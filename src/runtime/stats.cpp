@@ -141,6 +141,25 @@ std::string StatsSnapshot::to_json() const {
          ",\"append_failures\":" + u(persist.append_failures) +
          ",\"segments_removed\":" + u(persist.segments_removed) +
          ",\"dedupe_hits\":" + u(persist.dedupe_hits) + "}";
+  {
+    const CaptureRing t = capture.total();
+    out += ",\"capture\":{\"enabled\":" +
+           std::string(capture.enabled ? "true" : "false") +
+           ",\"frames\":" + u(t.frames) + ",\"batches\":" + u(t.batches) +
+           ",\"parse_failures\":" + u(t.parse_failures) +
+           ",\"forwarded\":" + u(t.forwarded) + ",\"dropped\":" + u(t.dropped) +
+           ",\"overruns\":" + u(t.overruns) + ",\"rings\":[";
+    for (std::size_t r = 0; r < capture.rings.size(); ++r) {
+      const CaptureRing& ring = capture.rings[r];
+      if (r > 0) out += ",";
+      out += "{\"frames\":" + u(ring.frames) + ",\"batches\":" + u(ring.batches) +
+             ",\"parse_failures\":" + u(ring.parse_failures) +
+             ",\"forwarded\":" + u(ring.forwarded) +
+             ",\"dropped\":" + u(ring.dropped) +
+             ",\"overruns\":" + u(ring.overruns) + "}";
+    }
+    out += "]}";
+  }
   out += std::string(",\"degraded\":") + (degraded ? "true" : "false");
   out += ",\"shards\":[";
   for (std::size_t s = 0; s < shards.size(); ++s) {
@@ -200,6 +219,15 @@ std::string StatsSnapshot::to_string() const {
            " fsyncs=" + std::to_string(persist.fsyncs) +
            " checkpoints=" + std::to_string(persist.checkpoints) +
            " dedupe_hits=" + std::to_string(persist.dedupe_hits) + "}";
+  }
+  if (capture.enabled) {
+    const CaptureRing t = capture.total();
+    out += " capture{rings=" + std::to_string(capture.rings.size()) +
+           " frames=" + std::to_string(t.frames) +
+           " parse_failures=" + std::to_string(t.parse_failures) +
+           " forwarded=" + std::to_string(t.forwarded) +
+           " dropped=" + std::to_string(t.dropped) +
+           " overruns=" + std::to_string(t.overruns) + "}";
   }
   if (degraded) out += " DEGRADED";
   for (const auto& h : health) {

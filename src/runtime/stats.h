@@ -91,6 +91,41 @@ struct PersistCounters {
   std::uint64_t dedupe_hits = 0;        // retried updates answered from the log
 };
 
+/// One capture RX ring's ingest counters (filled by the capture data
+/// plane, src/capture/). frames = everything pulled off the ring;
+/// parse failures, forwards, and drops partition the frames already
+/// decided; overruns are kernel-side losses the consumer never saw.
+struct CaptureRing {
+  std::uint64_t frames = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t parse_failures = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t overruns = 0;
+};
+
+/// Capture-plane counters the daemon folds into a snapshot when an
+/// inline capture loop (AF_PACKET or pcap replay) feeds the engine.
+/// enabled=false — and rings empty — for RPC-only deployments.
+struct CaptureCounters {
+  bool enabled = false;
+  std::vector<CaptureRing> rings;
+
+  /// Sum of every ring's counters.
+  CaptureRing total() const {
+    CaptureRing t;
+    for (const CaptureRing& r : rings) {
+      t.frames += r.frames;
+      t.batches += r.batches;
+      t.parse_failures += r.parse_failures;
+      t.forwarded += r.forwarded;
+      t.dropped += r.dropped;
+      t.overruns += r.overruns;
+    }
+    return t;
+  }
+};
+
 /// A point-in-time copy of every counter, safe to print or diff.
 struct StatsSnapshot {
   std::uint64_t packets = 0;
@@ -115,6 +150,8 @@ struct StatsSnapshot {
   ServerCounters server;
   /// Durability-layer counters (enabled=false when no journal).
   PersistCounters persist;
+  /// Capture-plane counters (enabled=false when no capture loop).
+  CaptureCounters capture;
   /// True while any shard is quarantined: results are still served but
   /// may miss that shard's priority band.
   bool degraded = false;

@@ -488,6 +488,7 @@ runtime::StatsSnapshot ClassifyServer::stats_snapshot() const {
     snap.persist.segments_removed = p.segments_removed;
     snap.persist.dedupe_hits = p.dedupe_hits;
   }
+  if (config_.capture_stats) snap.capture = config_.capture_stats();
   return snap;
 }
 

@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -92,6 +93,11 @@ struct ServerConfig {
   /// (seq_for_token) and the persist stats block. Must be the same log
   /// the hook appends to, or acked seqs will lie.
   persist::DurableLog* durable = nullptr;
+  /// Capture-plane stats provider (rfipcd wires CaptureLoop::counters
+  /// here when --capture is active), filled into the STATS reply. A
+  /// std::function so the server never depends on src/capture/; empty
+  /// = no capture block (enabled=false).
+  std::function<runtime::CaptureCounters()> capture_stats;
 };
 
 class ClassifyServer {

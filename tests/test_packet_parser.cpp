@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "net/pcap.h"
 #include "util/prng.h"
 
 namespace rfipc::net {
@@ -140,6 +143,124 @@ TEST(PacketParser, StatusNames) {
   EXPECT_STREQ(parse_status_name(ParseStatus::kOk), "ok");
   EXPECT_STREQ(parse_status_name(ParseStatus::kTruncatedTransport),
                "truncated-transport");
+  EXPECT_STREQ(parse_status_name(ParseStatus::kTruncatedLink),
+               "truncated-link");
+  EXPECT_STREQ(parse_status_name(ParseStatus::kUnsupportedFamily),
+               "unsupported-family");
+  EXPECT_STREQ(parse_status_name(ParseStatus::kUnsupportedLinkType),
+               "unsupported-linktype");
+}
+
+// --- link-type aware parse/build (pcap LINKTYPE_* corpus) ---
+
+TEST(ParseFrame, EthernetDelegatesToParsePacket) {
+  const auto t = sample_tcp();
+  BuildOptions opt;
+  opt.vlan = true;
+  opt.vlan_id = 7;
+  const auto frame = build_frame(t, kLinktypeEthernet, opt);
+  EXPECT_EQ(frame, build_packet(t, opt));
+  const auto p = parse_frame(frame, kLinktypeEthernet);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.tuple, t);
+}
+
+TEST(ParseFrame, RawRoundTrip) {
+  const auto t = sample_tcp();
+  const auto frame = build_frame(t, kLinktypeRaw);
+  // LINKTYPE_RAW starts straight at the IPv4 header.
+  EXPECT_EQ(frame[0] >> 4, 4);
+  const auto p = parse_frame(frame, kLinktypeRaw);
+  ASSERT_TRUE(p.ok()) << parse_status_name(p.status);
+  EXPECT_EQ(p.tuple, t);
+  EXPECT_EQ(p.payload_offset, 20u);  // transport starts after bare IP
+}
+
+TEST(ParseFrame, RawFragmentAndUdp) {
+  auto t = sample_tcp();
+  t.protocol = 17;
+  BuildOptions opt;
+  opt.fragment = true;
+  const auto p = parse_frame(build_frame(t, kLinktypeRaw, opt), kLinktypeRaw);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.fragment);
+  EXPECT_EQ(p.tuple.src_port, 0);
+  EXPECT_EQ(p.tuple.src_ip, t.src_ip);
+}
+
+TEST(ParseFrame, NullRoundTrip) {
+  const auto t = sample_tcp();
+  const auto frame = build_frame(t, kLinktypeNull);
+  // 4-byte AF_INET word precedes the IP header (builder writes LE).
+  EXPECT_EQ(frame[0], 2);
+  const auto p = parse_frame(frame, kLinktypeNull);
+  ASSERT_TRUE(p.ok()) << parse_status_name(p.status);
+  EXPECT_EQ(p.tuple, t);
+  EXPECT_EQ(p.payload_offset, 4u + 20u);  // AF word + IP, transport next
+}
+
+TEST(ParseFrame, NullAcceptsBigEndianFamilyWord) {
+  const auto t = sample_tcp();
+  auto frame = build_frame(t, kLinktypeNull);
+  // A big-endian capturing host writes 0x00000002 as 00 00 00 02.
+  frame[0] = 0;
+  frame[3] = 2;
+  const auto p = parse_frame(frame, kLinktypeNull);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.tuple, t);
+}
+
+TEST(ParseFrame, NullRejectsWrongFamilyAndTruncation) {
+  const auto t = sample_tcp();
+  auto frame = build_frame(t, kLinktypeNull);
+  frame[0] = 10;  // AF_INET6 on Linux
+  EXPECT_EQ(parse_frame(frame, kLinktypeNull).status,
+            ParseStatus::kUnsupportedFamily);
+  for (std::size_t len = 0; len < 4; ++len) {
+    EXPECT_EQ(parse_frame({frame.data(), len}, kLinktypeNull).status,
+              ParseStatus::kTruncatedLink)
+        << len;
+  }
+}
+
+TEST(ParseFrame, UnsupportedLinkTypeRejected) {
+  const auto frame = build_packet(sample_tcp());
+  EXPECT_EQ(parse_frame(frame, 105 /*LINKTYPE_IEEE802_11*/).status,
+            ParseStatus::kUnsupportedLinkType);
+}
+
+TEST(BuildFrame, ThrowsOnUnsupportedLinkType) {
+  EXPECT_THROW((void)build_frame(sample_tcp(), 105), std::invalid_argument);
+}
+
+TEST(ParseFrame, RandomizedRoundTripAllLinkTypes) {
+  util::Xoshiro256 rng(99);
+  for (const std::uint32_t link :
+       {kLinktypeEthernet, kLinktypeRaw, kLinktypeNull}) {
+    for (int i = 0; i < 100; ++i) {
+      FiveTuple t;
+      t.src_ip.value = static_cast<std::uint32_t>(rng());
+      t.dst_ip.value = static_cast<std::uint32_t>(rng());
+      t.protocol = rng.chance(1, 2) ? 6 : 17;
+      t.src_port = static_cast<std::uint16_t>(rng.below(0x10000));
+      t.dst_port = static_cast<std::uint16_t>(rng.below(0x10000));
+      const auto p = parse_frame(build_frame(t, link), link);
+      ASSERT_TRUE(p.ok()) << link;
+      EXPECT_EQ(p.tuple, t);
+    }
+  }
+}
+
+TEST(ParseFrame, FuzzRandomBytesAllLinkTypesNeverCrash) {
+  util::Xoshiro256 rng(31337);
+  for (int i = 0; i < 1500; ++i) {
+    std::vector<std::uint8_t> junk(rng.below(100));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    (void)parse_frame(junk, kLinktypeEthernet);
+    (void)parse_frame(junk, kLinktypeRaw);
+    (void)parse_frame(junk, kLinktypeNull);
+    (void)parse_frame(junk, static_cast<std::uint32_t>(rng.below(300)));
+  }
 }
 
 }  // namespace
